@@ -1,0 +1,68 @@
+"""Benchmark harness configuration.
+
+Every figure/table bench runs at a reduced scale by default so the suite
+finishes in CI time; set ``REPRO_FULL=1`` for the paper's full Section IV
+configuration (50 nodes, 400 s, 8 loads — expect a long run).
+
+The benches print the regenerated rows/series next to the digitised paper
+values: pytest-benchmark's timing numbers measure the *simulator*, while the
+printed tables carry the *reproduction*.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import MobilityConfig, ScenarioConfig, TrafficConfig
+
+#: Full paper scale requested via the environment.
+FULL_SCALE = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def bench_scenario(**overrides) -> ScenarioConfig:
+    """The bench-scale (or full-scale) scenario configuration.
+
+    The quick scale keeps the paper's *node density* (5·10⁻⁵ nodes/m²) on a
+    smaller field — density, not node count, is what produces the
+    asymmetric-link phenomenology the figures depend on.  The full scale is
+    the paper's 50 nodes on 1000 m × 1000 m; its simulated horizon is 40 s
+    rather than the paper's 400 s (documented in EXPERIMENTS.md — the
+    protocols reach steady state within seconds).
+    """
+    if FULL_SCALE:
+        defaults = dict(node_count=50, duration_s=40.0, seed=1)
+        traffic = TrafficConfig(flow_count=10)
+        mobility = MobilityConfig()
+    else:
+        defaults = dict(node_count=25, duration_s=25.0, seed=1)
+        traffic = TrafficConfig(flow_count=6)
+        mobility = MobilityConfig(field_width_m=707.0, field_height_m=707.0)
+    defaults["traffic"] = traffic
+    defaults["mobility"] = mobility
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def bench_loads() -> tuple[float, ...]:
+    """Offered-load sweep points [kbps]."""
+    if FULL_SCALE:
+        return (300, 400, 500, 600, 700, 800, 900, 1000)
+    return (300, 500, 700)
+
+
+def bench_seeds() -> tuple[int, ...]:
+    """Replication seeds."""
+    return (1, 2, 3) if FULL_SCALE else (1, 2)
+
+
+@pytest.fixture(scope="session")
+def scale_banner() -> str:
+    """Printable banner describing the active scale."""
+    cfg = bench_scenario()
+    return (
+        f"[{'FULL' if FULL_SCALE else 'quick'} scale: {cfg.node_count} nodes, "
+        f"{cfg.duration_s:.0f}s, {cfg.traffic.flow_count} flows, "
+        f"loads={bench_loads()}, seeds={bench_seeds()}]"
+    )

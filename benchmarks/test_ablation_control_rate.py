@@ -1,0 +1,48 @@
+"""Ablation: power-control channel bandwidth (paper: 500 kbps).
+
+The control rate sets the PCN airtime (48 bits + sync preamble) and with it
+the collision window on the control channel.  Slower channels advertise
+tolerances later and lose more PCNs; the paper's 500 kbps should sit on the
+flat part of the curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import markdown_table
+from repro.experiments.ablations import run_control_rate_ablation
+
+from benchmarks.conftest import bench_scenario
+
+RATES_KBPS = (100, 250, 500, 1000)
+
+
+def test_control_rate_ablation(benchmark, scale_banner, capsys):
+    results = benchmark.pedantic(
+        lambda: run_control_rate_ablation(bench_scenario(), RATES_KBPS),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print(f"\n=== Ablation: control channel bandwidth {scale_banner}")
+        print(
+            markdown_table(
+                ["rate [kbps]", "thr [kbps]", "delay [ms]", "PDR"],
+                [
+                    [
+                        rate,
+                        round(r.throughput_kbps, 1),
+                        round(r.avg_delay_ms, 1),
+                        round(r.delivery_ratio, 3),
+                    ]
+                    for rate, r in results.items()
+                ],
+            )
+        )
+    for rate, result in results.items():
+        assert result.delivery_ratio > 0.3, f"{rate} kbps collapsed"
+    # The paper's operating point is not pathological: 500 kbps performs
+    # within 15% of the best rate tried.
+    best = max(r.throughput_kbps for r in results.values())
+    assert results[500].throughput_kbps >= 0.85 * best
+

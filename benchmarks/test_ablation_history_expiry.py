@@ -1,0 +1,48 @@
+"""Ablation: power-history record lifetime (paper: 3 seconds).
+
+Short lifetimes forget gains before reuse (constant cold-start at maximum
+power, wasting the power-control benefit); long lifetimes trust stale gains
+under mobility (under-powered frames, CTS timeouts, escalations).  At 3 m/s
+the paper's 3 s corresponds to ≤ 9 m of drift — about one power class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import markdown_table
+from repro.experiments.ablations import run_history_expiry_ablation
+
+from benchmarks.conftest import bench_scenario
+
+EXPIRIES_S = (0.5, 3.0, 10.0)
+
+
+def test_history_expiry_ablation(benchmark, scale_banner, capsys):
+    results = benchmark.pedantic(
+        lambda: run_history_expiry_ablation(bench_scenario(), EXPIRIES_S),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print(f"\n=== Ablation: power history expiry {scale_banner}")
+        print(
+            markdown_table(
+                ["expiry [s]", "thr [kbps]", "delay [ms]", "PDR", "escalations"],
+                [
+                    [
+                        e,
+                        round(r.throughput_kbps, 1),
+                        round(r.avg_delay_ms, 1),
+                        round(r.delivery_ratio, 3),
+                        int(r.mac_totals["power_escalations"]),
+                    ]
+                    for e, r in results.items()
+                ],
+            )
+        )
+    for expiry, result in results.items():
+        assert result.delivery_ratio > 0.3, f"expiry {expiry}s collapsed"
+    thr = {e: r.throughput_kbps for e, r in results.items()}
+    # The paper's 3 s should not be badly dominated by either extreme.
+    assert thr[3.0] >= 0.85 * max(thr.values())
+

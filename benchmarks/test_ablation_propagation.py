@@ -1,0 +1,49 @@
+"""Ablation: does PCMAC's advantage survive a different propagation model?
+
+The paper evaluates only under NS-2's two-ray ground model.  This bench
+re-runs PCMAC vs basic 802.11 under log-distance path loss with several
+exponents.  The absolute numbers shift (ranges shrink as the exponent
+grows); the reproduction claim is that the protocol ordering — PCMAC at
+least matching basic — is not an artefact of the ``1/d⁴`` branch.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import markdown_table
+from repro.experiments.ablations import run_propagation_ablation
+
+from benchmarks.conftest import bench_scenario
+
+EXPONENTS = (2.4, 2.7)
+
+
+def test_propagation_ablation(benchmark, scale_banner, capsys):
+    results = benchmark.pedantic(
+        lambda: run_propagation_ablation(bench_scenario(), EXPONENTS),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print(f"\n=== Ablation: log-distance propagation {scale_banner}")
+        print(
+            markdown_table(
+                ["protocol", "exponent", "thr [kbps]", "delay [ms]", "PDR"],
+                [
+                    [
+                        proto,
+                        exp,
+                        round(r.throughput_kbps, 1),
+                        round(r.avg_delay_ms, 1),
+                        round(r.delivery_ratio, 3),
+                    ]
+                    for (proto, exp), r in results.items()
+                ],
+            )
+        )
+    for exponent in EXPONENTS:
+        basic = results[("basic", exponent)]
+        pcmac = results[("pcmac", exponent)]
+        # Both must remain functional networks under the foreign model...
+        assert basic.delivery_ratio > 0.2, f"basic collapsed at n={exponent}"
+        assert pcmac.delivery_ratio > 0.2, f"pcmac collapsed at n={exponent}"
+        # ...and power control must not become a liability.
+        assert pcmac.throughput_kbps >= 0.9 * basic.throughput_kbps

@@ -1,0 +1,42 @@
+"""Energy-efficiency comparison across the four MAC protocols.
+
+Not a paper figure — the paper's focus is capacity — but its related-work
+section frames power control as a battery-life technique ([4], [5], [16]),
+so the harness reports the energy side too: transmit energy per delivered
+payload bit, total energy, and the control/payload airtime split.
+
+Expected shape: the power-controlled protocols transmit far less energy per
+delivered bit than basic 802.11 (levels 1–9 are 3.7×–282× cheaper than the
+maximum), and PCMAC additionally saves the ACK airtime.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenario import build_network
+from repro.metrics.summary import efficiency_table, summarise_efficiency
+
+from benchmarks.conftest import bench_scenario
+
+PROTOCOLS = ("basic", "pcmac", "scheme1", "scheme2")
+
+
+def run_all():
+    return {p: build_network(bench_scenario(), p).run() for p in PROTOCOLS}
+
+
+def test_energy_comparison(benchmark, scale_banner, capsys):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n=== Energy efficiency comparison {scale_banner}")
+        print(efficiency_table(results))
+
+    eff = {p: summarise_efficiency(r) for p, r in results.items()}
+    # Power control transmits dramatically less energy per delivered bit.
+    assert eff["pcmac"].energy_per_bit_j < 0.7 * eff["basic"].energy_per_bit_j
+    assert eff["scheme2"].energy_per_bit_j < eff["basic"].energy_per_bit_j
+    # Every protocol spends the bulk of its airtime on payload, not control.
+    for p in PROTOCOLS:
+        assert 0.0 < eff[p].control_airtime_fraction < 0.6
+    # DATA transmissions per delivery ≥ 1 (multihop + retransmissions).
+    for p in PROTOCOLS:
+        assert eff[p].data_tx_per_delivery >= 1.0

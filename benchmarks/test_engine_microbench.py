@@ -1,0 +1,80 @@
+"""Microbenchmarks of the simulator substrate (the NS-2 replacement).
+
+These are honest pytest-benchmark measurements (many rounds) of the three
+hot paths profiling identified: event queue churn, propagation gain, and
+radio signal bookkeeping.  They guard against performance regressions that
+would make the paper-scale sweeps impractical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phy.frame import PhyFrame
+from repro.phy.propagation import TwoRayGround
+from repro.sim.event import EventQueue
+from repro.sim.kernel import Simulator
+from tests.conftest import make_radio
+
+
+def test_event_queue_push_pop(benchmark):
+    def churn():
+        q = EventQueue()
+        for k in range(1000):
+            q.push(float(k % 97), lambda: None)
+        n = 0
+        while q.pop() is not None:
+            n += 1
+        return n
+
+    assert benchmark(churn) == 1000
+
+
+def test_kernel_event_dispatch(benchmark):
+    def dispatch():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5000:
+                sim.schedule_in(0.001, tick)
+
+        sim.schedule_in(0.001, tick)
+        sim.run_until(10.0)
+        return count[0]
+
+    assert benchmark(dispatch) == 5000
+
+
+def test_two_ray_gain(benchmark):
+    model = TwoRayGround()
+
+    def gains():
+        total = 0.0
+        for d in range(1, 1000):
+            total += model.gain_at(float(d))
+        return total
+
+    assert benchmark(gains) > 0
+
+
+def test_radio_signal_churn(benchmark):
+    sim = Simulator()
+    radio = make_radio(sim, 0, (0.0, 0.0))
+
+    def churn():
+        for k in range(500):
+            f = PhyFrame(
+                payload=None,
+                size_bytes=100,
+                bitrate_bps=1e6,
+                plcp_s=0.0,
+                tx_power_w=0.1,
+                src=1,
+            )
+            radio.signal_start(f, 1e-9)
+            radio.signal_end(f.frame_id)
+        return radio.stats["rx_ok"]
+
+    assert benchmark(churn) > 0

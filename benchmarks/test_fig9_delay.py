@@ -1,0 +1,51 @@
+"""Figure 9 bench: average end-to-end delay vs offered load.
+
+Shape claims asserted:
+
+* PCMAC has the lowest mean delay across the sweep ("packet delay in PCMAC
+  is the shortest");
+* delays grow with offered load for every protocol ("in all protocols, the
+  end to end delay increases with the load");
+* the naive power-control schemes wait longer than PCMAC everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.report import paper_vs_measured
+from repro.experiments.figure8 import PROTOCOLS
+from repro.experiments.figure9 import PAPER_FIG9_MS
+from repro.experiments.sweep import run_load_sweep
+
+from benchmarks.conftest import bench_loads, bench_scenario, bench_seeds
+from benchmarks.test_fig8_throughput import interp_paper
+
+
+def run_sweep():
+    return run_load_sweep(
+        bench_scenario(), PROTOCOLS, bench_loads(), seeds=bench_seeds()
+    )
+
+
+def test_figure9_reproduction(benchmark, scale_banner, capsys):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    loads = list(bench_loads())
+    measured = sweep.delay_series()
+    paper = {p: interp_paper(PAPER_FIG9_MS[p], loads) for p in PROTOCOLS}
+
+    with capsys.disabled():
+        print(f"\n=== Figure 9: end-to-end delay vs offered load {scale_banner}")
+        print(paper_vs_measured("load [kbps]", loads, paper, measured))
+        chart = {p: (loads, measured[p]) for p in PROTOCOLS}
+        print(ascii_chart(chart, title="Figure 9 (measured)",
+                          x_label="offered load [kbps]",
+                          y_label="delay [ms]"))
+
+    mean = {p: sum(measured[p]) / len(measured[p]) for p in PROTOCOLS}
+    # PCMAC waits the least (2 % slack for seed noise).
+    assert mean["pcmac"] <= 1.02 * min(mean.values())
+    assert mean["pcmac"] < mean["scheme1"]
+    assert mean["pcmac"] < mean["scheme2"]
+    # Delay grows with load: final point above first for every protocol.
+    for p in PROTOCOLS:
+        assert measured[p][-1] > measured[p][0]

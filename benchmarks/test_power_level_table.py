@@ -1,0 +1,54 @@
+"""Power-level ↔ range table bench (paper Section IV's implicit table).
+
+Recomputes the decode range of each of the paper's ten power levels under
+the two-ray ground model and checks them against the published 40–250 m
+values, plus the 250 m / 550 m decode/sensing geometry at maximum power.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import markdown_table
+from repro.experiments.ranges import max_power_ranges, power_level_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return power_level_table()
+
+
+def test_power_level_table_reproduction(rows, capsys):
+    with capsys.disabled():
+        print("\n=== Power level ↔ decode range table (paper Section IV)")
+        print(
+            markdown_table(
+                ["P [mW]", "paper [m]", "ours [m]", "sense [m]", "err %"],
+                [
+                    [
+                        r.power_mw,
+                        r.paper_range_m,
+                        round(r.computed_range_m, 1),
+                        round(r.sensing_range_m, 1),
+                        round(r.relative_error * 100, 1),
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    assert len(rows) == 10
+    for row in rows:
+        assert row.relative_error < 0.10, f"{row.power_mw} mW off the table"
+    # All but the smallest level land within 1 %.
+    assert sum(1 for r in rows if r.relative_error < 0.01) >= 9
+
+
+def test_max_power_geometry():
+    decode, sense = max_power_ranges()
+    assert decode == pytest.approx(250.0, rel=0.001)
+    assert sense == pytest.approx(550.0, rel=0.001)
+
+
+def test_ranges_runtime_benchmark(benchmark):
+    rows = benchmark(power_level_table)
+    assert len(rows) == 10

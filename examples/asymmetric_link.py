@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The asymmetric-link problem, reproduced (paper Figures 4 and 6).
+
+Static four-node topology:
+
+    A(0,0) ──100 m──> B(100,0)          close pair, low needed power
+    C(310,0) ──240 m──> D(550,0)        distant pair, maximum power
+
+With all-needed-power transmission (Scheme 2), A→B uses ~15 mW whose carrier
+is sensed only to ~264 m.  C at 310 m cannot sense the A→B exchange, so C's
+maximum-power RTS/DATA to D stomp on B mid-reception: B's deliveries suffer
+and A retransmits — the unfairness the paper describes ("the transmission
+between A and B is frequently suppressed by C and D").
+
+PCMAC closes the hole with the power-control channel: B's noise-tolerance
+broadcast (sent at maximum power, decodable to 250 m) reaches C, whose
+admission test then defers the harmful transmission.
+
+Run:  python examples/asymmetric_link.py
+"""
+
+from __future__ import annotations
+
+from repro import ScenarioConfig, TrafficConfig, build_network
+from repro.config import MobilityConfig
+
+POSITIONS = [(0.0, 0.0), (100.0, 0.0), (310.0, 0.0), (550.0, 0.0)]
+FLOWS = [(0, 1), (2, 3)]  # A→B and C→D
+
+
+def run(protocol: str):
+    cfg = ScenarioConfig(
+        node_count=4,
+        duration_s=30.0,
+        seed=11,
+        # Heavy (but not fully saturating) load: C transmits often enough to
+        # corrupt B's receptions, yet A still wins RTS/CTS slots whose DATA
+        # phase PCMAC's control channel can then protect.
+        traffic=TrafficConfig(flow_count=2, offered_load_bps=1200e3),
+        mobility=MobilityConfig(speed_mps=0.0),
+    )
+    net = build_network(
+        cfg,
+        protocol,
+        positions=POSITIONS,
+        mobile=False,
+        routing="static",
+        flow_pairs=FLOWS,
+    )
+    result = net.run()
+    per_flow = net.metrics.flows
+    return result, per_flow
+
+
+def main() -> None:
+    print(__doc__)
+    print(f"{'protocol':<10} {'A→B PDR':>9} {'C→D PDR':>9} "
+          f"{'total kbps':>11} {'fairness':>9}")
+    for protocol in ("basic", "scheme1", "scheme2", "pcmac"):
+        result, flows = run(protocol)
+        ab = flows[0].delivery_ratio
+        cd = flows[1].delivery_ratio
+        print(
+            f"{protocol:<10} {ab:>9.3f} {cd:>9.3f} "
+            f"{result.throughput_kbps:>11.1f} {result.fairness:>9.3f}"
+        )
+    print(
+        "\nReading: under scheme2 the close pair's deliveries dip (C cannot\n"
+        "sense its low-power exchange); PCMAC restores them via the noise-\n"
+        "tolerance admission on the control channel."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the four MAC protocols on a small ad hoc network.
+
+Builds the paper's scenario at reduced scale (25 mobile nodes, 6 CBR flows,
+25 simulated seconds, field shrunk to keep the paper's node density), runs
+each protocol on identical placement / mobility / traffic (common random
+numbers), and prints the two metrics the paper evaluates: aggregate
+throughput and mean end-to-end delay.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ScenarioConfig, TrafficConfig, build_network
+from repro.config import MobilityConfig
+
+
+def main() -> None:
+    cfg = ScenarioConfig(
+        node_count=25,
+        duration_s=25.0,
+        seed=7,
+        traffic=TrafficConfig(flow_count=6, offered_load_bps=500e3),
+        # 25 nodes on 707 m × 707 m = the paper's 5·10⁻⁵ nodes/m² density.
+        mobility=MobilityConfig(field_width_m=707.0, field_height_m=707.0),
+    )
+
+    print(f"{cfg.node_count} nodes, {cfg.traffic.flow_count} CBR flows, "
+          f"{cfg.traffic.offered_load_bps / 1e3:.0f} kbps offered, "
+          f"{cfg.duration_s:.0f} s simulated\n")
+    print(f"{'protocol':<10} {'throughput':>12} {'delay':>10} {'PDR':>7} "
+          f"{'fairness':>9}")
+
+    for protocol in ("basic", "pcmac", "scheme1", "scheme2"):
+        result = build_network(cfg, protocol).run()
+        print(
+            f"{protocol:<10} {result.throughput_kbps:>9.1f} kbps "
+            f"{result.avg_delay_ms:>7.1f} ms {result.delivery_ratio:>7.3f} "
+            f"{result.fairness:>9.3f}"
+        )
+
+    print("\nExpected shape (paper, Figures 8-9): PCMAC delivers the most "
+          "and waits the least;\nthe naive power-control schemes pay for "
+          "their asymmetric links.")
+
+
+if __name__ == "__main__":
+    main()

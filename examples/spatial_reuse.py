@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Spatial reuse through power control (paper Figure 1).
+
+Two single-hop pairs on a line: A(0)→B(100) and C(400)→D(500).  At maximum
+power every frame is at least *sensed* by the other pair (all distances are
+within the 550 m carrier-sensing range), so the two flows strictly
+alternate — aggregate throughput is capped by serialisation.  With per-link
+power control the 100 m links use ~15 mW, whose footprint ends well before
+the other pair: both flows run concurrently and the aggregate capacity
+roughly doubles — "judicious power control can allow more simultaneous
+transmissions with manageable interference".
+
+Run:  python examples/spatial_reuse.py
+"""
+
+from __future__ import annotations
+
+from repro import ScenarioConfig, TrafficConfig, build_network
+from repro.config import MobilityConfig
+
+POSITIONS = [(0.0, 0.0), (100.0, 0.0), (400.0, 0.0), (500.0, 0.0)]
+FLOWS = [(0, 1), (2, 3)]
+
+
+def run(protocol: str):
+    cfg = ScenarioConfig(
+        node_count=4,
+        duration_s=30.0,
+        seed=5,
+        traffic=TrafficConfig(flow_count=2, offered_load_bps=2400e3),
+        mobility=MobilityConfig(speed_mps=0.0),
+    )
+    net = build_network(
+        cfg,
+        protocol,
+        positions=POSITIONS,
+        mobile=False,
+        routing="static",
+        flow_pairs=FLOWS,
+    )
+    return net.run()
+
+
+def main() -> None:
+    print(__doc__)
+    print(f"{'protocol':<10} {'throughput':>12} {'delay':>10} {'PDR':>7}")
+    results = {}
+    for protocol in ("basic", "scheme2", "pcmac"):
+        r = run(protocol)
+        results[protocol] = r
+        print(
+            f"{protocol:<10} {r.throughput_kbps:>9.1f} kbps "
+            f"{r.avg_delay_ms:>7.1f} ms {r.delivery_ratio:>7.3f}"
+        )
+    gain = results["pcmac"].throughput_kbps / results["basic"].throughput_kbps
+    print(f"\nPCMAC / basic capacity on this chain: {gain:.2f}x "
+          "(spatial reuse from per-link power)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — reproduction of *Power Control for IEEE 802.11 Ad Hoc Networks:
+Issues and A New Algorithm* (Lin, Kwok, Lau; ICPP 2003).
+
+The package implements, from scratch, everything the paper's evaluation
+depends on: a discrete-event wireless simulator (the NS-2 substitute), the
+802.11 DCF MAC, the paper's PCMAC protocol with its power-control channel
+and three-way handshake, the two comparison power-control schemes, AODV
+routing, random waypoint mobility and CBR traffic — plus the experiment
+harness that regenerates the paper's Figures 8 and 9 and the power-level
+range table.
+
+Quickstart::
+
+    from repro import ScenarioConfig, build_network
+
+    cfg = ScenarioConfig(node_count=20, duration_s=30.0)
+    result = build_network(cfg, "pcmac").run()
+    print(result.row())
+"""
+
+from repro.config import (
+    AodvConfig,
+    MacConfig,
+    MobilityConfig,
+    PcmacConfig,
+    PhyConfig,
+    PowerControlConfig,
+    ScenarioConfig,
+    TrafficConfig,
+)
+from repro.experiments.scenario import (
+    MAC_REGISTRY,
+    BuiltNetwork,
+    ExperimentResult,
+    build_network,
+)
+from repro.experiments.sweep import SweepResult, run_load_sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AodvConfig",
+    "BuiltNetwork",
+    "ExperimentResult",
+    "MAC_REGISTRY",
+    "MacConfig",
+    "MobilityConfig",
+    "PcmacConfig",
+    "PhyConfig",
+    "PowerControlConfig",
+    "ScenarioConfig",
+    "SweepResult",
+    "TrafficConfig",
+    "build_network",
+    "run_load_sweep",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Result analysis: statistics, exchange reconstruction, ASCII plotting,
+markdown reporting."""
+
+from repro.analysis.exchanges import (
+    Exchange,
+    exchange_summary,
+    reconstruct_exchanges,
+)
+from repro.analysis.export import series_to_csv, sweep_to_csv
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.stats import (
+    SeriesComparison,
+    compare_series,
+    mean_confidence_interval,
+)
+
+__all__ = [
+    "Exchange",
+    "SeriesComparison",
+    "ascii_chart",
+    "compare_series",
+    "exchange_summary",
+    "mean_confidence_interval",
+    "reconstruct_exchanges",
+    "series_to_csv",
+    "sweep_to_csv",
+]

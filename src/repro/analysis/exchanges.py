@@ -1,0 +1,125 @@
+"""Reconstruct MAC exchanges from handshake traces.
+
+Turns the flat ``mac.handshake`` trace stream into per-exchange records
+(RTS → CTS → DATA [→ ACK]), which makes protocol behaviour auditable: how
+long did the exchange take, which power levels did each side use, did the
+handshake complete?  The integration tests use this to assert protocol
+shape; users can use it to debug scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.sim.trace import TraceRecord
+
+#: An exchange is abandoned if its next frame does not appear within this
+#: window (generous versus SIFS + airtime at the paper's rates).
+EXCHANGE_GAP_S = 0.02
+
+
+@dataclass
+class Exchange:
+    """One reconstructed RTS-initiated exchange."""
+
+    initiator: int
+    responder: int
+    start_time: float
+    rts_power_w: float
+    cts_power_w: float | None = None
+    data_power_w: float | None = None
+    ack_power_w: float | None = None
+    end_time: float = 0.0
+    frames: list[str] = field(default_factory=list)
+
+    @property
+    def completed_data(self) -> bool:
+        """True if the exchange progressed at least to the DATA frame."""
+        return "DATA" in self.frames
+
+    @property
+    def three_way(self) -> bool:
+        """True for a completed exchange without an ACK."""
+        return self.completed_data and "ACK" not in self.frames
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time from the RTS to the last observed frame."""
+        return self.end_time - self.start_time
+
+
+def reconstruct_exchanges(records: Iterable[TraceRecord]) -> list[Exchange]:
+    """Group ``mac.handshake`` trace records into :class:`Exchange` objects.
+
+    Records must be in time order (the tracer appends chronologically).
+    Broadcast DATA frames (``dst == -1``) are not exchanges and are skipped.
+    """
+    exchanges: list[Exchange] = []
+    open_by_pair: dict[tuple[int, int], Exchange] = {}
+
+    for rec in records:
+        if rec.category != "mac.handshake":
+            continue
+        kind = rec.get("kind")
+        dst = rec.get("dst")
+        power = rec.get("power_w", 0.0)
+        if kind == "RTS":
+            key = (rec.node, dst)
+            ex = Exchange(
+                initiator=rec.node,
+                responder=dst,
+                start_time=rec.time,
+                rts_power_w=power,
+                end_time=rec.time,
+            )
+            ex.frames.append("RTS")
+            open_by_pair[key] = ex
+            exchanges.append(ex)
+        elif kind == "CTS":
+            key = (dst, rec.node)  # CTS flows responder → initiator
+            ex = open_by_pair.get(key)
+            if ex is not None and rec.time - ex.end_time < EXCHANGE_GAP_S:
+                ex.cts_power_w = power
+                ex.end_time = rec.time
+                ex.frames.append("CTS")
+        elif kind == "DATA":
+            if dst == -1:
+                continue
+            key = (rec.node, dst)
+            ex = open_by_pair.get(key)
+            if ex is not None and rec.time - ex.end_time < EXCHANGE_GAP_S:
+                ex.data_power_w = power
+                ex.end_time = rec.time
+                ex.frames.append("DATA")
+        elif kind == "ACK":
+            key = (dst, rec.node)
+            ex = open_by_pair.get(key)
+            if ex is not None and rec.time - ex.end_time < EXCHANGE_GAP_S:
+                ex.ack_power_w = power
+                ex.end_time = rec.time
+                ex.frames.append("ACK")
+                del open_by_pair[key]
+    return exchanges
+
+
+def exchange_summary(exchanges: list[Exchange]) -> dict[str, float]:
+    """Aggregate statistics over reconstructed exchanges."""
+    if not exchanges:
+        return {
+            "count": 0,
+            "completed": 0,
+            "completion_rate": 0.0,
+            "three_way_rate": 0.0,
+            "mean_rts_power_w": 0.0,
+        }
+    completed = [e for e in exchanges if e.completed_data]
+    three_way = [e for e in completed if e.three_way]
+    return {
+        "count": len(exchanges),
+        "completed": len(completed),
+        "completion_rate": len(completed) / len(exchanges),
+        "three_way_rate": (len(three_way) / len(completed)) if completed else 0.0,
+        "mean_rts_power_w": sum(e.rts_power_w for e in exchanges)
+        / len(exchanges),
+    }

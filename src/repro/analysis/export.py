@@ -1,0 +1,63 @@
+"""CSV export of experiment results for external plotting tools.
+
+The package plots in ASCII by design (no plotting dependency); users who
+want publication figures export the sweeps to CSV and plot elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TextIO
+
+from repro.experiments.scenario import ExperimentResult
+from repro.experiments.sweep import SweepResult
+
+#: Columns of the per-run CSV schema, in order.
+RESULT_FIELDS = (
+    "protocol",
+    "offered_load_kbps",
+    "seed",
+    "duration_s",
+    "throughput_kbps",
+    "avg_delay_ms",
+    "delivery_ratio",
+    "fairness",
+    "sent",
+    "received",
+    "events_executed",
+    "wallclock_s",
+)
+
+
+def write_results_csv(results: list[ExperimentResult], out: TextIO) -> int:
+    """Write one CSV row per run; returns the row count."""
+    writer = csv.writer(out)
+    writer.writerow(RESULT_FIELDS)
+    for r in results:
+        writer.writerow([getattr(r, f) for f in RESULT_FIELDS])
+    return len(results)
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """Render a full sweep (every protocol × load × seed run) as CSV text."""
+    buf = io.StringIO()
+    runs = [
+        r
+        for key in sorted(sweep.results)
+        for r in sweep.results[key]
+    ]
+    write_results_csv(runs, buf)
+    return buf.getvalue()
+
+
+def series_to_csv(
+    x_name: str, xs: list[float], series: dict[str, list[float]]
+) -> str:
+    """Render seed-averaged series (one column per protocol) as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([x_name, *series.keys()])
+    for i, x in enumerate(xs):
+        writer.writerow([x, *(series[name][i] for name in series)])
+    return buf.getvalue()

@@ -1,0 +1,60 @@
+"""Terminal line charts so examples and benches can show figure shapes
+without any plotting dependency."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Marker characters assigned to series in insertion order.
+_MARKERS = "o*x+#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 68,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (xs, ys) series as a fixed-size ASCII scatter/line chart.
+
+    Intended for the coarse visual check of a figure's shape — orderings and
+    saturation — not for precise reading.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    if not all_x:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, (xs, ys)), marker in zip(series.items(), _MARKERS):
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    lines.append(f"{y_hi:9.1f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + " │" + "".join(row))
+    lines.append(f"{y_lo:9.1f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + "└" + "─" * width)
+    footer = f"{x_lo:<12.0f}{x_label:^{max(width - 24, 0)}}{x_hi:>12.0f}"
+    lines.append(" " * 10 + footer)
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.append(" " * 10 + f"(y: {y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Markdown emitters for EXPERIMENTS.md paper-vs-measured tables."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A GitHub-flavoured markdown table."""
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(_fmt(c) for c in row) + " |" for row in rows]
+    return "\n".join([head, sep, *body])
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def series_table(
+    x_name: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """A table with one x-column and one column per named series."""
+    headers = [x_name, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(series[name][i] for name in series)])
+    return markdown_table(headers, rows)
+
+
+def paper_vs_measured(
+    x_name: str,
+    xs: Sequence[float],
+    paper: Mapping[str, Sequence[float]],
+    measured: Mapping[str, Sequence[float]],
+) -> str:
+    """Interleaved paper/measured columns for every protocol."""
+    headers = [x_name]
+    for name in paper:
+        headers.append(f"{name} (paper)")
+        headers.append(f"{name} (ours)")
+    rows = []
+    for i, x in enumerate(xs):
+        row: list[object] = [x]
+        for name in paper:
+            row.append(paper[name][i])
+            row.append(measured[name][i] if name in measured else "—")
+        rows.append(row)
+    return markdown_table(headers, rows)

@@ -1,0 +1,171 @@
+"""Command-line experiment runner: ``python -m repro <experiment> [...]``.
+
+Experiments:
+
+* ``figure8`` — aggregate throughput vs offered load (paper Figure 8)
+* ``figure9`` — mean end-to-end delay vs offered load (paper Figure 9)
+* ``ranges``  — the power-level ↔ decode-range table (Section IV)
+* ``quickrun`` — one scenario, one protocol, printed summary
+
+``--scale quick`` (default) runs a reduced configuration; ``--scale full``
+uses the paper's 50 nodes / 400 s / 8 loads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.report import paper_vs_measured
+from repro.config import ScenarioConfig
+from repro.experiments.figure8 import (
+    FIGURE8_LOADS_KBPS,
+    PAPER_FIG8_KBPS,
+    PROTOCOLS,
+    run_figure8,
+)
+from repro.experiments.figure9 import PAPER_FIG9_MS
+from repro.experiments.ranges import max_power_ranges, power_level_table
+from repro.experiments.scenario import MAC_REGISTRY, build_network
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PCMAC reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    for fig in ("figure8", "figure9"):
+        p = sub.add_parser(fig, help=f"reproduce the paper's {fig}")
+        p.add_argument("--scale", choices=("quick", "full"), default="quick")
+        p.add_argument("--seeds", type=str, default="1")
+        p.add_argument("--loads", type=str, default="")
+        p.add_argument("--nodes", type=int, default=0,
+                       help="override node count (0 = scale default)")
+        p.add_argument("--duration", type=float, default=0.0,
+                       help="override simulated seconds (0 = scale default)")
+
+    sub.add_parser("ranges", help="power level vs range table")
+
+    q = sub.add_parser("quickrun", help="single scenario run")
+    q.add_argument("--protocol", choices=sorted(MAC_REGISTRY), default="pcmac")
+    q.add_argument("--nodes", type=int, default=20)
+    q.add_argument("--duration", type=float, default=30.0)
+    q.add_argument("--load-kbps", type=float, default=400.0)
+    q.add_argument("--seed", type=int, default=1)
+
+    return parser.parse_args(argv)
+
+
+def _scale_config(scale: str) -> tuple[ScenarioConfig, tuple[float, ...]]:
+    if scale == "full":
+        return ScenarioConfig(), FIGURE8_LOADS_KBPS
+    cfg = ScenarioConfig(node_count=30, duration_s=60.0)
+    return cfg, (300.0, 500.0, 700.0, 900.0)
+
+
+def _run_figure(args: argparse.Namespace, *, delay: bool) -> int:
+    cfg, loads = _scale_config(args.scale)
+    if args.loads:
+        loads = tuple(float(x) for x in args.loads.split(","))
+    if args.nodes:
+        cfg = replace(cfg, node_count=args.nodes)
+    if args.duration:
+        cfg = replace(cfg, duration_s=args.duration)
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    sweep = run_figure8(
+        cfg, loads_kbps=loads, seeds=seeds, progress=lambda s: print("  " + s)
+    )
+    if delay:
+        measured = sweep.delay_series()
+        paper = {
+            k: _resample(PAPER_FIG9_MS[k], FIGURE8_LOADS_KBPS, loads)
+            for k in PROTOCOLS
+        }
+        title, ylab = "Figure 9: end-to-end delay vs offered load", "delay [ms]"
+    else:
+        measured = sweep.throughput_series()
+        paper = {
+            k: _resample(PAPER_FIG8_KBPS[k], FIGURE8_LOADS_KBPS, loads)
+            for k in PROTOCOLS
+        }
+        title, ylab = "Figure 8: throughput vs offered load", "throughput [kbps]"
+    print()
+    print(paper_vs_measured("load [kbps]", loads, paper, measured))
+    print()
+    chart = {name: (list(loads), series) for name, series in measured.items()}
+    print(ascii_chart(chart, title=title, x_label="offered load [kbps]", y_label=ylab))
+    return 0
+
+
+def _resample(
+    series: tuple[float, ...], xs: tuple[float, ...], targets: tuple[float, ...]
+) -> list[float]:
+    """Linear interpolation of the digitised paper curves onto other loads."""
+    out = []
+    for t in targets:
+        if t <= xs[0]:
+            out.append(series[0])
+            continue
+        if t >= xs[-1]:
+            out.append(series[-1])
+            continue
+        for i in range(len(xs) - 1):
+            if xs[i] <= t <= xs[i + 1]:
+                frac = (t - xs[i]) / (xs[i + 1] - xs[i])
+                out.append(series[i] + frac * (series[i + 1] - series[i]))
+                break
+    return out
+
+
+def _run_ranges() -> int:
+    rows = power_level_table()
+    print(f"{'P [mW]':>9}  {'paper [m]':>10}  {'computed [m]':>13}  {'sense [m]':>10}  {'err':>6}")
+    for row in rows:
+        print(
+            f"{row.power_mw:9.2f}  {row.paper_range_m:10.0f}  "
+            f"{row.computed_range_m:13.1f}  {row.sensing_range_m:10.1f}  "
+            f"{row.relative_error * 100:5.1f}%"
+        )
+    decode, sense = max_power_ranges()
+    print(f"\nmax power geometry: decode {decode:.1f} m (paper 250), "
+          f"sense {sense:.1f} m (paper 550)")
+    return 0
+
+
+def _run_quick(args: argparse.Namespace) -> int:
+    cfg = ScenarioConfig(
+        node_count=args.nodes,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    cfg = replace(
+        cfg, traffic=replace(cfg.traffic, offered_load_bps=args.load_kbps * 1000.0)
+    )
+    net = build_network(cfg, args.protocol)
+    result = net.run()
+    print(result.row())
+    print(f"  fairness (Jain): {result.fairness:.3f}")
+    print(f"  drops: {result.drops}")
+    print(f"  events: {result.events_executed:,} in {result.wallclock_s:.1f}s wall")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _parse_args(argv)
+    if args.experiment == "figure8":
+        return _run_figure(args, delay=False)
+    if args.experiment == "figure9":
+        return _run_figure(args, delay=True)
+    if args.experiment == "ranges":
+        return _run_ranges()
+    if args.experiment == "quickrun":
+        return _run_quick(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""PCMAC — the paper's primary contribution.
+
+The protocol combines four mechanisms on top of plain 802.11 DCF
+(:class:`repro.mac.base.DcfMac`):
+
+1. **Minimum-power unicasts** via the power history table (shared with
+   Scheme 2).
+2. **A separate power-control channel** on which a receiving node broadcasts
+   its remaining *noise tolerance* at maximum power
+   (:mod:`repro.core.control_channel`, :mod:`repro.core.pcn`).
+3. **Noise-tolerance admission control**: a prospective transmitter defers
+   whenever its transmission would consume more than ``0.7 ×`` the
+   advertised tolerance of any active receiver it knows of
+   (:mod:`repro.core.noise_tolerance`).
+4. **A three-way RTS-CTS-DATA handshake** for data, with sent/received
+   tables providing implicit acknowledgements through the next CTS
+   (:mod:`repro.core.handshake`); routing unicasts keep the four-way
+   exchange.
+"""
+
+from repro.core.control_channel import ControlChannelAgent
+from repro.core.handshake import ReceivedTable, SentRecord, SentTable
+from repro.core.noise_tolerance import ActiveReceiverRegistry, noise_tolerance_w
+from repro.core.pcmac import PcmacMac
+from repro.core.pcn import decode_tolerance, encode_tolerance
+
+__all__ = [
+    "ActiveReceiverRegistry",
+    "ControlChannelAgent",
+    "PcmacMac",
+    "ReceivedTable",
+    "SentRecord",
+    "SentTable",
+    "decode_tolerance",
+    "encode_tolerance",
+    "noise_tolerance_w",
+]

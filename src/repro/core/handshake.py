@@ -1,0 +1,108 @@
+"""Sent-table / received-table machinery for the three-way handshake.
+
+PCMAC removes the per-DATA ACK.  Acknowledgement becomes *implicit*: every
+CTS a node sends carries the (session id, sequence number) of the last DATA
+it received from the RTS sender.  The sender compares those fields against
+its sent-table; a mismatch means the last DATA was lost, so the retained
+copy is retransmitted before any new packet (paper Step 4).
+
+Table maintenance follows the paper's routing hooks: sending an RREP to a
+downstream neighbour or receiving an RERR from an upstream neighbour resets
+the corresponding entries (the session is new or broken, so stale sequence
+state must not trigger spurious retransmissions).
+
+The tail-packet caveat: the *final* DATA of a session is only ever confirmed
+by a later CTS; if the flow stops, a loss of that packet goes unrepaired.
+For the paper's continuous CBR workload this never matters in the steady
+state, and it is the protocol as specified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(slots=True)
+class SentRecord:
+    """Last DATA sent to one neighbour: identity plus the retained copy."""
+
+    session_id: int
+    session_seq: int
+    frame_copy: Any  # MacFrame — kept loose to avoid an import cycle
+
+
+class SentTable:
+    """Per-neighbour record of the last DATA sent (with retained copy)."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        self._records: dict[int, SentRecord] = {}
+
+    def record(
+        self, neighbour: int, session_id: int, session_seq: int, frame_copy: Any
+    ) -> None:
+        """Remember the DATA just sent to ``neighbour``."""
+        self._records[neighbour] = SentRecord(session_id, session_seq, frame_copy)
+
+    def get(self, neighbour: int) -> SentRecord | None:
+        """The last-sent record for ``neighbour``, or None."""
+        return self._records.get(neighbour)
+
+    def confirm(self, neighbour: int, session_id: int, session_seq: int) -> bool:
+        """Check a CTS's implicit-ACK fields against the table.
+
+        Returns True when the CTS confirms the last sent DATA (or when there
+        is nothing outstanding — a null report with an empty table is not a
+        loss).  False demands a retransmission of the retained copy.
+        """
+        rec = self._records.get(neighbour)
+        if rec is None:
+            return True
+        if session_id is None or session_seq is None:
+            # The responder has no record of receiving anything from us but
+            # we have an outstanding DATA: it was lost.
+            return False
+        return rec.session_id == session_id and rec.session_seq == session_seq
+
+    def reset(self, neighbour: int) -> None:
+        """Drop the record (and with it the retained copy) for ``neighbour``."""
+        self._records.pop(neighbour, None)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, neighbour: int) -> bool:
+        return neighbour in self._records
+
+
+class ReceivedTable:
+    """Per-neighbour (session id, seq) of the last DATA received."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        self._records: dict[int, tuple[int, int]] = {}
+
+    def record(self, neighbour: int, session_id: int, session_seq: int) -> None:
+        """Remember the DATA just received from ``neighbour``."""
+        self._records[neighbour] = (session_id, session_seq)
+
+    def last_from(self, neighbour: int) -> tuple[int, int] | None:
+        """The (session, seq) to report in a CTS toward ``neighbour``."""
+        return self._records.get(neighbour)
+
+    def is_duplicate(self, neighbour: int, session_id: int, session_seq: int) -> bool:
+        """True when an arriving DATA repeats the last recorded one."""
+        return self._records.get(neighbour) == (session_id, session_seq)
+
+    def reset(self, neighbour: int) -> None:
+        """Forget state for ``neighbour`` (paper's RREP/RERR rule)."""
+        self._records.pop(neighbour, None)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, neighbour: int) -> bool:
+        return neighbour in self._records

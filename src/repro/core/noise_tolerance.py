@@ -1,0 +1,110 @@
+"""Noise-tolerance computation and the 0.7-margin admission rule.
+
+Paper Section III: a receiver that starts decoding a DATA frame with signal
+``P_r`` amid noise+interference ``P_n`` can still endure
+
+    N_t = P_r / C_p − P_n
+
+additional interference before its SINR falls below the capture threshold
+``C_p``.  It broadcasts ``N_t`` on the control channel.  A neighbour ``A``
+contemplating a transmission at power ``p`` toward anyone computes, for each
+active receiver ``C`` it has heard a notification from,
+
+    caused_noise(A→C) = p · G(A,C)
+
+and defers until C's reception completes unless
+
+    caused_noise(A→C) ≤ 0.7 · N_t(C).
+
+The gain ``G(A,C)`` is estimated from the notification itself: PCNs are sent
+at the known maximum power, so ``G = rx_power / P_max`` (symmetric links,
+paper assumption 2).  The 0.7 coefficient leaves headroom for noise
+fluctuation and for *other* contenders admitted against the same tolerance
+(paper's stated rationale); the ablation bench sweeps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def noise_tolerance_w(
+    signal_w: float, interference_w: float, capture_threshold: float
+) -> float:
+    """Remaining endurable interference [W] for a reception.
+
+    Args:
+        signal_w: received power of the locked frame.
+        interference_w: current noise + interference at the receiver.
+        capture_threshold: required linear SINR (``C_p``).
+
+    Returns:
+        ``signal/C_p − interference``; clamped at 0 when the reception is
+        already at (or below) the capture limit.
+    """
+    if signal_w <= 0 or interference_w < 0 or capture_threshold <= 0:
+        raise ValueError("invalid tolerance inputs")
+    return max(signal_w / capture_threshold - interference_w, 0.0)
+
+
+@dataclass(slots=True)
+class ReceiverRecord:
+    """An active-receiver advertisement heard on the control channel."""
+
+    node: int
+    tolerance_w: float
+    expires: float
+    gain: float
+
+
+class ActiveReceiverRegistry:
+    """Per-node table of currently receiving neighbours and their tolerances."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        self._records: dict[int, ReceiverRecord] = {}
+
+    def update(
+        self, node: int, tolerance_w: float, expires: float, gain: float
+    ) -> None:
+        """Insert/refresh the advertisement from ``node``."""
+        if gain <= 0:
+            raise ValueError(f"gain must be positive, got {gain!r}")
+        self._records[node] = ReceiverRecord(node, tolerance_w, expires, gain)
+
+    def active_records(self, now: float) -> list[ReceiverRecord]:
+        """Live advertisements (also purges expired entries)."""
+        dead = [n for n, r in self._records.items() if r.expires <= now]
+        for n in dead:
+            del self._records[n]
+        return list(self._records.values())
+
+    def blocking_until(
+        self, tx_power_w: float, now: float, margin_coefficient: float
+    ) -> float | None:
+        """Earliest time a transmission at ``tx_power_w`` becomes admissible.
+
+        Returns None when the transmission is admissible *now*; otherwise the
+        latest reception-end among the receivers it would corrupt (the paper:
+        "back off until the current reception is completed").
+        """
+        if tx_power_w <= 0:
+            raise ValueError("tx power must be positive")
+        blocked_until: float | None = None
+        for rec in self.active_records(now):
+            caused = tx_power_w * rec.gain
+            if caused > margin_coefficient * rec.tolerance_w:
+                if blocked_until is None or rec.expires > blocked_until:
+                    blocked_until = rec.expires
+        return blocked_until
+
+    def drop(self, node: int) -> None:
+        """Forget the advertisement from ``node`` (reception ended early)."""
+        self._records.pop(node, None)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._records

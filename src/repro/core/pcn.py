@@ -1,0 +1,58 @@
+"""Power-control-notification (PCN) frame encoding — paper Figure 7.
+
+The frame is 48 bits: 16-bit preamble, 8-bit node id, 16-bit noise
+tolerance, 8-bit FEC.  We model the payload faithfully enough to honour the
+two constraints the paper derives from it:
+
+* the frame is tiny, so control-channel collisions are rare (assumption 3);
+* the tolerance field is 16 bits, so the advertised value is *quantised*.
+
+The tolerance is encoded logarithmically: 0.01 dB steps offset from
+−250 dBm, covering −250 dBm … +405 dBm — far beyond any physical value, so
+quantisation error is bounded by half a step (~0.12 %).  Code 0 is reserved
+for "no tolerance at all" (any additional interference is fatal).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Quantisation step [dB].
+_STEP_DB = 0.01
+#: Offset applied before quantisation [dBm].
+_OFFSET_DBM = -250.0
+#: Largest encodable code (16-bit field).
+_MAX_CODE = 0xFFFF
+
+#: Floor-rounding guard [dB].  Values landing a hair under a grid point due
+#: to float error would otherwise round a full step down; 1e-6 dB of slack
+#: (≈ 2.3e-7 relative power) keeps encode(decode(code)) == code while the
+#: rounding stays conservative for any physically distinguishable value.
+_EPS_DB = 1e-6
+
+#: PCN frame size [bytes] — 48 bits per Figure 7.
+PCN_SIZE_BYTES = 6
+
+
+def encode_tolerance(tolerance_w: float) -> int:
+    """Quantise a noise tolerance [W] into the 16-bit PCN field.
+
+    Non-positive tolerances encode as 0 ("defer entirely").  The encoding
+    rounds *down* so a decoded tolerance never overstates the true one —
+    overstating would let a neighbour corrupt the reception.
+    """
+    if tolerance_w <= 0.0:
+        return 0
+    dbm = 10.0 * math.log10(tolerance_w * 1000.0)
+    code = int(math.floor((dbm - _OFFSET_DBM + _EPS_DB) / _STEP_DB)) + 1
+    return max(1, min(code, _MAX_CODE))
+
+
+def decode_tolerance(code: int) -> float:
+    """Inverse of :func:`encode_tolerance`; code 0 maps to 0 W."""
+    if not (0 <= code <= _MAX_CODE):
+        raise ValueError(f"PCN tolerance code out of range: {code!r}")
+    if code == 0:
+        return 0.0
+    dbm = _OFFSET_DBM + (code - 1) * _STEP_DB
+    return 10.0 ** (dbm / 10.0) / 1000.0

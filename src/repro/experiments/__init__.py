@@ -1,0 +1,29 @@
+"""Experiment harness: scenario construction, sweeps and figure replication.
+
+``build_network`` assembles the full stack for one scenario; ``run_load_sweep``
+replicates the paper's offered-load sweep over the four MAC protocols;
+:mod:`repro.experiments.figure8` / :mod:`repro.experiments.figure9` regenerate
+the paper's two evaluation figures; :mod:`repro.experiments.ranges`
+reproduces the power-level ↔ range table; :mod:`repro.experiments.ablations`
+probes the design constants the paper fixes by fiat.
+"""
+
+from repro.experiments.saturation import SaturationPoint, find_saturation
+from repro.experiments.scenario import (
+    MAC_REGISTRY,
+    BuiltNetwork,
+    ExperimentResult,
+    build_network,
+)
+from repro.experiments.sweep import SweepResult, run_load_sweep
+
+__all__ = [
+    "MAC_REGISTRY",
+    "BuiltNetwork",
+    "ExperimentResult",
+    "SaturationPoint",
+    "SweepResult",
+    "build_network",
+    "find_saturation",
+    "run_load_sweep",
+]

@@ -1,0 +1,49 @@
+"""Figure 9: average end-to-end packet delay vs offered load.
+
+Same sweep as Figure 8; the metric is mean application-to-application delay
+in milliseconds.  Claimed result: delays grow with load for every protocol;
+PCMAC's judicious power control keeps it lowest; Scheme 2's asymmetric-link
+retransmissions make it highest, with Scheme 1 between it and basic 802.11.
+
+``PAPER_FIG9_MS`` is a digitised approximation of the published curves, used
+for shape comparison only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.config import ScenarioConfig
+from repro.experiments.figure8 import FIGURE8_LOADS_KBPS, PROTOCOLS
+from repro.experiments.sweep import SweepResult, run_load_sweep
+
+#: The paper's x-axis [kbps] (shared with Figure 8).
+FIGURE9_LOADS_KBPS = FIGURE8_LOADS_KBPS
+
+#: Digitised approximation of the paper's Figure 9 curves [ms].
+PAPER_FIG9_MS: dict[str, tuple[float, ...]] = {
+    "basic": (60, 125, 235, 390, 560, 720, 850, 950),
+    "pcmac": (50, 95, 180, 300, 430, 560, 660, 750),
+    "scheme1": (70, 155, 295, 480, 680, 865, 1010, 1120),
+    "scheme2": (85, 185, 355, 580, 820, 1045, 1225, 1360),
+}
+
+
+def run_figure9(
+    cfg: ScenarioConfig | None = None,
+    *,
+    loads_kbps: Sequence[float] = FIGURE9_LOADS_KBPS,
+    protocols: Sequence[str] = PROTOCOLS,
+    seeds: Sequence[int] = (1,),
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Regenerate Figure 9's sweep.
+
+    The underlying runs are identical to Figure 8's (one simulation yields
+    both metrics); this exists so each figure has an addressable entry point
+    and CLI/bench target.
+    """
+    cfg = cfg or ScenarioConfig()
+    return run_load_sweep(
+        cfg, protocols, loads_kbps, seeds=seeds, progress=progress
+    )

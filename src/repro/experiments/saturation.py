@@ -1,0 +1,70 @@
+"""Saturation-point search — the paper's implicit methodology.
+
+Section IV "increase[s] the traffic load until the network get saturated".
+:func:`find_saturation` makes that operational: it walks the offered load
+upward until delivered throughput stops improving (within a tolerance),
+returning the knee point.  Useful for sizing sweeps on new scenarios and
+for comparing protocol capacity with a single number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import ScenarioConfig
+from repro.experiments.scenario import ExperimentResult, build_network
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """Result of a saturation search."""
+
+    protocol: str
+    #: Offered load at the knee [kbps].
+    load_kbps: float
+    #: Delivered throughput at the knee [kbps].
+    throughput_kbps: float
+    #: Every probed (load, throughput) pair, in probe order.
+    probes: tuple[tuple[float, float], ...]
+
+
+def find_saturation(
+    cfg: ScenarioConfig,
+    protocol: str,
+    *,
+    start_kbps: float = 200.0,
+    step_kbps: float = 100.0,
+    max_kbps: float = 2000.0,
+    improvement_threshold: float = 0.03,
+) -> SaturationPoint:
+    """Walk the offered load upward until throughput gains fall below
+    ``improvement_threshold`` (relative); return the knee.
+
+    The search is monotone (no bisection): saturation curves can plateau and
+    then *degrade* under overload, so the first stall is the knee.
+    """
+    if step_kbps <= 0 or start_kbps <= 0:
+        raise ValueError("loads must be positive")
+    probes: list[tuple[float, float]] = []
+    best_load, best_thr = start_kbps, 0.0
+    load = start_kbps
+    prev_thr = 0.0
+    while load <= max_kbps:
+        run_cfg = replace(
+            cfg, traffic=replace(cfg.traffic, offered_load_bps=load * 1000.0)
+        )
+        result: ExperimentResult = build_network(run_cfg, protocol).run()
+        thr = result.throughput_kbps
+        probes.append((load, thr))
+        if thr > best_thr:
+            best_load, best_thr = load, thr
+        if prev_thr > 0 and thr < prev_thr * (1.0 + improvement_threshold):
+            break
+        prev_thr = thr
+        load += step_kbps
+    return SaturationPoint(
+        protocol=protocol,
+        load_kbps=best_load,
+        throughput_kbps=best_thr,
+        probes=tuple(probes),
+    )

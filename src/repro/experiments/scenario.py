@@ -1,0 +1,359 @@
+"""Scenario construction: from a :class:`~repro.config.ScenarioConfig` to a
+runnable network, and from a finished run to an :class:`ExperimentResult`.
+
+The builder reproduces the paper's Section IV environment: 50 nodes placed
+uniformly in 1000 m × 1000 m, random waypoint mobility (3 m/s, 3 s pause),
+AODV routing, 10 CBR flows of 512-byte packets, one of four MAC protocols.
+Controlled experiments can override placement (explicit positions), freeze
+mobility, use static routing and/or name explicit flow pairs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.config import ScenarioConfig
+from repro.core.pcmac import PcmacMac
+from repro.mac.basic import Basic80211Mac
+from repro.mac.scheme1 import Scheme1Mac
+from repro.mac.scheme2 import Scheme2Mac
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.fairness import jain_index
+from repro.mobility.placement import uniform_positions
+from repro.mobility.static import StaticMobility
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net.aodv.protocol import AodvProtocol
+from repro.net.node import Node
+from repro.net.static_routing import StaticRouting
+from repro.phy.channel import Channel
+from repro.phy.noise import ConstantNoise
+from repro.phy.propagation import model_from_config
+from repro.phy.radio import Radio
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.traffic.cbr import CbrSource
+
+#: MAC protocol name → class, in the order the paper's figures list them.
+MAC_REGISTRY = {
+    "basic": Basic80211Mac,
+    "pcmac": PcmacMac,
+    "scheme1": Scheme1Mac,
+    "scheme2": Scheme2Mac,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Summary of one simulation run."""
+
+    protocol: str
+    offered_load_kbps: float
+    duration_s: float
+    throughput_kbps: float
+    avg_delay_ms: float
+    delivery_ratio: float
+    fairness: float
+    sent: int
+    received: int
+    drops: dict[str, int]
+    mac_totals: dict[str, float]
+    routing_totals: dict[str, int]
+    events_executed: int
+    wallclock_s: float
+    seed: int = 0
+
+    def row(self) -> str:
+        """One formatted table row (load, throughput, delay, PDR)."""
+        return (
+            f"{self.protocol:<8} load={self.offered_load_kbps:7.1f}kbps  "
+            f"thr={self.throughput_kbps:7.1f}kbps  "
+            f"delay={self.avg_delay_ms:8.1f}ms  pdr={self.delivery_ratio:5.3f}"
+        )
+
+
+@dataclass
+class BuiltNetwork:
+    """A fully wired scenario, ready to run."""
+
+    sim: Simulator
+    cfg: ScenarioConfig
+    protocol: str
+    nodes: list[Node]
+    metrics: MetricsCollector
+    sources: list[CbrSource]
+    flow_pairs: list[tuple[int, int]]
+    tracer: Tracer
+    data_channel: Channel
+    control_channel: Channel | None
+    rngs: RngRegistry
+    extras: dict = field(default_factory=dict)
+
+    def run(self, *, measure_from: float | None = None) -> ExperimentResult:
+        """Execute to ``cfg.duration_s`` and summarise.
+
+        ``measure_from`` defaults to the traffic start time so warm-up does
+        not dilute throughput (the denominator is the measured window).
+        """
+        t0 = time.perf_counter()
+        self.sim.run_until(self.cfg.duration_s)
+        wall = time.perf_counter() - t0
+        start = self.cfg.traffic.start_time_s if measure_from is None else measure_from
+        window = self.cfg.duration_s - start
+        mac_totals: dict[str, float] = {}
+        for node in self.nodes:
+            for key, val in node.mac.stats.as_dict().items():
+                mac_totals[key] = mac_totals.get(key, 0) + val
+        routing_totals: dict[str, int] = {}
+        for node in self.nodes:
+            for key, val in node.routing.stats().items():
+                routing_totals[key] = routing_totals.get(key, 0) + val
+        per_flow = self.metrics.per_flow_throughput_kbps(window)
+        return ExperimentResult(
+            protocol=self.protocol,
+            offered_load_kbps=self.cfg.traffic.offered_load_bps / 1000.0,
+            duration_s=window,
+            throughput_kbps=self.metrics.throughput_kbps(window),
+            avg_delay_ms=self.metrics.avg_delay_ms(),
+            delivery_ratio=self.metrics.delivery_ratio(),
+            fairness=jain_index(per_flow.values()),
+            sent=self.metrics.total_sent,
+            received=self.metrics.total_received,
+            drops=dict(self.metrics.drop_breakdown()),
+            mac_totals=mac_totals,
+            routing_totals=routing_totals,
+            events_executed=self.sim.events_executed,
+            wallclock_s=wall,
+            seed=self.cfg.seed,
+        )
+
+    def node_by_id(self, node_id: int) -> Node:
+        """Fetch a node by id."""
+        return self.nodes[node_id]
+
+
+def _pick_flow_pairs(
+    rngs: RngRegistry, node_count: int, flow_count: int
+) -> list[tuple[int, int]]:
+    """Random distinct (src, dst) pairs, src ≠ dst, no repeated pair."""
+    rng = rngs.stream("flows")
+    pairs: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    guard = 0
+    while len(pairs) < flow_count:
+        src = int(rng.integers(0, node_count))
+        dst = int(rng.integers(0, node_count))
+        guard += 1
+        if guard > 100 * flow_count:
+            raise RuntimeError("could not find enough distinct flow pairs")
+        if src == dst or (src, dst) in seen:
+            continue
+        seen.add((src, dst))
+        pairs.append((src, dst))
+    return pairs
+
+
+def build_network(
+    cfg: ScenarioConfig,
+    protocol: str,
+    *,
+    positions: Sequence[tuple[float, float]] | None = None,
+    mobile: bool = True,
+    routing: str = "aodv",
+    flow_pairs: Sequence[tuple[int, int]] | None = None,
+    tracer: Tracer | None = None,
+    propagation=None,
+) -> BuiltNetwork:
+    """Wire a complete network for one protocol under one scenario config.
+
+    Args:
+        cfg: scenario parameters (defaults = the paper's Section IV).
+        protocol: one of :data:`MAC_REGISTRY` — "basic", "pcmac",
+            "scheme1", "scheme2".
+        positions: explicit initial positions; default uniform random.
+        mobile: random waypoint motion when True, static nodes when False.
+        routing: "aodv" (paper) or "static" (precomputed shortest paths;
+            requires ``mobile=False``).
+        flow_pairs: explicit (src, dst) flows; default random distinct pairs.
+        tracer: optional tracer shared by every layer.
+        propagation: optional :class:`~repro.phy.propagation.PropagationModel`
+            override (default: the paper's two-ray ground from ``cfg.phy``).
+            Robustness studies swap in e.g. ``LogDistanceShadowing``; note
+            that the decode/sense threshold *ranges* then differ from the
+            paper's 250 m / 550 m geometry.
+    """
+    if protocol not in MAC_REGISTRY:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; choose from {sorted(MAC_REGISTRY)}"
+        )
+    if routing not in ("aodv", "static"):
+        raise ValueError(f"unknown routing {routing!r}")
+    if routing == "static" and mobile:
+        raise ValueError("static routing requires mobile=False")
+
+    tracer = tracer or NULL_TRACER
+    sim = Simulator()
+    rngs = RngRegistry(cfg.seed)
+    if propagation is None:
+        propagation = model_from_config(cfg.phy)
+    noise = ConstantNoise(cfg.phy.noise_floor_w)
+
+    data_channel = Channel(
+        sim,
+        propagation,
+        interference_floor_w=cfg.phy.interference_floor_w,
+        model_propagation_delay=cfg.phy.model_propagation_delay,
+        name="data",
+    )
+    control_channel: Channel | None = None
+    if protocol == "pcmac":
+        control_channel = Channel(
+            sim,
+            propagation,
+            interference_floor_w=cfg.phy.interference_floor_w,
+            model_propagation_delay=cfg.phy.model_propagation_delay,
+            name="control",
+        )
+
+    if positions is None:
+        positions = uniform_positions(
+            rngs.stream("placement"),
+            cfg.node_count,
+            cfg.mobility.field_width_m,
+            cfg.mobility.field_height_m,
+        )
+    elif len(positions) != cfg.node_count:
+        raise ValueError(
+            f"got {len(positions)} positions for {cfg.node_count} nodes"
+        )
+
+    static_router: StaticRouting | None = None
+    if routing == "static":
+        comm_range = propagation.range_for(cfg.phy.max_power_w, cfg.phy.rx_threshold_w)
+        static_router = StaticRouting.from_positions(
+            dict(enumerate(positions)), comm_range
+        )
+
+    metrics = MetricsCollector()
+    metrics.measure_start_s = cfg.traffic.start_time_s
+    nodes: list[Node] = []
+    mac_cls = MAC_REGISTRY[protocol]
+
+    for i in range(cfg.node_count):
+        if mobile and cfg.mobility.speed_mps > 0:
+            mobility = RandomWaypoint(
+                rngs.stream(f"mobility.{i}"), cfg.mobility, positions[i]
+            )
+        else:
+            mobility = StaticMobility(positions[i])
+
+        def position_fn(m=mobility, s=sim):
+            return m.position_at(s.now)
+
+        radio = Radio(
+            sim,
+            i,
+            position_fn,
+            rx_threshold_w=cfg.phy.rx_threshold_w,
+            cs_threshold_w=cfg.phy.cs_threshold_w,
+            capture_threshold=cfg.phy.capture_threshold,
+            noise=noise,
+            tracer=tracer,
+            channel_name="data",
+        )
+        data_channel.attach(radio)
+
+        if protocol == "pcmac":
+            assert control_channel is not None
+            control_radio = Radio(
+                sim,
+                i,
+                position_fn,
+                rx_threshold_w=cfg.phy.rx_threshold_w,
+                cs_threshold_w=cfg.phy.cs_threshold_w,
+                capture_threshold=cfg.phy.capture_threshold,
+                noise=noise,
+                tracer=tracer,
+                channel_name="control",
+            )
+            control_channel.attach(control_radio)
+            mac = PcmacMac(
+                sim,
+                i,
+                radio,
+                data_channel,
+                control_radio=control_radio,
+                control_channel=control_channel,
+                mac_cfg=cfg.mac,
+                phy_cfg=cfg.phy,
+                power_cfg=cfg.power,
+                pcmac_cfg=cfg.pcmac,
+                rng=rngs.stream(f"mac.{i}"),
+                tracer=tracer,
+            )
+        else:
+            mac = mac_cls(
+                sim,
+                i,
+                radio,
+                data_channel,
+                mac_cfg=cfg.mac,
+                phy_cfg=cfg.phy,
+                power_cfg=cfg.power,
+                rng=rngs.stream(f"mac.{i}"),
+                tracer=tracer,
+            )
+
+        if routing == "aodv":
+            router = AodvProtocol(cfg.aodv)
+        else:
+            assert static_router is not None
+            router = static_router.view()
+        node = Node(
+            sim,
+            i,
+            mobility=mobility,
+            mac=mac,
+            routing=router,
+            metrics=metrics,
+            rngs=rngs,
+            tracer=tracer,
+        )
+        nodes.append(node)
+
+    pairs = (
+        list(flow_pairs)
+        if flow_pairs is not None
+        else _pick_flow_pairs(rngs, cfg.node_count, cfg.traffic.flow_count)
+    )
+    sources: list[CbrSource] = []
+    interval = cfg.traffic.packet_size_bytes * 8.0 / (
+        cfg.traffic.offered_load_bps / len(pairs)
+    )
+    for k, (src, dst) in enumerate(pairs):
+        sources.append(
+            CbrSource(
+                nodes[src],
+                flow_id=k,
+                dst=dst,
+                interval_s=interval,
+                size_bytes=cfg.traffic.packet_size_bytes,
+                start_s=cfg.traffic.start_time_s + k * cfg.traffic.start_stagger_s,
+            )
+        )
+
+    return BuiltNetwork(
+        sim=sim,
+        cfg=cfg,
+        protocol=protocol,
+        nodes=nodes,
+        metrics=metrics,
+        sources=sources,
+        flow_pairs=pairs,
+        tracer=tracer,
+        data_channel=data_channel,
+        control_channel=control_channel,
+        rngs=rngs,
+    )

@@ -1,0 +1,81 @@
+"""Offered-load sweeps over protocols and seeds (the paper's methodology).
+
+The paper "increase[s] the traffic load until the network get saturated" and
+plots one curve per MAC protocol.  ``run_load_sweep`` replays that: for each
+(protocol, load, seed) triple a fresh network is built — sharing the seed
+across protocols gives common random numbers (same placement, mobility and
+flow endpoints), the standard variance-reduction device for simulation
+comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.config import ScenarioConfig
+from repro.experiments.scenario import ExperimentResult, build_network
+
+
+@dataclass
+class SweepResult:
+    """Results of a protocol × load × seed sweep."""
+
+    protocols: list[str]
+    loads_kbps: list[float]
+    seeds: list[int]
+    #: results[(protocol, load_kbps)] -> list of per-seed ExperimentResult.
+    results: dict[tuple[str, float], list[ExperimentResult]] = field(
+        default_factory=dict
+    )
+
+    def mean_series(self, metric: str) -> dict[str, list[float]]:
+        """Per-protocol series of seed-averaged ``metric`` over the loads."""
+        out: dict[str, list[float]] = {}
+        for proto in self.protocols:
+            series = []
+            for load in self.loads_kbps:
+                runs = self.results[(proto, load)]
+                series.append(sum(getattr(r, metric) for r in runs) / len(runs))
+            out[proto] = series
+        return out
+
+    def throughput_series(self) -> dict[str, list[float]]:
+        """Figure 8's series: mean aggregate throughput [kbps] per protocol."""
+        return self.mean_series("throughput_kbps")
+
+    def delay_series(self) -> dict[str, list[float]]:
+        """Figure 9's series: mean end-to-end delay [ms] per protocol."""
+        return self.mean_series("avg_delay_ms")
+
+
+def run_load_sweep(
+    base: ScenarioConfig,
+    protocols: Sequence[str],
+    loads_kbps: Sequence[float],
+    *,
+    seeds: Sequence[int] = (1,),
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Run every (protocol, load, seed) combination of the paper's sweep."""
+    sweep = SweepResult(
+        protocols=list(protocols),
+        loads_kbps=[float(x) for x in loads_kbps],
+        seeds=list(seeds),
+    )
+    for load in sweep.loads_kbps:
+        for proto in sweep.protocols:
+            runs: list[ExperimentResult] = []
+            for seed in sweep.seeds:
+                cfg = replace(
+                    base,
+                    seed=seed,
+                    traffic=replace(base.traffic, offered_load_bps=load * 1000.0),
+                )
+                net = build_network(cfg, proto)
+                result = net.run()
+                runs.append(result)
+                if progress is not None:
+                    progress(result.row() + f"  seed={seed}")
+            sweep.results[(proto, load)] = runs
+    return sweep

@@ -1,0 +1,43 @@
+"""IEEE 802.11 DCF MAC and the paper's comparison power-control variants.
+
+:class:`~repro.mac.base.DcfMac` implements the full distributed coordination
+function: carrier sense (physical + NAV), DIFS/EIFS deferral, slotted binary
+exponential backoff, the RTS-CTS-DATA-ACK exchange with SIFS spacing,
+timeouts, retry limits and duplicate filtering.  The protocol variants the
+paper evaluates differ only in *power selection* and (for PCMAC) admission
+and handshake rules, so they subclass the same state machine:
+
+* :class:`~repro.mac.basic.Basic80211Mac` — every frame at maximum power.
+* :class:`~repro.mac.scheme1.Scheme1Mac` — RTS/CTS at maximum power,
+  DATA/ACK at the needed level (the "BASIC" scheme of Jung & Vaidya).
+* :class:`~repro.mac.scheme2.Scheme2Mac` — everything at the needed level.
+* :class:`repro.core.pcmac.PcmacMac` — the paper's contribution (lives in
+  :mod:`repro.core`).
+"""
+
+from repro.mac.backoff import BackoffEngine
+from repro.mac.base import DcfMac, MacStats
+from repro.mac.basic import Basic80211Mac
+from repro.mac.frames import BROADCAST, FrameType, MacFrame
+from repro.mac.ifqueue import IfQueue
+from repro.mac.nav import Nav
+from repro.mac.power_history import PowerHistoryTable
+from repro.mac.scheme1 import Scheme1Mac
+from repro.mac.scheme2 import Scheme2Mac
+from repro.mac.timing import MacTiming
+
+__all__ = [
+    "BROADCAST",
+    "BackoffEngine",
+    "Basic80211Mac",
+    "DcfMac",
+    "FrameType",
+    "IfQueue",
+    "MacFrame",
+    "MacStats",
+    "Nav",
+    "PowerHistoryTable",
+    "Scheme1Mac",
+    "Scheme2Mac",
+    "MacTiming",
+]

@@ -1,0 +1,791 @@
+"""The IEEE 802.11 DCF state machine shared by all protocol variants.
+
+The paper's four compared protocols (basic 802.11, Scheme 1, Scheme 2,
+PCMAC) are identical DCF machines that differ in a small set of policy
+hooks.  :class:`DcfMac` implements the machine and exposes the hooks:
+
+``power_for_rts / power_for_cts / power_for_data / power_for_ack /
+power_for_broadcast``
+    transmit-power selection per frame type;
+``data_needs_ack``
+    whether DATA uses the four-way (ACK) or three-way handshake;
+``admission_delay``
+    PCMAC's noise-tolerance admission test — returns a time to defer to,
+    or ``None`` to transmit;
+``on_rts_failure``
+    power escalation after a CTS timeout (paper Step 2);
+``decorate_rts / decorate_cts / on_cts_feedback / on_data_received``
+    PCMAC's extra header fields and sent/received-table maintenance.
+
+State machine summary (sender side)::
+
+    IDLE --enqueue--> CONTEND --defer+backoff--> TX RTS --> WAIT_CTS
+      WAIT_CTS --CTS--> TX DATA --> (WAIT_ACK --ACK--> done | done)
+      WAIT_CTS --timeout--> retry/drop ; WAIT_ACK --timeout--> retry/drop
+
+Responder side: RTS --SIFS--> CTS --...--> DATA --SIFS--> ACK (if needed).
+SIFS responses do not carrier-sense (802.11); contention access does, both
+physically (radio) and virtually (NAV), with EIFS after undecodable
+receptions — the mechanism the paper's asymmetric-link analysis hinges on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.config import MacConfig, PhyConfig, PowerControlConfig
+from repro.mac.backoff import BackoffEngine
+from repro.mac.frames import BROADCAST, FrameType, MacFrame
+from repro.mac.ifqueue import IfQueue, QueuedPacket
+from repro.mac.nav import Nav
+from repro.mac.power_history import PowerHistoryTable
+from repro.mac.timing import MacTiming
+from repro.phy.channel import Channel
+from repro.phy.frame import PhyFrame
+from repro.phy.power import PowerLevelTable, needed_tx_power
+from repro.phy.radio import Radio
+from repro.sim.kernel import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+#: Slop added when comparing elapsed time to whole slots (float guard).
+_SLOT_EPS = 1e-9
+
+
+class MacState(enum.Enum):
+    """Coarse sender-side state (responder activity tracked separately)."""
+
+    IDLE = "idle"
+    CONTEND = "contend"
+    WAIT_CTS = "wait_cts"
+    SEND_DATA = "send_data"
+    WAIT_ACK = "wait_ack"
+
+
+@dataclass
+class MacStats:
+    """Per-MAC counters surfaced to the metrics layer."""
+
+    rts_sent: int = 0
+    cts_sent: int = 0
+    data_sent: int = 0
+    ack_sent: int = 0
+    broadcast_sent: int = 0
+    data_delivered_up: int = 0
+    duplicates: int = 0
+    cts_timeouts: int = 0
+    ack_timeouts: int = 0
+    drops_retry_limit: int = 0
+    drops_queue_full: int = 0
+    admission_blocks: int = 0
+    power_escalations: int = 0
+    implicit_retransmits: int = 0
+    tx_energy_j: float = 0.0
+    #: Airtime spent transmitting, split by frame type [s].  Control overhead
+    #: vs payload airtime explains most throughput differences between the
+    #: protocol variants.
+    airtime_control_s: float = 0.0
+    airtime_data_s: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Counters as a plain dict."""
+        return dict(vars(self))
+
+
+@dataclass(slots=True)
+class _TxAttempt:
+    """Book-keeping for the packet currently owned by the sender machine."""
+
+    entry: QueuedPacket
+    short_retries: int = 0
+    long_retries: int = 0
+    #: Power override set by escalation (paper Step 2); None = use policy.
+    boosted_rts_power_w: float | None = None
+    #: Set by PCMAC when the CTS implicit-ACK demands a retransmission: the
+    #: stored copy is sent instead of the current entry's packet.
+    substitute: MacFrame | None = None
+    #: MAC sequence number, assigned at the first DATA build and reused on
+    #: retries so the receiver's duplicate filter works.
+    seq: int | None = None
+
+
+class DcfMac:
+    """IEEE 802.11 DCF over one data radio.  Subclass to change power policy."""
+
+    #: Human-readable protocol name (overridden per variant).
+    name = "dcf"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        radio: Radio,
+        channel: Channel,
+        *,
+        mac_cfg: MacConfig,
+        phy_cfg: PhyConfig,
+        power_cfg: PowerControlConfig | None = None,
+        rng: np.random.Generator,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.radio = radio
+        self.channel = channel
+        self.mac_cfg = mac_cfg
+        self.phy_cfg = phy_cfg
+        self.power_cfg = power_cfg or PowerControlConfig()
+        self.timing = MacTiming(mac_cfg, phy_cfg)
+        self.levels = PowerLevelTable(phy_cfg.power_levels_w)
+        self.tracer = tracer
+        self.stats = MacStats()
+        self.nav = Nav()
+        self.backoff = BackoffEngine(mac_cfg.cw_min, mac_cfg.cw_max, rng)
+        self.ifq = IfQueue(mac_cfg.ifq_capacity)
+        self.history = PowerHistoryTable(self.power_cfg.history_expiry_s)
+
+        radio.listener = self
+
+        # Sender-side machine.
+        self._state = MacState.IDLE
+        self._current: _TxAttempt | None = None
+        self._substitute_in_flight = False
+        self._use_eifs = False
+        self._access_event = None
+        self._access_is_countdown = False
+        self._countdown_defer_end = 0.0
+        self._cts_timer = None
+        self._ack_timer = None
+        self._pending_tx_event = None  # SIFS-delayed DATA send
+
+        # Responder-side machine.
+        self._responding = False
+        self._resp_event = None  # SIFS-delayed CTS/ACK send
+        self._resp_watchdog = None
+
+        # Duplicate filtering: last (seq) delivered per source.
+        self._last_rx_seq: dict[int, int] = {}
+        self._next_seq = 0
+
+        # Upper-layer callbacks (wired by the Node).
+        self.deliver_up: Callable[[Any, int], None] = lambda pkt, src: None
+        self.on_link_failure: Callable[[Any, int], None] = lambda pkt, nh: None
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def state(self) -> MacState:
+        """Current sender-side state."""
+        return self._state
+
+    @property
+    def busy(self) -> bool:
+        """True while the MAC owns a packet or is responding."""
+        return self._current is not None or self._responding
+
+    def enqueue_packet(self, packet: Any, next_hop: int, *, needs_ack: bool = True) -> bool:
+        """Accept a network packet for transmission to ``next_hop``.
+
+        Returns False when the interface queue is full (the packet is lost).
+        """
+        entry = QueuedPacket(
+            packet=packet,
+            next_hop=next_hop,
+            needs_ack=needs_ack,
+            enqueued_at=self.sim.now,
+        )
+        if not self.ifq.push(entry):
+            self.stats.drops_queue_full += 1
+            self.tracer.emit(
+                self.sim.now, "mac.drop", self.node_id, reason="ifq_full"
+            )
+            return False
+        self._try_dequeue()
+        return True
+
+    # ----------------------------------------------------- power policy hooks
+
+    def power_for_rts(self, next_hop: int) -> float:
+        """Transmit power for an RTS toward ``next_hop`` (default: max)."""
+        return self.levels.max_w
+
+    def power_for_cts(self, rts: MacFrame, rx_power_w: float) -> float:
+        """Transmit power for a CTS answering ``rts`` (default: max)."""
+        return self.levels.max_w
+
+    def power_for_data(self, next_hop: int, cts: MacFrame | None) -> float:
+        """Transmit power for a DATA frame (default: max)."""
+        return self.levels.max_w
+
+    def power_for_ack(self, data: MacFrame, rx_power_w: float) -> float:
+        """Transmit power for an ACK answering ``data`` (default: max)."""
+        return self.levels.max_w
+
+    def power_for_broadcast(self) -> float:
+        """Broadcasts always use the normal (maximal) level — all protocols."""
+        return self.levels.max_w
+
+    def needed_power_to(self, neighbour: int) -> float:
+        """History-estimated needed power to ``neighbour``, quantised.
+
+        Falls back to the maximum level on a (possibly expired) miss,
+        exactly as the paper prescribes.
+        """
+        needed = self.history.needed_power(neighbour, self.sim.now)
+        if needed is None:
+            return self.levels.max_w
+        return self.levels.select(needed)
+
+    # ------------------------------------------------------- behaviour hooks
+
+    def data_needs_ack(self, entry: QueuedPacket) -> bool:
+        """Whether this DATA uses the four-way handshake (default: yes)."""
+        return entry.needs_ack
+
+    def admission_delay(self, power_w: float) -> float | None:
+        """PCMAC hook: return a defer-until time, or None to transmit now."""
+        return None
+
+    def on_rts_failure(self, attempt: _TxAttempt) -> None:
+        """Hook after a CTS timeout; power-controlled variants escalate."""
+
+    def decorate_rts(self, frame: MacFrame) -> None:
+        """Hook: add variant-specific fields to an outgoing RTS."""
+
+    def decorate_cts(self, frame: MacFrame, rts: MacFrame, rx_power_w: float) -> None:
+        """Hook: add variant-specific fields to an outgoing CTS."""
+
+    def admission_delay_data(self, power_w: float) -> float | None:
+        """PCMAC hook: repeat the collision computation before DATA
+        (paper Step 4).  Return a defer-until time or None to proceed."""
+        return None
+
+    def on_cts_feedback(self, cts: MacFrame) -> None:
+        """Hook: PCMAC inspects the implicit-ACK fields of a received CTS."""
+
+    def on_data_sent(self, frame: MacFrame, entry: QueuedPacket) -> None:
+        """Hook: PCMAC records the DATA in its sent-table."""
+
+    def on_data_received(self, frame: MacFrame) -> bool:
+        """Hook called for every DATA addressed to this node.
+
+        Returns True if the frame is a duplicate (do not deliver upward).
+        The default applies 802.11 (src, seq, retry) filtering.
+        """
+        last = self._last_rx_seq.get(frame.src)
+        if frame.retry and last == frame.seq:
+            return True
+        self._last_rx_seq[frame.src] = frame.seq
+        return False
+
+    def on_route_event(self, event: str, neighbour: int) -> None:
+        """Hook: routing notifications (PCMAC resets its tables here)."""
+
+    # =================================================================
+    # Sender machine
+    # =================================================================
+
+    def _try_dequeue(self) -> None:
+        if self._current is not None:
+            return
+        entry = self.ifq.pop()
+        if entry is None:
+            self._state = MacState.IDLE
+            return
+        self._current = _TxAttempt(entry=entry)
+        self._state = MacState.CONTEND
+        self.backoff.draw()
+        self._schedule_access()
+
+    def _radio_blocked(self) -> bool:
+        return self.radio.carrier_busy or self._responding
+
+    def _schedule_access(self) -> None:
+        """(Re)arm the defer+backoff countdown if conditions permit."""
+        if self._current is None or self._state != MacState.CONTEND:
+            return
+        if self._access_event is not None:
+            return
+        if self._radio_blocked():
+            return  # carrier-idle / responder-done callbacks re-enter
+        now = self.sim.now
+        if self.nav.busy_at(now):
+            self._access_is_countdown = False
+            self._access_event = self.sim.schedule(
+                self.nav.until, self._access_wake, label="mac.nav_wake"
+            )
+            return
+        defer = self.timing.eifs if self._use_eifs else self.timing.difs
+        slots = self.backoff.draw()
+        self._countdown_defer_end = now + defer
+        self._access_is_countdown = True
+        self._access_event = self.sim.schedule(
+            now + defer + slots * self.timing.slot,
+            self._access_complete,
+            label="mac.access",
+        )
+
+    def _access_wake(self) -> None:
+        self._access_event = None
+        self._schedule_access()
+
+    def _pause_access(self) -> None:
+        """Freeze the countdown, banking fully elapsed backoff slots."""
+        if self._access_event is None:
+            return
+        self.sim.cancel(self._access_event)
+        self._access_event = None
+        if self._access_is_countdown:
+            elapsed = self.sim.now - self._countdown_defer_end
+            if elapsed > 0 and self.backoff.pending:
+                self.backoff.consume(int(elapsed / self.timing.slot + _SLOT_EPS))
+
+    def _access_complete(self) -> None:
+        self._access_event = None
+        self.backoff.finish()
+        self._use_eifs = False
+        self._transmit_current()
+
+    # --------------------------------------------------------------- transmit
+
+    def _transmit_current(self) -> None:
+        attempt = self._current
+        assert attempt is not None
+        entry = attempt.entry
+
+        if entry.packet is not None and getattr(entry, "next_hop", None) == BROADCAST:
+            self._send_broadcast(entry)
+            return
+
+        rts_power = (
+            attempt.boosted_rts_power_w
+            if attempt.boosted_rts_power_w is not None
+            else self.power_for_rts(entry.next_hop)
+        )
+        delay_until = self.admission_delay(rts_power)
+        if delay_until is not None:
+            self.stats.admission_blocks += 1
+            self.tracer.emit(
+                self.sim.now,
+                "mac.defer",
+                self.node_id,
+                reason="admission",
+                until=delay_until,
+            )
+            self._access_is_countdown = False
+            self._access_event = self.sim.schedule(
+                max(delay_until, self.sim.now),
+                self._access_wake,
+                label="mac.admission_wake",
+            )
+            return
+
+        needs_ack = self.data_needs_ack(entry)
+        payload_bytes = entry.packet.size_bytes
+        rts = MacFrame(
+            ftype=FrameType.RTS,
+            src=self.node_id,
+            dst=entry.next_hop,
+            size_bytes=self.mac_cfg.rts_size,
+            duration_s=self.timing.rts_duration(payload_bytes, with_ack=needs_ack),
+            tx_power_w=rts_power,
+        )
+        self.decorate_rts(rts)
+        self.stats.rts_sent += 1
+        self._state = MacState.WAIT_CTS
+        self._send_control(rts)
+
+    def _send_broadcast(self, entry: QueuedPacket) -> None:
+        power = self.power_for_broadcast()
+        frame = MacFrame(
+            ftype=FrameType.DATA,
+            src=self.node_id,
+            dst=BROADCAST,
+            size_bytes=entry.packet.size_bytes + self.mac_cfg.data_overhead,
+            duration_s=0.0,
+            tx_power_w=power,
+            packet=entry.packet,
+            seq=self._take_seq(),
+            needs_ack=False,
+        )
+        self.stats.broadcast_sent += 1
+        self._transmit_frame(frame, self.phy_cfg.data_rate_bps)
+
+    def _send_control(self, frame: MacFrame) -> None:
+        self._transmit_frame(frame, self.phy_cfg.basic_rate_bps)
+
+    def _transmit_frame(self, frame: MacFrame, bitrate: float) -> None:
+        phy = PhyFrame(
+            payload=frame,
+            size_bytes=frame.size_bytes,
+            bitrate_bps=bitrate,
+            plcp_s=self.phy_cfg.plcp_overhead_s,
+            tx_power_w=frame.tx_power_w,
+            src=self.node_id,
+        )
+        self.stats.tx_energy_j += frame.tx_power_w * phy.duration_s
+        if frame.ftype == FrameType.DATA:
+            self.stats.airtime_data_s += phy.duration_s
+        else:
+            self.stats.airtime_control_s += phy.duration_s
+        self.tracer.emit(
+            self.sim.now,
+            "mac.handshake",
+            self.node_id,
+            kind=frame.ftype.value,
+            dst=frame.dst,
+            power_w=frame.tx_power_w,
+        )
+        self.channel.transmit(self.radio, phy)
+
+    def _take_seq(self) -> int:
+        self._next_seq += 1
+        return self._next_seq
+
+    # ------------------------------------------------------------- radio events
+
+    def on_carrier_busy(self) -> None:
+        """Radio callback: medium became busy — freeze contention."""
+        self._pause_access()
+
+    def on_carrier_idle(self, failed: bool) -> None:
+        """Radio callback: medium went idle; ``failed`` requests EIFS."""
+        if failed:
+            self._use_eifs = True
+        self._schedule_access()
+
+    def on_rx_start(self, frame: PhyFrame) -> None:
+        """Radio callback: locked onto an incoming frame (PCMAC hook point)."""
+
+    def on_tx_end(self, phy_frame: PhyFrame) -> None:
+        """Radio callback: our own transmission finished."""
+        frame: MacFrame = phy_frame.payload
+        if frame.ftype == FrameType.RTS:
+            self._arm_cts_timer()
+        elif frame.ftype == FrameType.CTS:
+            self._arm_resp_watchdog(self.timing.sifs + self.phy_cfg.plcp_overhead_s
+                                    + 4 * self.mac_cfg.timeout_slack_s)
+        elif frame.ftype == FrameType.DATA:
+            if self._substitute_in_flight:
+                # A PCMAC implicit-ACK retransmission finished; the fresh
+                # packet is still current and re-contends for the medium.
+                self._substitute_in_flight = False
+            elif frame.is_broadcast:
+                self._complete_current(success=True)
+            elif frame.needs_ack:
+                self._arm_ack_timer()
+            else:
+                # Three-way handshake: hand-off complete; recovery, if any,
+                # rides on the next CTS (paper Section III).
+                self._complete_current(success=True)
+        elif frame.ftype == FrameType.ACK:
+            self._finish_responding()
+        self._schedule_access()
+
+    # --------------------------------------------------------------- timers
+
+    def _arm_cts_timer(self) -> None:
+        self._cancel_event("_cts_timer")
+        self._cts_timer = self.sim.schedule_in(
+            self.timing.cts_timeout, self._on_cts_timeout, label="mac.cts_to"
+        )
+
+    def _arm_ack_timer(self) -> None:
+        self._cancel_event("_ack_timer")
+        self._ack_timer = self.sim.schedule_in(
+            self.timing.ack_timeout, self._on_ack_timeout, label="mac.ack_to"
+        )
+
+    def _cancel_event(self, attr: str) -> None:
+        ev = getattr(self, attr)
+        if ev is not None:
+            self.sim.cancel(ev)
+            setattr(self, attr, None)
+
+    def _on_cts_timeout(self) -> None:
+        self._cts_timer = None
+        if self._state != MacState.WAIT_CTS or self._current is None:
+            return
+        self.stats.cts_timeouts += 1
+        attempt = self._current
+        attempt.short_retries += 1
+        if attempt.short_retries >= self.mac_cfg.short_retry_limit:
+            self._complete_current(success=False, reason="rts_retry_limit")
+            return
+        self.on_rts_failure(attempt)
+        self.backoff.on_failure()
+        self.backoff.draw()
+        self._state = MacState.CONTEND
+        self._schedule_access()
+
+    def _on_ack_timeout(self) -> None:
+        self._ack_timer = None
+        if self._state != MacState.WAIT_ACK or self._current is None:
+            return
+        self.stats.ack_timeouts += 1
+        attempt = self._current
+        attempt.long_retries += 1
+        if attempt.long_retries >= self.mac_cfg.long_retry_limit:
+            self._complete_current(success=False, reason="ack_retry_limit")
+            return
+        self.backoff.on_failure()
+        self.backoff.draw()
+        self._state = MacState.CONTEND
+        self._schedule_access()
+
+    # ------------------------------------------------------------ completion
+
+    def _complete_current(self, success: bool, reason: str = "") -> None:
+        attempt = self._current
+        assert attempt is not None
+        self._cancel_event("_cts_timer")
+        self._cancel_event("_ack_timer")
+        self._cancel_event("_pending_tx_event")
+        self.backoff.on_success()
+        self.backoff.draw()
+        if not success:
+            self.stats.drops_retry_limit += 1
+            self.tracer.emit(
+                self.sim.now,
+                "mac.drop",
+                self.node_id,
+                reason=reason,
+                dst=attempt.entry.next_hop,
+            )
+            self.on_link_failure(attempt.entry.packet, attempt.entry.next_hop)
+        self._current = None
+        self._state = MacState.IDLE
+        self._try_dequeue()
+        if self._current is not None:
+            self._schedule_access()
+
+    # =================================================================
+    # Receive path
+    # =================================================================
+
+    def on_rx_end(self, phy_frame: PhyFrame, ok: bool, rx_power_w: float) -> None:
+        """Radio callback: a locked frame finished."""
+        if not ok:
+            self._use_eifs = True
+            return
+        self._use_eifs = False
+        frame: MacFrame = phy_frame.payload
+        if not isinstance(frame, MacFrame):
+            return
+        # Every decodable frame that advertises its power refreshes the
+        # power history table (paper Section III).
+        if frame.tx_power_w > 0 and frame.src != self.node_id:
+            self._learn_power(frame.src, frame.tx_power_w, rx_power_w)
+
+        if frame.dst == self.node_id:
+            if frame.ftype == FrameType.RTS:
+                self._handle_rts(frame, rx_power_w)
+            elif frame.ftype == FrameType.CTS:
+                self._handle_cts(frame, rx_power_w)
+            elif frame.ftype == FrameType.DATA:
+                self._handle_data(frame, rx_power_w)
+            elif frame.ftype == FrameType.ACK:
+                self._handle_ack(frame)
+        elif frame.is_broadcast and frame.ftype == FrameType.DATA:
+            self.stats.data_delivered_up += 1
+            self.deliver_up(frame.packet, frame.src)
+        else:
+            # Overheard unicast traffic: honour its NAV reservation.
+            self._nav_update(self.sim.now + frame.duration_s)
+
+    def _learn_power(self, src: int, tx_power_w: float, rx_power_w: float) -> None:
+        needed = needed_tx_power(
+            rx_power_w,
+            tx_power_w,
+            self.phy_cfg.rx_threshold_w,
+            margin=self.power_cfg.decode_margin,
+        )
+        gain = rx_power_w / tx_power_w
+        self.history.update(src, needed, gain, self.sim.now)
+
+    def _nav_update(self, until: float) -> None:
+        if self.nav.set(until) and self.nav.busy_at(self.sim.now):
+            self._pause_access()
+            self._schedule_access()
+
+    # ------------------------------------------------------------- responder
+
+    def _handle_rts(self, rts: MacFrame, rx_power_w: float) -> None:
+        if self._state in (MacState.WAIT_CTS, MacState.WAIT_ACK, MacState.SEND_DATA):
+            return  # mid-exchange as sender; cannot respond
+        if self._responding or self.radio.transmitting:
+            return
+        if self.nav.busy_at(self.sim.now):
+            return  # virtual carrier sense forbids the CTS
+        cts_power = self.power_for_cts(rts, rx_power_w)
+        if cts_power <= 0:
+            return
+        delay_until = self.admission_delay(cts_power)
+        if delay_until is not None:
+            # Paper: the responder also runs the collision computation; when
+            # blocked it stays silent and the sender retries.
+            self.stats.admission_blocks += 1
+            return
+        self._responding = True
+        self._pause_access()
+        cts = MacFrame(
+            ftype=FrameType.CTS,
+            src=self.node_id,
+            dst=rts.src,
+            size_bytes=self.mac_cfg.cts_size,
+            duration_s=max(
+                rts.duration_s - self.timing.sifs - self.timing.cts_airtime, 0.0
+            ),
+            tx_power_w=cts_power,
+        )
+        self.decorate_cts(cts, rts, rx_power_w)
+        self.stats.cts_sent += 1
+        self._resp_event = self.sim.schedule_in(
+            self.timing.sifs, lambda: self._send_control(cts), label="mac.cts"
+        )
+
+    def _arm_resp_watchdog(self, delay: float) -> None:
+        self._cancel_event("_resp_watchdog")
+        self._resp_watchdog = self.sim.schedule_in(
+            delay, self._resp_watchdog_fire, label="mac.resp_wd"
+        )
+
+    def _resp_watchdog_fire(self) -> None:
+        self._resp_watchdog = None
+        if not self._responding:
+            return
+        busy_until = self.radio.lock_end_time or self.radio.tx_end_time
+        if busy_until is not None:
+            # The expected DATA (or our own frame) is in flight: sleep until
+            # just past its end rather than polling.
+            self._arm_resp_watchdog(
+                max(busy_until - self.sim.now, 0.0) + self.timing.sifs
+            )
+            return
+        self._finish_responding()
+
+    def _finish_responding(self) -> None:
+        self._cancel_event("_resp_watchdog")
+        self._cancel_event("_resp_event")
+        self._responding = False
+        self._schedule_access()
+
+    def _handle_data(self, data: MacFrame, rx_power_w: float) -> None:
+        self._cancel_event("_resp_watchdog")
+        duplicate = self.on_data_received(data)
+        if duplicate:
+            self.stats.duplicates += 1
+        if data.needs_ack:
+            ack = MacFrame(
+                ftype=FrameType.ACK,
+                src=self.node_id,
+                dst=data.src,
+                size_bytes=self.mac_cfg.ack_size,
+                duration_s=0.0,
+                tx_power_w=self.power_for_ack(data, rx_power_w),
+            )
+            self.stats.ack_sent += 1
+            self._responding = True
+            self._resp_event = self.sim.schedule_in(
+                self.timing.sifs, lambda: self._send_control(ack), label="mac.ack"
+            )
+        else:
+            self._finish_responding()
+        if not duplicate:
+            self.stats.data_delivered_up += 1
+            self.deliver_up(data.packet, data.src)
+
+    # --------------------------------------------------------------- sender RX
+
+    def _handle_cts(self, cts: MacFrame, rx_power_w: float) -> None:
+        if self._state != MacState.WAIT_CTS or self._current is None:
+            return
+        attempt = self._current
+        if cts.src != attempt.entry.next_hop:
+            return
+        self._cancel_event("_cts_timer")
+        attempt.short_retries = 0
+        self.on_cts_feedback(cts)
+        self._state = MacState.SEND_DATA
+        self._pending_tx_event = self.sim.schedule_in(
+            self.timing.sifs, lambda: self._send_data_after_cts(cts), label="mac.data"
+        )
+
+    def _send_data_after_cts(self, cts: MacFrame) -> None:
+        self._pending_tx_event = None
+        attempt = self._current
+        if attempt is None or self._state != MacState.SEND_DATA:
+            return
+        entry = attempt.entry
+
+        data_power = self._data_power(entry.next_hop, cts)
+        delay_until = self.admission_delay_data(data_power)
+        if delay_until is not None:
+            # Paper Step 4: the collision computation is repeated before the
+            # DATA itself; when blocked the exchange is abandoned and the
+            # sender re-contends after the protected reception completes.
+            self.stats.admission_blocks += 1
+            self._state = MacState.CONTEND
+            self.backoff.draw()
+            self._access_is_countdown = False
+            self._access_event = self.sim.schedule(
+                max(delay_until, self.sim.now),
+                self._access_wake,
+                label="mac.admission_wake",
+            )
+            return
+
+        if attempt.substitute is not None:
+            # PCMAC implicit-ACK recovery: resend the retained copy; the
+            # fresh packet stays queued for the next exchange.
+            frame = attempt.substitute
+            attempt.substitute = None
+            frame = frame.clone_for_retry()
+            frame.tx_power_w = self._data_power(entry.next_hop, cts)
+            self.stats.implicit_retransmits += 1
+            self.stats.data_sent += 1
+            self._state = MacState.CONTEND
+            self.backoff.draw()
+            self._substitute_in_flight = True
+            self._transmit_frame(frame, self.phy_cfg.data_rate_bps)
+            # After this retransmission the machine re-contends to send the
+            # still-pending fresh packet (entry remains current).
+            return
+
+        needs_ack = self.data_needs_ack(entry)
+        packet = entry.packet
+        if attempt.seq is None:
+            attempt.seq = self._take_seq()
+        frame = MacFrame(
+            ftype=FrameType.DATA,
+            src=self.node_id,
+            dst=entry.next_hop,
+            size_bytes=packet.size_bytes + self.mac_cfg.data_overhead,
+            duration_s=self.timing.data_duration(with_ack=needs_ack),
+            tx_power_w=self._data_power(entry.next_hop, cts),
+            packet=packet,
+            seq=attempt.seq,
+            retry=attempt.long_retries > 0,
+            needs_ack=needs_ack,
+            session_id=getattr(packet, "flow_id", None),
+            session_seq=getattr(packet, "seq", None),
+        )
+        self.on_data_sent(frame, entry)
+        self.stats.data_sent += 1
+        if needs_ack:
+            self._state = MacState.WAIT_ACK
+        self._transmit_frame(frame, self.phy_cfg.data_rate_bps)
+
+    def _data_power(self, next_hop: int, cts: MacFrame | None) -> float:
+        power = self.power_for_data(next_hop, cts)
+        return power
+
+    def _handle_ack(self, ack: MacFrame) -> None:
+        if self._state != MacState.WAIT_ACK or self._current is None:
+            return
+        if ack.src != self._current.entry.next_hop:
+            return
+        self._complete_current(success=True)

@@ -1,0 +1,117 @@
+"""MAC frame definitions.
+
+One dataclass covers all frame types; optional fields carry the extra header
+information the paper adds:
+
+* every frame advertises the power it was transmitted at (``tx_power_w``),
+  enabling receivers to estimate channel gain (paper Section III);
+* PCMAC's RTS carries the sender's current noise level ``noise_at_sender_w``
+  so the responder can size its CTS power;
+* PCMAC's CTS carries ``required_data_power_w`` plus the (session, seq) of
+  the last DATA received from the RTS sender — the implicit acknowledgement
+  of the three-way handshake.
+
+``duration_s`` is the 802.11 Duration/NAV field: medium reservation time
+remaining *after* this frame ends.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Destination id used for broadcast frames.
+BROADCAST = -1
+
+
+class FrameType(enum.Enum):
+    """802.11 frame kinds used by the simulated MAC (plus PCMAC's PCN)."""
+
+    RTS = "RTS"
+    CTS = "CTS"
+    DATA = "DATA"
+    ACK = "ACK"
+    #: Power-control notification, PCMAC's control-channel broadcast (Fig. 7).
+    PCN = "PCN"
+
+
+@dataclass(slots=True)
+class MacFrame:
+    """A MAC-layer frame (the payload of a :class:`~repro.phy.frame.PhyFrame`).
+
+    Attributes:
+        ftype: frame kind.
+        src: transmitting node id.
+        dst: destination node id, or :data:`BROADCAST`.
+        size_bytes: serialised size (MAC header + body + FCS).
+        duration_s: NAV reservation remaining after this frame's end.
+        tx_power_w: advertised transmit power (paper: in every header).
+        packet: network-layer packet carried by DATA frames.
+        seq: MAC-level sequence number (duplicate filtering).
+        retry: True on retransmissions (duplicate filtering).
+        needs_ack: DATA only — False under PCMAC's three-way data handshake.
+        session_id: flow identifier carried by DATA (PCMAC tables).
+        session_seq: flow-level sequence number carried by DATA.
+        noise_at_sender_w: RTS only (PCMAC) — noise+interference at sender.
+        required_data_power_w: CTS only (PCMAC) — power the responder wants
+            the following DATA sent at.
+        last_session_id / last_session_seq: CTS only (PCMAC) — identity of
+            the last DATA received from the RTS sender (implicit ACK);
+            ``None`` when the responder's received-table has no entry.
+        tolerance_w: PCN only — advertised noise tolerance.
+        reception_end: PCN only — when the protected reception finishes (in
+            reality derived from the fixed DATA length; see DESIGN.md).
+    """
+
+    ftype: FrameType
+    src: int
+    dst: int
+    size_bytes: int
+    duration_s: float = 0.0
+    tx_power_w: float = 0.0
+    packet: Any = None
+    seq: int = 0
+    retry: bool = False
+    needs_ack: bool = True
+    session_id: int | None = None
+    session_seq: int | None = None
+    noise_at_sender_w: float | None = None
+    required_data_power_w: float | None = None
+    last_session_id: int | None = None
+    last_session_seq: int | None = None
+    tolerance_w: float | None = None
+    reception_end: float | None = None
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for broadcast frames (no handshake, no ACK)."""
+        return self.dst == BROADCAST
+
+    def clone_for_retry(self) -> "MacFrame":
+        """A copy flagged as a retransmission."""
+        clone = MacFrame(
+            ftype=self.ftype,
+            src=self.src,
+            dst=self.dst,
+            size_bytes=self.size_bytes,
+            duration_s=self.duration_s,
+            tx_power_w=self.tx_power_w,
+            packet=self.packet,
+            seq=self.seq,
+            retry=True,
+            needs_ack=self.needs_ack,
+            session_id=self.session_id,
+            session_seq=self.session_seq,
+            noise_at_sender_w=self.noise_at_sender_w,
+            required_data_power_w=self.required_data_power_w,
+            last_session_id=self.last_session_id,
+            last_session_seq=self.last_session_seq,
+            tolerance_w=self.tolerance_w,
+            reception_end=self.reception_end,
+        )
+        return clone
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dst = "BCAST" if self.is_broadcast else str(self.dst)
+        return f"{self.ftype.value}[{self.src}->{dst} seq={self.seq}]"

@@ -1,0 +1,73 @@
+"""Drop-tail interface queue between the network layer and the MAC.
+
+Mirrors NS-2's default ``Queue/DropTail`` with a 50-packet limit: arrivals
+beyond capacity are dropped (and reported, so the metrics layer can attribute
+losses).  Entries pair a network packet with its resolved next hop because
+the routing decision is made at enqueue time, exactly as in NS-2's LL/ifq
+chain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(slots=True)
+class QueuedPacket:
+    """One queue entry: a network packet bound to a MAC next hop."""
+
+    packet: Any
+    next_hop: int
+    needs_ack: bool = True
+    enqueued_at: float = 0.0
+
+
+class IfQueue:
+    """Bounded FIFO of :class:`QueuedPacket`."""
+
+    __slots__ = ("capacity", "_q", "drops")
+
+    def __init__(self, capacity: int = 50) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._q: deque[QueuedPacket] = deque()
+        self.drops = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        """True when at capacity."""
+        return len(self._q) >= self.capacity
+
+    def push(self, entry: QueuedPacket) -> bool:
+        """Append an entry; returns False (and counts a drop) when full."""
+        if self.full:
+            self.drops += 1
+            return False
+        self._q.append(entry)
+        return True
+
+    def pop(self) -> QueuedPacket | None:
+        """Remove and return the head entry, or None when empty."""
+        return self._q.popleft() if self._q else None
+
+    def peek(self) -> QueuedPacket | None:
+        """The head entry without removing it, or None when empty."""
+        return self._q[0] if self._q else None
+
+    def remove_where(self, predicate) -> int:
+        """Drop all entries matching ``predicate``; returns how many.
+
+        Used by AODV to purge packets routed through a broken next hop.
+        """
+        kept = [e for e in self._q if not predicate(e)]
+        removed = len(self._q) - len(kept)
+        if removed:
+            self._q.clear()
+            self._q.extend(kept)
+        return removed

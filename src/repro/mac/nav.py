@@ -1,0 +1,43 @@
+"""Network Allocation Vector — 802.11's virtual carrier sense.
+
+The NAV is an absolute time until which the medium is considered reserved.
+Updates only ever extend it (802.11 rule: a shorter Duration never truncates
+an existing reservation); expiry is passive — the MAC asks :meth:`busy_at`
+when making access decisions and schedules its access attempts at
+:meth:`expiry`.
+"""
+
+from __future__ import annotations
+
+
+class Nav:
+    """Virtual carrier-sense reservation tracker."""
+
+    __slots__ = ("_until",)
+
+    def __init__(self) -> None:
+        self._until = 0.0
+
+    @property
+    def until(self) -> float:
+        """Absolute time the current reservation ends."""
+        return self._until
+
+    def set(self, until: float) -> bool:
+        """Extend the reservation to ``until``; returns True if it grew."""
+        if until > self._until:
+            self._until = until
+            return True
+        return False
+
+    def busy_at(self, now: float) -> bool:
+        """True if the medium is virtually reserved at time ``now``."""
+        return now < self._until
+
+    def remaining(self, now: float) -> float:
+        """Seconds of reservation left at ``now`` (0 when expired)."""
+        return max(self._until - now, 0.0)
+
+    def reset(self) -> None:
+        """Clear the reservation (used when a CTS reservation is cancelled)."""
+        self._until = 0.0

@@ -1,0 +1,79 @@
+"""The power history table (paper Section III).
+
+Every received frame advertises the power it was sent at; comparing with the
+observed signal strength yields the channel gain and hence the minimum power
+needed to reach that neighbour (``p_needed = p_th · p_t / s``).  Records
+expire after 3 seconds (the paper's choice — mobility at 3 m/s moves a node
+9 m in that time, about one power-class of range).  A lookup miss means
+"transmit at the normal (maximal) power level".
+
+The table stores the *continuous* needed power; quantisation to a discrete
+level happens at transmission time so that margin policies can differ per
+frame type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class PowerRecord:
+    """A gain observation for one neighbour."""
+
+    needed_w: float
+    gain: float
+    updated_at: float
+
+
+class PowerHistoryTable:
+    """Per-neighbour needed-power estimates with expiry."""
+
+    __slots__ = ("expiry_s", "_records")
+
+    def __init__(self, expiry_s: float = 3.0) -> None:
+        if expiry_s <= 0:
+            raise ValueError(f"expiry must be positive, got {expiry_s!r}")
+        self.expiry_s = expiry_s
+        self._records: dict[int, PowerRecord] = {}
+
+    def update(
+        self, neighbour: int, needed_w: float, gain: float, now: float
+    ) -> None:
+        """Record a fresh estimate for ``neighbour`` observed at ``now``."""
+        if needed_w <= 0 or gain <= 0:
+            raise ValueError("needed power and gain must be positive")
+        self._records[neighbour] = PowerRecord(needed_w, gain, now)
+
+    def needed_power(self, neighbour: int, now: float) -> float | None:
+        """Needed power [W] for ``neighbour``, or None if absent/expired."""
+        rec = self._records.get(neighbour)
+        if rec is None:
+            return None
+        if now - rec.updated_at > self.expiry_s:
+            del self._records[neighbour]
+            return None
+        return rec.needed_w
+
+    def gain_to(self, neighbour: int, now: float) -> float | None:
+        """Estimated channel gain toward ``neighbour`` (symmetric links
+        assumed, paper assumption 2), or None if absent/expired."""
+        rec = self._records.get(neighbour)
+        if rec is None:
+            return None
+        if now - rec.updated_at > self.expiry_s:
+            del self._records[neighbour]
+            return None
+        return rec.gain
+
+    def purge(self, now: float) -> None:
+        """Drop all expired records (housekeeping; lookups also self-purge)."""
+        dead = [n for n, r in self._records.items() if now - r.updated_at > self.expiry_s]
+        for n in dead:
+            del self._records[n]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, neighbour: int) -> bool:
+        return neighbour in self._records

@@ -1,0 +1,47 @@
+"""Scheme 2: every unicast frame at the needed power level.
+
+The paper's second reference, representative of the straightforward
+per-link power control adopted by [1], [2], [4], [5], [16], [17].  Because
+even the RTS/CTS shrink to the needed level, the set of neighbours that can
+hear *any* part of the exchange collapses to the link's own decode zone —
+maximum spatial reuse, but also the maximum incidence of asymmetric-link
+collisions (Figure 4), which is why it trails Scheme 1 in the paper's
+Figures 8 and 9.
+
+A failed RTS (CTS timeout) escalates the RTS power one class (as in [1]):
+without escalation a stale gain estimate could starve the link forever.
+"""
+
+from __future__ import annotations
+
+from repro.mac.base import DcfMac, _TxAttempt
+from repro.mac.frames import MacFrame
+
+
+class Scheme2Mac(DcfMac):
+    """All frames at the history-estimated needed level; broadcasts at max."""
+
+    name = "scheme2"
+
+    def power_for_rts(self, next_hop: int) -> float:
+        return self.needed_power_to(next_hop)
+
+    def power_for_cts(self, rts: MacFrame, rx_power_w: float) -> float:
+        # The RTS just received refreshed the history entry for its sender.
+        return self.needed_power_to(rts.src)
+
+    def power_for_data(self, next_hop: int, cts: MacFrame | None) -> float:
+        return self.needed_power_to(next_hop)
+
+    def power_for_ack(self, data: MacFrame, rx_power_w: float) -> float:
+        return self.needed_power_to(data.src)
+
+    def on_rts_failure(self, attempt: _TxAttempt) -> None:
+        current = (
+            attempt.boosted_rts_power_w
+            if attempt.boosted_rts_power_w is not None
+            else self.power_for_rts(attempt.entry.next_hop)
+        )
+        if not self.levels.is_max(current):
+            attempt.boosted_rts_power_w = self.levels.step_up(current)
+            self.stats.power_escalations += 1

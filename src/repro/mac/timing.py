@@ -1,0 +1,115 @@
+"""MAC timing arithmetic: airtimes, interframe spaces, NAV durations.
+
+Everything here is pure computation over :class:`~repro.config.MacConfig`
+and :class:`~repro.config.PhyConfig`; keeping it in one object makes the
+state machine code read like the standard's timing diagrams.
+
+Control frames (RTS/CTS/ACK) are serialised at the basic rate (1 Mbps) as in
+NS-2's 802.11 model; DATA payloads at the data rate (2 Mbps).  Every frame
+pays the PLCP preamble+header overhead (192 µs for DSSS long preamble).
+
+EIFS follows the standard's definition ``SIFS + DIFS + ACK airtime at the
+basic rate`` — long enough that a station which could not decode a frame
+will not stomp on the ACK that may follow it (paper Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MacConfig, PhyConfig
+from repro.units import bits
+
+
+@dataclass(frozen=True)
+class MacTiming:
+    """Derived timing constants for one PHY/MAC configuration."""
+
+    mac: MacConfig
+    phy: PhyConfig
+
+    # ------------------------------------------------------------- airtimes
+
+    def control_airtime(self, size_bytes: int) -> float:
+        """Airtime of a control frame (basic rate + PLCP) [s]."""
+        return self.phy.plcp_overhead_s + bits(size_bytes) / self.phy.basic_rate_bps
+
+    def data_airtime(self, payload_bytes: int) -> float:
+        """Airtime of a DATA frame: MAC overhead + payload at data rate [s]."""
+        total = payload_bytes + self.mac.data_overhead
+        return self.phy.plcp_overhead_s + bits(total) / self.phy.data_rate_bps
+
+    @property
+    def rts_airtime(self) -> float:
+        """RTS frame airtime [s]."""
+        return self.control_airtime(self.mac.rts_size)
+
+    @property
+    def cts_airtime(self) -> float:
+        """CTS frame airtime [s]."""
+        return self.control_airtime(self.mac.cts_size)
+
+    @property
+    def ack_airtime(self) -> float:
+        """ACK frame airtime [s]."""
+        return self.control_airtime(self.mac.ack_size)
+
+    # ------------------------------------------------------ interframe spaces
+
+    @property
+    def sifs(self) -> float:
+        """Short interframe space [s]."""
+        return self.mac.sifs_s
+
+    @property
+    def difs(self) -> float:
+        """DCF interframe space [s]."""
+        return self.mac.difs_s
+
+    @property
+    def eifs(self) -> float:
+        """Extended interframe space: SIFS + DIFS + basic-rate ACK airtime."""
+        return self.mac.sifs_s + self.mac.difs_s + self.ack_airtime
+
+    @property
+    def slot(self) -> float:
+        """Slot time [s]."""
+        return self.mac.slot_time_s
+
+    # ------------------------------------------------------------- timeouts
+
+    @property
+    def cts_timeout(self) -> float:
+        """Wait after an RTS TX-end before concluding the CTS was lost [s]."""
+        return self.sifs + self.cts_airtime + self.mac.timeout_slack_s
+
+    @property
+    def ack_timeout(self) -> float:
+        """Wait after a DATA TX-end before concluding the ACK was lost [s]."""
+        return self.sifs + self.ack_airtime + self.mac.timeout_slack_s
+
+    # ---------------------------------------------------------- NAV durations
+
+    def rts_duration(self, payload_bytes: int, *, with_ack: bool) -> float:
+        """RTS Duration field: reserve through the end of the exchange.
+
+        Four-way: CTS + DATA + ACK + 3·SIFS.  Three-way (PCMAC data): CTS +
+        DATA + 2·SIFS — the reservation simply ends with the DATA frame.
+        """
+        dur = self.sifs + self.cts_airtime + self.sifs + self.data_airtime(
+            payload_bytes
+        )
+        if with_ack:
+            dur += self.sifs + self.ack_airtime
+        return dur
+
+    def cts_duration(self, payload_bytes: int, *, with_ack: bool) -> float:
+        """CTS Duration field: what remains after the CTS ends."""
+        dur = self.sifs + self.data_airtime(payload_bytes)
+        if with_ack:
+            dur += self.sifs + self.ack_airtime
+        return dur
+
+    def data_duration(self, *, with_ack: bool) -> float:
+        """DATA Duration field: the trailing ACK slot, if any."""
+        return self.sifs + self.ack_airtime if with_ack else 0.0

@@ -1,0 +1,15 @@
+"""Metrics collection: the paper's two evaluation metrics plus diagnostics.
+
+* Aggregate network throughput [kbps] — data delivered to destinations per
+  second across the whole network (Figure 8's y-axis).
+* Average end-to-end delay [ms] — application send to application delivery
+  (Figure 9's y-axis).
+
+Plus packet delivery ratio, per-flow breakdowns, drop attribution and Jain
+fairness, which the paper discusses qualitatively (its challenge (3)).
+"""
+
+from repro.metrics.collector import FlowStats, MetricsCollector
+from repro.metrics.fairness import jain_index
+
+__all__ = ["FlowStats", "MetricsCollector", "jain_index"]

@@ -1,0 +1,150 @@
+"""Per-flow and network-wide delivery accounting."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (net imports metrics)
+    from repro.net.packet import Packet
+
+
+@dataclass
+class FlowStats:
+    """Counters for one traffic flow."""
+
+    flow_id: int
+    sent: int = 0
+    received: int = 0
+    duplicates: int = 0
+    bytes_received: int = 0
+    delay_sum_s: float = 0.0
+    delay_sq_sum_s2: float = 0.0
+    delay_max_s: float = 0.0
+    hops_sum: int = 0
+    drops: Counter = field(default_factory=Counter)
+
+    @property
+    def avg_delay_s(self) -> float:
+        """Mean end-to-end delay [s] of delivered packets (0 if none)."""
+        return self.delay_sum_s / self.received if self.received else 0.0
+
+    @property
+    def delay_std_s(self) -> float:
+        """Population standard deviation of delay [s] (0 if < 2 samples)."""
+        if self.received < 2:
+            return 0.0
+        mean = self.avg_delay_s
+        var = self.delay_sq_sum_s2 / self.received - mean * mean
+        return var**0.5 if var > 0 else 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of sent packets delivered (0 if nothing sent)."""
+        return self.received / self.sent if self.sent else 0.0
+
+    @property
+    def avg_hops(self) -> float:
+        """Mean hop count of delivered packets (0 if none)."""
+        return self.hops_sum / self.received if self.received else 0.0
+
+
+class MetricsCollector:
+    """Network-wide sink for application send/receive/drop events.
+
+    Duplicate deliveries (possible through MAC retransmission races and
+    multipath forwarding) are filtered on ``(flow_id, seq)`` so throughput
+    counts each packet at most once — matching how NS-2 trace analysis
+    scripts count arrivals.
+    """
+
+    def __init__(self) -> None:
+        self.flows: dict[int, FlowStats] = {}
+        self._delivered: set[tuple[int, int]] = set()
+        self.measure_start_s = 0.0
+
+    def _flow(self, flow_id: int) -> FlowStats:
+        st = self.flows.get(flow_id)
+        if st is None:
+            st = FlowStats(flow_id)
+            self.flows[flow_id] = st
+        return st
+
+    # ----------------------------------------------------------------- events
+
+    def on_app_send(self, packet: "Packet") -> None:
+        """An application emitted ``packet``."""
+        self._flow(packet.flow_id).sent += 1
+
+    def on_app_receive(self, packet: "Packet", now: float) -> None:
+        """``packet`` reached its destination application at ``now``."""
+        st = self._flow(packet.flow_id)
+        key = (packet.flow_id, packet.seq)
+        if key in self._delivered:
+            st.duplicates += 1
+            return
+        self._delivered.add(key)
+        st.received += 1
+        st.bytes_received += packet.size_bytes
+        delay = now - packet.created_at
+        st.delay_sum_s += delay
+        st.delay_sq_sum_s2 += delay * delay
+        st.delay_max_s = max(st.delay_max_s, delay)
+        st.hops_sum += packet.hops
+
+    def on_drop(self, packet: "Packet", reason: str) -> None:
+        """``packet`` was lost; ``reason`` attributes the loss."""
+        if packet.kind == "data":
+            self._flow(packet.flow_id).drops[reason] += 1
+
+    # --------------------------------------------------------------- summaries
+
+    @property
+    def total_sent(self) -> int:
+        """Application packets emitted across all flows."""
+        return sum(f.sent for f in self.flows.values())
+
+    @property
+    def total_received(self) -> int:
+        """Unique packets delivered across all flows."""
+        return sum(f.received for f in self.flows.values())
+
+    @property
+    def total_bytes_received(self) -> int:
+        """Payload bytes delivered across all flows."""
+        return sum(f.bytes_received for f in self.flows.values())
+
+    def throughput_kbps(self, duration_s: float) -> float:
+        """Aggregate network throughput [kbps] over ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s!r}")
+        return self.total_bytes_received * 8.0 / duration_s / 1000.0
+
+    def avg_delay_ms(self) -> float:
+        """Mean end-to-end delay [ms] across all delivered packets."""
+        received = self.total_received
+        if received == 0:
+            return 0.0
+        return sum(f.delay_sum_s for f in self.flows.values()) / received * 1000.0
+
+    def delivery_ratio(self) -> float:
+        """Network-wide packet delivery ratio."""
+        sent = self.total_sent
+        return self.total_received / sent if sent else 0.0
+
+    def per_flow_throughput_kbps(self, duration_s: float) -> dict[int, float]:
+        """Per-flow delivered throughput [kbps] (fairness input)."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s!r}")
+        return {
+            fid: f.bytes_received * 8.0 / duration_s / 1000.0
+            for fid, f in self.flows.items()
+        }
+
+    def drop_breakdown(self) -> Counter:
+        """Loss reasons summed over all flows."""
+        total: Counter = Counter()
+        for f in self.flows.values():
+            total.update(f.drops)
+        return total

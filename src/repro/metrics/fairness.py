@@ -1,0 +1,34 @@
+"""Fairness measures.
+
+The paper's challenge (3) demands that "the communication pair using higher
+power level should not suppress the nearby communication pair using
+relatively lower power level" — quantified here with Jain's fairness index
+over per-flow throughputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n·Σx²)``, in (0, 1].
+
+    1.0 means perfectly equal allocations; ``1/n`` means one flow takes
+    everything.  An empty input or all-zero allocations return 0.0 (there is
+    nothing to be fair about).
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return 0.0
+    if any(v < 0 for v in vals):
+        raise ValueError("allocations must be non-negative")
+    total = sum(vals)
+    if total == 0.0:
+        return 0.0
+    squares = sum(v * v for v in vals)
+    if squares == 0.0:
+        # Subnormal allocations whose squares underflow: indistinguishable
+        # from zero throughput for fairness purposes.
+        return 0.0
+    return min(total * total / (len(vals) * squares), 1.0)

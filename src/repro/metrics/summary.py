@@ -1,0 +1,66 @@
+"""Cross-protocol comparison summaries.
+
+Combines the application-level metrics with MAC-level accounting into the
+derived quantities the power-control literature reports: energy per
+delivered bit (the battery-saving angle of the paper's related work),
+control-vs-payload airtime split, and retransmission overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.scenario import ExperimentResult
+
+
+@dataclass(frozen=True)
+class EfficiencySummary:
+    """Derived efficiency figures for one run."""
+
+    protocol: str
+    throughput_kbps: float
+    #: Total transmit energy divided by delivered payload bits [J/bit].
+    energy_per_bit_j: float
+    #: Total transmit energy over the run [J].
+    tx_energy_j: float
+    #: Fraction of transmit airtime spent on control frames.
+    control_airtime_fraction: float
+    #: DATA transmissions per unique delivered packet (≥ 1; retransmission
+    #: and multihop overhead combined).
+    data_tx_per_delivery: float
+
+
+def summarise_efficiency(result: ExperimentResult) -> EfficiencySummary:
+    """Reduce an :class:`ExperimentResult` to its efficiency figures."""
+    delivered_bits = result.throughput_kbps * 1000.0 * result.duration_s
+    energy = float(result.mac_totals.get("tx_energy_j", 0.0))
+    ctrl = float(result.mac_totals.get("airtime_control_s", 0.0))
+    data = float(result.mac_totals.get("airtime_data_s", 0.0))
+    data_sent = float(result.mac_totals.get("data_sent", 0.0))
+    received = max(result.received, 1)
+    return EfficiencySummary(
+        protocol=result.protocol,
+        throughput_kbps=result.throughput_kbps,
+        energy_per_bit_j=(energy / delivered_bits) if delivered_bits > 0 else 0.0,
+        tx_energy_j=energy,
+        control_airtime_fraction=(ctrl / (ctrl + data)) if (ctrl + data) > 0 else 0.0,
+        data_tx_per_delivery=data_sent / received,
+    )
+
+
+def efficiency_table(results: dict[str, ExperimentResult]) -> str:
+    """A printable efficiency comparison across protocols."""
+    rows = []
+    header = (
+        f"{'protocol':<10} {'thr kbps':>9} {'J/Mbit':>8} {'energy J':>9} "
+        f"{'ctrl airtime':>13} {'DATA tx/deliv':>14}"
+    )
+    rows.append(header)
+    for name, result in results.items():
+        s = summarise_efficiency(result)
+        rows.append(
+            f"{name:<10} {s.throughput_kbps:>9.1f} "
+            f"{s.energy_per_bit_j * 1e6:>8.3f} {s.tx_energy_j:>9.3f} "
+            f"{s.control_airtime_fraction:>12.1%} {s.data_tx_per_delivery:>14.2f}"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,25 @@
+"""Node mobility models and initial placement helpers.
+
+The paper's scenario uses the CMU random waypoint model at 3 m/s with a 3 s
+pause in a 1000 m × 1000 m field.  Positions are computed lazily and in
+closed form along each leg, so querying a position is O(1) and no per-tick
+movement events enter the simulator.
+"""
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.placement import (
+    grid_positions,
+    line_positions,
+    uniform_positions,
+)
+from repro.mobility.static import StaticMobility
+from repro.mobility.waypoint import RandomWaypoint
+
+__all__ = [
+    "MobilityModel",
+    "RandomWaypoint",
+    "StaticMobility",
+    "grid_positions",
+    "line_positions",
+    "uniform_positions",
+]

@@ -1,0 +1,18 @@
+"""Mobility model interface."""
+
+from __future__ import annotations
+
+Position = tuple[float, float]
+
+
+class MobilityModel:
+    """Interface: a node's position as a function of simulation time.
+
+    ``position_at`` may assume monotonically non-decreasing query times (the
+    simulator clock only moves forward), which lets implementations advance
+    internal state lazily.
+    """
+
+    def position_at(self, t: float) -> Position:
+        """The node's (x, y) position [m] at simulation time ``t``."""
+        raise NotImplementedError

@@ -1,0 +1,95 @@
+"""Random waypoint mobility (CMU model, as used by the paper).
+
+A node alternates between *pause* legs (3 s in the paper) and *move* legs
+toward a uniformly chosen destination at a fixed speed (3 m/s in the paper;
+the classic model draws speeds from a range — pass ``speed_range`` for
+that).  Legs are generated lazily from the node's own RNG stream, so the
+trajectory is reproducible and independent of every other random consumer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.config import MobilityConfig
+from repro.mobility.base import MobilityModel, Position
+
+
+class RandomWaypoint(MobilityModel):
+    """Lazily generated random-waypoint trajectory."""
+
+    __slots__ = (
+        "_cfg",
+        "_rng",
+        "_speed_range",
+        "_t0",
+        "_t1",
+        "_p0",
+        "_p1",
+        "_paused",
+    )
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        cfg: MobilityConfig,
+        initial: Position,
+        *,
+        speed_range: tuple[float, float] | None = None,
+    ) -> None:
+        self._cfg = cfg
+        self._rng = rng
+        self._speed_range = speed_range
+        self._p0 = (float(initial[0]), float(initial[1]))
+        self._p1 = self._p0
+        self._t0 = 0.0
+        # Begin with a pause leg, like the CMU generator.
+        self._t1 = cfg.pause_s
+        self._paused = True
+
+    def _draw_speed(self) -> float:
+        if self._speed_range is not None:
+            lo, hi = self._speed_range
+            return float(self._rng.uniform(lo, hi))
+        return self._cfg.speed_mps
+
+    def _next_leg(self) -> None:
+        if self._paused:
+            # Start moving toward a fresh waypoint.
+            dest = (
+                float(self._rng.uniform(0.0, self._cfg.field_width_m)),
+                float(self._rng.uniform(0.0, self._cfg.field_height_m)),
+            )
+            speed = self._draw_speed()
+            self._p0 = self._p1
+            self._p1 = dest
+            self._t0 = self._t1
+            dist = math.hypot(dest[0] - self._p0[0], dest[1] - self._p0[1])
+            if speed <= 0.0:
+                # Degenerate config: the node never actually moves.
+                self._p1 = self._p0
+                self._t1 = math.inf
+            else:
+                self._t1 = self._t0 + dist / speed
+            self._paused = False
+        else:
+            # Arrived: pause at the destination (paper: 3 seconds).
+            self._p0 = self._p1
+            self._t0 = self._t1
+            self._t1 = self._t0 + self._cfg.pause_s
+            self._paused = True
+
+    def position_at(self, t: float) -> Position:
+        while t >= self._t1:
+            self._next_leg()
+        if self._paused or self._t1 == self._t0:
+            return self._p0
+        frac = (t - self._t0) / (self._t1 - self._t0)
+        if frac <= 0.0:
+            return self._p0
+        return (
+            self._p0[0] + (self._p1[0] - self._p0[0]) * frac,
+            self._p0[1] + (self._p1[1] - self._p0[1]) * frac,
+        )

@@ -1,0 +1,16 @@
+"""Network layer: packets, routing protocols and the node container.
+
+:class:`~repro.net.node.Node` glues one node's mobility model, radios, MAC
+and routing protocol together and exposes the application-facing ``send`` /
+sink interface.  Routing is pluggable: :class:`~repro.net.aodv.AodvProtocol`
+(the paper's choice) or :class:`~repro.net.static_routing.StaticRouting`
+(precomputed shortest paths, for controlled experiments).
+"""
+
+from repro.net.aodv import AodvProtocol
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.routing_base import RoutingProtocol
+from repro.net.static_routing import StaticRouting
+
+__all__ = ["AodvProtocol", "Node", "Packet", "RoutingProtocol", "StaticRouting"]

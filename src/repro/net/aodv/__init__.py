@@ -1,0 +1,23 @@
+"""AODV (Ad hoc On-demand Distance Vector) routing — RFC 3561 subset.
+
+The paper routes with AODV as shipped in NS-2's CMU Monarch extensions.
+This implementation covers the machinery the workload exercises: expanding
+RREQ floods with duplicate suppression, reverse-route RREP delivery,
+precursor-tracked RERR propagation on MAC-detected link breaks, destination
+sequence numbers, route lifetimes, and pending-packet buffers during
+discovery.  Hello messages are omitted (NS-2's default uses MAC feedback for
+link sensing, as do we).
+"""
+
+from repro.net.aodv.messages import RErrMessage, RRepMessage, RReqMessage
+from repro.net.aodv.protocol import AodvProtocol
+from repro.net.aodv.routing_table import AodvRoutingTable, Route
+
+__all__ = [
+    "AodvProtocol",
+    "AodvRoutingTable",
+    "RErrMessage",
+    "RRepMessage",
+    "RReqMessage",
+    "Route",
+]

@@ -1,0 +1,82 @@
+"""AODV control messages (RFC 3561 §5, trimmed to the fields we use).
+
+Sizes follow the RFC's wire formats (RREQ 24 B, RREP 20 B, RERR 4+8·n B);
+they matter because routing overhead competes with data for airtime in the
+saturation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Wire sizes [bytes] per RFC 3561.
+RREQ_SIZE = 24
+RREP_SIZE = 20
+RERR_BASE_SIZE = 4
+RERR_PER_DEST = 8
+
+
+@dataclass(frozen=True, slots=True)
+class RReqMessage:
+    """Route request, flooded toward the destination."""
+
+    rreq_id: int
+    origin: int
+    origin_seq: int
+    dst: int
+    dst_seq: int | None
+    hop_count: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialised size [bytes]."""
+        return RREQ_SIZE
+
+    def hopped(self) -> "RReqMessage":
+        """The message as rebroadcast one hop further."""
+        return RReqMessage(
+            rreq_id=self.rreq_id,
+            origin=self.origin,
+            origin_seq=self.origin_seq,
+            dst=self.dst,
+            dst_seq=self.dst_seq,
+            hop_count=self.hop_count + 1,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RRepMessage:
+    """Route reply, unicast hop-by-hop back along the reverse route."""
+
+    origin: int
+    dst: int
+    dst_seq: int
+    hop_count: int
+    lifetime_s: float
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialised size [bytes]."""
+        return RREP_SIZE
+
+    def hopped(self) -> "RRepMessage":
+        """The message as forwarded one hop closer to the origin."""
+        return RRepMessage(
+            origin=self.origin,
+            dst=self.dst,
+            dst_seq=self.dst_seq,
+            hop_count=self.hop_count + 1,
+            lifetime_s=self.lifetime_s,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RErrMessage:
+    """Route error: destinations now unreachable via the sender."""
+
+    unreachable: tuple[tuple[int, int], ...]  # (dst, dst_seq) pairs
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialised size [bytes]."""
+        return RERR_BASE_SIZE + RERR_PER_DEST * len(self.unreachable)

@@ -1,0 +1,290 @@
+"""The AODV protocol engine.
+
+Responsibilities: originate/forward data packets, discover routes with RREQ
+floods, answer with RREPs (as destination or from a fresh intermediate
+route), convert MAC-layer retry exhaustion into RERRs, and maintain the
+routing table.  The engine also raises the two routing events PCMAC's table
+maintenance listens for: ``rrep_sent`` (to the downstream neighbour the RREP
+goes to) and ``rerr_received`` (from the upstream neighbour it came from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import AodvConfig
+from repro.mac.frames import BROADCAST
+from repro.net.aodv.messages import RErrMessage, RRepMessage, RReqMessage
+from repro.net.aodv.routing_table import AodvRoutingTable
+from repro.net.packet import Packet
+from repro.net.routing_base import RoutingProtocol
+
+#: Cap on packets buffered per destination while discovery runs.
+MAX_BUFFERED_PER_DST = 64
+
+
+@dataclass(slots=True)
+class _Discovery:
+    """In-flight route discovery state for one destination."""
+
+    retries: int = 0
+    timer: object = None
+    buffered: list[Packet] = field(default_factory=list)
+
+
+class AodvProtocol(RoutingProtocol):
+    """RFC 3561 subset (no hellos, no local repair, full-TTL floods)."""
+
+    def __init__(self, cfg: AodvConfig | None = None) -> None:
+        self.cfg = cfg or AodvConfig()
+        self.table = AodvRoutingTable()
+        self._seq = 0
+        self._rreq_id = 0
+        self._packet_seq = 0
+        self._seen_rreqs: dict[tuple[int, int], float] = {}
+        self._discoveries: dict[int, _Discovery] = {}
+        self._stats = {
+            "rreq_originated": 0,
+            "rreq_forwarded": 0,
+            "rrep_sent": 0,
+            "rrep_forwarded": 0,
+            "rerr_sent": 0,
+            "discovery_failures": 0,
+            "buffered_drops": 0,
+            "data_forwarded": 0,
+        }
+
+    # ------------------------------------------------------------- data path
+
+    def route_packet(self, packet: Packet) -> None:
+        now = self.node.sim.now
+        route = self.table.lookup(packet.dst, now)
+        if route is not None:
+            self.table.refresh(packet.dst, now, self.cfg.active_route_timeout_s)
+            if packet.src != self.node.node_id:
+                self._stats["data_forwarded"] += 1
+            self.node.mac_send(packet, route.next_hop)
+            return
+        self._buffer_and_discover(packet)
+
+    def _buffer_and_discover(self, packet: Packet) -> None:
+        disc = self._discoveries.get(packet.dst)
+        if disc is None:
+            disc = _Discovery()
+            self._discoveries[packet.dst] = disc
+            self._send_rreq(packet.dst)
+        if len(disc.buffered) >= MAX_BUFFERED_PER_DST:
+            self._stats["buffered_drops"] += 1
+            self.node.metrics_drop(packet, "discovery_buffer_full")
+            return
+        disc.buffered.append(packet)
+
+    def _send_rreq(self, dst: int) -> None:
+        self._seq += 1  # RFC 3561 §6.1: bump own seq before originating
+        self._rreq_id += 1
+        entry = self.table.entry(dst)
+        msg = RReqMessage(
+            rreq_id=self._rreq_id,
+            origin=self.node.node_id,
+            origin_seq=self._seq,
+            dst=dst,
+            dst_seq=entry.dst_seq if entry is not None else None,
+            hop_count=0,
+        )
+        self._stats["rreq_originated"] += 1
+        self._seen_rreqs[(msg.origin, msg.rreq_id)] = (
+            self.node.sim.now + self.cfg.bcast_id_save_s
+        )
+        self._broadcast_aodv(msg)
+        disc = self._discoveries[dst]
+        disc.timer = self.node.sim.schedule_in(
+            self.cfg.net_traversal_time_s,
+            lambda d=dst: self._discovery_timeout(d),
+            label="aodv.disc_to",
+        )
+
+    def _discovery_timeout(self, dst: int) -> None:
+        disc = self._discoveries.get(dst)
+        if disc is None:
+            return
+        if self.table.lookup(dst, self.node.sim.now) is not None:
+            self._flush_buffer(dst)
+            return
+        disc.retries += 1
+        if disc.retries > self.cfg.rreq_retries:
+            self._stats["discovery_failures"] += 1
+            for pkt in disc.buffered:
+                self.node.metrics_drop(pkt, "no_route")
+            del self._discoveries[dst]
+            return
+        self._send_rreq(dst)
+
+    def _flush_buffer(self, dst: int) -> None:
+        disc = self._discoveries.pop(dst, None)
+        if disc is None:
+            return
+        if disc.timer is not None:
+            self.node.sim.cancel(disc.timer)
+        for pkt in disc.buffered:
+            self.route_packet(pkt)
+
+    # ------------------------------------------------------------ MAC events
+
+    def on_mac_failure(self, packet: Packet, next_hop: int) -> None:
+        broken = self.table.invalidate_via(next_hop)
+        if broken:
+            msg = RErrMessage(
+                unreachable=tuple((r.dst, r.dst_seq) for r in broken)
+            )
+            self._stats["rerr_sent"] += 1
+            self._broadcast_aodv(msg)
+        if packet.kind == "data":
+            self.node.metrics_drop(packet, "link_break")
+
+    # -------------------------------------------------------- control packets
+
+    def on_packet(self, packet: Packet, from_node: int) -> None:
+        msg = packet.payload
+        if isinstance(msg, RReqMessage):
+            self._handle_rreq(msg, from_node)
+        elif isinstance(msg, RRepMessage):
+            self._handle_rrep(msg, from_node)
+        elif isinstance(msg, RErrMessage):
+            self._handle_rerr(msg, from_node)
+
+    def _handle_rreq(self, msg: RReqMessage, from_node: int) -> None:
+        now = self.node.sim.now
+        key = (msg.origin, msg.rreq_id)
+        expiry = self._seen_rreqs.get(key)
+        if expiry is not None and expiry > now:
+            return  # duplicate flood copy
+        self._seen_rreqs[key] = now + self.cfg.bcast_id_save_s
+        if len(self._seen_rreqs) > 4096:
+            self._seen_rreqs = {
+                k: v for k, v in self._seen_rreqs.items() if v > now
+            }
+
+        # Reverse route toward the originator through the broadcaster.
+        lifetime = now + self.cfg.net_traversal_time_s * 2
+        self.table.update(
+            msg.origin, from_node, msg.hop_count + 1, msg.origin_seq, lifetime
+        )
+
+        if msg.dst == self.node.node_id:
+            # RFC §6.6.1: destination aligns and bumps its sequence number.
+            if msg.dst_seq is not None:
+                self._seq = max(self._seq, msg.dst_seq)
+            self._seq += 1
+            reply = RRepMessage(
+                origin=msg.origin,
+                dst=self.node.node_id,
+                dst_seq=self._seq,
+                hop_count=0,
+                lifetime_s=self.cfg.active_route_timeout_s,
+            )
+            self._stats["rrep_sent"] += 1
+            self._unicast_aodv(reply, from_node)
+            return
+
+        route = self.table.lookup(msg.dst, now)
+        if (
+            route is not None
+            and msg.dst_seq is not None
+            and route.dst_seq >= msg.dst_seq
+        ):
+            # Fresh-enough intermediate route: reply on the destination's
+            # behalf (RFC §6.6.2) and knit the precursor lists.
+            reply = RRepMessage(
+                origin=msg.origin,
+                dst=msg.dst,
+                dst_seq=route.dst_seq,
+                hop_count=route.hop_count,
+                lifetime_s=max(route.expires - now, 0.0),
+            )
+            self.table.add_precursor(msg.dst, from_node)
+            self._stats["rrep_sent"] += 1
+            self._unicast_aodv(reply, from_node)
+            return
+
+        self._stats["rreq_forwarded"] += 1
+        self._broadcast_aodv(msg.hopped(), jitter=True)
+
+    def _handle_rrep(self, msg: RRepMessage, from_node: int) -> None:
+        now = self.node.sim.now
+        self.table.update(
+            msg.dst,
+            from_node,
+            msg.hop_count + 1,
+            msg.dst_seq,
+            now + msg.lifetime_s,
+        )
+        if msg.origin == self.node.node_id:
+            self._flush_buffer(msg.dst)
+            return
+        reverse = self.table.lookup(msg.origin, now)
+        if reverse is None:
+            return  # reverse route evaporated; the originator will retry
+        self.table.add_precursor(msg.dst, reverse.next_hop)
+        self._stats["rrep_forwarded"] += 1
+        self._unicast_aodv(msg.hopped(), reverse.next_hop)
+
+    def _handle_rerr(self, msg: RErrMessage, from_node: int) -> None:
+        self.node.mac.on_route_event("rerr_received", from_node)
+        invalidated: list[tuple[int, int]] = []
+        for dst, dst_seq in msg.unreachable:
+            route = self.table.entry(dst)
+            if route is not None and route.valid and route.next_hop == from_node:
+                self.table.invalidate(dst, dst_seq)
+                if route.precursors:
+                    invalidated.append((dst, route.dst_seq))
+        if invalidated:
+            self._stats["rerr_sent"] += 1
+            self._broadcast_aodv(RErrMessage(unreachable=tuple(invalidated)))
+
+    # ------------------------------------------------------------- transmit
+
+    def _next_packet_seq(self) -> int:
+        # Control packets need distinct (flow, seq) identities so MAC-level
+        # duplicate filters never conflate two different RREPs/RERRs.
+        self._packet_seq += 1
+        return self._packet_seq
+
+    def _broadcast_aodv(self, msg, jitter: bool = False) -> None:
+        packet = Packet(
+            flow_id=-1,
+            seq=self._next_packet_seq(),
+            src=self.node.node_id,
+            dst=BROADCAST,
+            size_bytes=msg.size_bytes,
+            created_at=self.node.sim.now,
+            kind="aodv",
+            payload=msg,
+        )
+        if jitter:
+            delay = self.node.rng_uniform("aodv.jitter", 0.0, self.cfg.broadcast_jitter_s)
+            self.node.sim.schedule_in(
+                delay,
+                lambda: self.node.mac_send(packet, BROADCAST),
+                label="aodv.bcast",
+            )
+        else:
+            self.node.mac_send(packet, BROADCAST)
+
+    def _unicast_aodv(self, msg, next_hop: int) -> None:
+        packet = Packet(
+            flow_id=-1,
+            seq=self._next_packet_seq(),
+            src=self.node.node_id,
+            dst=next_hop,
+            size_bytes=msg.size_bytes,
+            created_at=self.node.sim.now,
+            kind="aodv",
+            payload=msg,
+        )
+        if isinstance(msg, RRepMessage):
+            # PCMAC's table-maintenance hook (paper Section III).
+            self.node.mac.on_route_event("rrep_sent", next_hop)
+        self.node.mac_send(packet, next_hop)
+
+    def stats(self) -> dict[str, int]:
+        return dict(self._stats)

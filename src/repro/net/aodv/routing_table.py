@@ -1,0 +1,126 @@
+"""AODV routing table: routes, sequence numbers, lifetimes, precursors.
+
+Follows RFC 3561 §6.2's update rules: a route is replaced only by one with a
+fresher destination sequence number, or an equal number and a shorter hop
+count.  Precursor lists record which neighbours route *through* us to each
+destination, so RERRs reach exactly the nodes that care.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Route:
+    """One routing-table entry."""
+
+    dst: int
+    next_hop: int
+    hop_count: int
+    dst_seq: int
+    expires: float
+    valid: bool = True
+    precursors: set[int] = field(default_factory=set)
+
+
+class AodvRoutingTable:
+    """Destination-indexed route store with RFC 3561 update semantics."""
+
+    __slots__ = ("_routes",)
+
+    def __init__(self) -> None:
+        self._routes: dict[int, Route] = {}
+
+    def lookup(self, dst: int, now: float) -> Route | None:
+        """The valid, unexpired route to ``dst``, or None."""
+        route = self._routes.get(dst)
+        if route is None or not route.valid:
+            return None
+        if route.expires <= now:
+            route.valid = False
+            return None
+        return route
+
+    def entry(self, dst: int) -> Route | None:
+        """The raw entry for ``dst`` (possibly invalid/expired), or None."""
+        return self._routes.get(dst)
+
+    def update(
+        self,
+        dst: int,
+        next_hop: int,
+        hop_count: int,
+        dst_seq: int,
+        expires: float,
+    ) -> bool:
+        """Apply RFC 3561 §6.2: install iff fresher or equal-and-shorter.
+
+        Returns True when the table changed.
+        """
+        route = self._routes.get(dst)
+        if route is None or not route.valid:
+            precursors = route.precursors if route is not None else set()
+            self._routes[dst] = Route(
+                dst, next_hop, hop_count, dst_seq, expires, True, precursors
+            )
+            return True
+        if dst_seq > route.dst_seq or (
+            dst_seq == route.dst_seq and hop_count < route.hop_count
+        ):
+            route.next_hop = next_hop
+            route.hop_count = hop_count
+            route.dst_seq = dst_seq
+            route.expires = max(route.expires, expires)
+            return True
+        if dst_seq == route.dst_seq and next_hop == route.next_hop:
+            # Same route refreshed by use.
+            route.expires = max(route.expires, expires)
+        return False
+
+    def refresh(self, dst: int, now: float, lifetime_s: float) -> None:
+        """Extend the lifetime of an actively used route (RFC §6.2 last ¶)."""
+        route = self._routes.get(dst)
+        if route is not None and route.valid:
+            route.expires = max(route.expires, now + lifetime_s)
+
+    def add_precursor(self, dst: int, neighbour: int) -> None:
+        """Record that ``neighbour`` forwards through us toward ``dst``."""
+        route = self._routes.get(dst)
+        if route is not None:
+            route.precursors.add(neighbour)
+
+    def invalidate_via(self, next_hop: int) -> list[Route]:
+        """Invalidate every valid route using ``next_hop``; bump seq numbers.
+
+        Returns the invalidated routes (for RERR construction).
+        """
+        broken: list[Route] = []
+        for route in self._routes.values():
+            if route.valid and route.next_hop == next_hop:
+                route.valid = False
+                route.dst_seq += 1  # RFC 3561 §6.11
+                broken.append(route)
+        return broken
+
+    def invalidate(self, dst: int, dst_seq: int | None = None) -> Route | None:
+        """Invalidate the route to ``dst`` (RERR processing)."""
+        route = self._routes.get(dst)
+        if route is None or not route.valid:
+            return None
+        route.valid = False
+        if dst_seq is not None and dst_seq > route.dst_seq:
+            route.dst_seq = dst_seq
+        return route
+
+    def valid_routes(self, now: float) -> list[Route]:
+        """All currently valid, unexpired routes."""
+        return [
+            r for r in self._routes.values() if r.valid and r.expires > now
+        ]
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, dst: int) -> bool:
+        return dst in self._routes

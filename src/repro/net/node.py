@@ -1,0 +1,122 @@
+"""The node container: mobility + radios + MAC + routing + application glue.
+
+A :class:`Node` is deliberately thin — it owns no protocol logic, only the
+wiring: application packets go down through the routing protocol to the MAC;
+MAC deliveries come back up and are either consumed (destination), handed to
+routing (control packets), or forwarded (decrement TTL, re-route).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mac.frames import BROADCAST
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.base import MobilityModel
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mac.base import DcfMac
+    from repro.net.routing_base import RoutingProtocol
+
+
+class Node:
+    """One network node with its full protocol stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        *,
+        mobility: MobilityModel,
+        mac: "DcfMac",
+        routing: "RoutingProtocol",
+        metrics: MetricsCollector,
+        rngs: RngRegistry,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.mobility = mobility
+        self.mac = mac
+        self.routing = routing
+        self.metrics = metrics
+        self.rngs = rngs
+        self.tracer = tracer
+        mac.deliver_up = self._on_mac_deliver
+        mac.on_link_failure = self._on_mac_failure
+        routing.attach(self)
+
+    # ---------------------------------------------------------------- position
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """Current (x, y) position [m]."""
+        return self.mobility.position_at(self.sim.now)
+
+    # ------------------------------------------------------------- application
+
+    def app_send(self, packet: Packet) -> None:
+        """An application on this node emits ``packet``."""
+        self.metrics.on_app_send(packet)
+        self.tracer.emit(
+            self.sim.now, "app.tx", self.node_id, flow=packet.flow_id, seq=packet.seq
+        )
+        self.routing.route_packet(packet)
+
+    # ------------------------------------------------------------------ MAC API
+
+    def mac_send(self, packet: Packet, next_hop: int) -> None:
+        """Hand ``packet`` to the MAC bound for ``next_hop`` (routing's exit)."""
+        accepted = self.mac.enqueue_packet(packet, next_hop, needs_ack=True)
+        if not accepted:
+            self.metrics_drop(packet, "ifq_full")
+
+    def _on_mac_deliver(self, packet: Packet, from_node: int) -> None:
+        """A frame's payload surfaced from the MAC."""
+        if not isinstance(packet, Packet):
+            return
+        if packet.kind == "aodv":
+            self.routing.on_packet(packet, from_node)
+            return
+        packet.hops += 1  # one more MAC hop traversed
+        if packet.dst == self.node_id:
+            self.tracer.emit(
+                self.sim.now,
+                "app.rx",
+                self.node_id,
+                flow=packet.flow_id,
+                seq=packet.seq,
+            )
+            self.metrics.on_app_receive(packet, self.sim.now)
+            return
+        if packet.dst == BROADCAST:
+            return  # broadcast data is consumed where it lands
+        # Forwarding role.
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self.metrics_drop(packet, "ttl_expired")
+            return
+        self.routing.route_packet(packet)
+
+    def _on_mac_failure(self, packet: Packet, next_hop: int) -> None:
+        self.routing.on_mac_failure(packet, next_hop)
+
+    # ----------------------------------------------------------------- helpers
+
+    def metrics_drop(self, packet: Packet, reason: str) -> None:
+        """Attribute a packet loss."""
+        self.metrics.on_drop(packet, reason)
+        self.tracer.emit(
+            self.sim.now, "net.drop", self.node_id, reason=reason, flow=packet.flow_id
+        )
+
+    def rng_uniform(self, stream: str, low: float, high: float) -> float:
+        """One uniform draw from this node's named RNG stream."""
+        return self.rngs.uniform(f"{stream}.{self.node_id}", low, high)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Node({self.node_id}, mac={self.mac.name})"

@@ -1,0 +1,62 @@
+"""Network-layer packet.
+
+A packet is identified by ``(flow_id, seq)`` — the same pair PCMAC's
+handshake tables use as (session id, sequence number).  ``kind`` separates
+data traffic from routing control packets: PCMAC applies the three-way
+handshake only to ``kind == "data"`` (paper: "this three-way handshake
+mechanism only applies to data packet").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_packet_uids = itertools.count(1)
+
+#: Default initial TTL (hop limit) for data packets.
+DEFAULT_TTL = 32
+
+
+@dataclass(slots=True)
+class Packet:
+    """One network-layer packet.
+
+    Attributes:
+        flow_id: traffic flow (session) identifier; PCMAC session id.
+        seq: per-flow sequence number; PCMAC session seq.
+        src: originating node id.
+        dst: final destination node id.
+        size_bytes: payload size (512 in the paper's workload).
+        created_at: application send time [s] — end-to-end delay reference.
+        kind: ``"data"`` for application traffic, ``"aodv"`` for routing.
+        ttl: remaining hop budget.
+        hops: hops traversed so far.
+        payload: routing message for ``kind == "aodv"``; opaque otherwise.
+        uid: globally unique id (tracing, loss attribution).
+    """
+
+    flow_id: int
+    seq: int
+    src: int
+    dst: int
+    size_bytes: int
+    created_at: float
+    kind: str = "data"
+    ttl: int = DEFAULT_TTL
+    hops: int = 0
+    payload: Any = None
+    uid: int = field(default_factory=lambda: next(_packet_uids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {self.size_bytes!r}")
+        if self.ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {self.ttl!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Packet(flow={self.flow_id} seq={self.seq} "
+            f"{self.src}->{self.dst} kind={self.kind})"
+        )

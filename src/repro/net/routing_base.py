@@ -1,0 +1,43 @@
+"""Routing protocol interface.
+
+A routing protocol mediates between the node's network layer and its MAC:
+
+* :meth:`route_packet` — resolve a next hop for an outbound/forwarded packet
+  and hand it to the MAC (or buffer it pending discovery);
+* :meth:`on_mac_failure` — the MAC exhausted retries toward a next hop
+  (NS-2's link-breakage signal, which AODV turns into an RERR);
+* :meth:`on_packet` — a routing control packet arrived for this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.node import Node
+
+
+class RoutingProtocol:
+    """Base class for routing protocols."""
+
+    def attach(self, node: "Node") -> None:
+        """Bind to the owning node (called once during node construction)."""
+        self.node = node
+
+    def route_packet(self, packet: Packet) -> None:
+        """Resolve a route for ``packet`` and transmit or buffer it."""
+        raise NotImplementedError
+
+    def on_mac_failure(self, packet: Packet, next_hop: int) -> None:
+        """The MAC dropped ``packet`` after exhausting retries to ``next_hop``."""
+        raise NotImplementedError
+
+    def on_packet(self, packet: Packet, from_node: int) -> None:
+        """A routing control packet (``kind == 'aodv'`` etc.) arrived."""
+        raise NotImplementedError
+
+    def stats(self) -> dict[str, int]:
+        """Protocol counters for the metrics layer."""
+        return {}

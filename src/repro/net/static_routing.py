@@ -1,0 +1,82 @@
+"""Static shortest-path routing for controlled (immobile) experiments.
+
+Routes are precomputed over the maximum-power connectivity graph with
+networkx and never change.  This removes routing dynamics from experiments
+that study pure MAC behaviour (the paper's Figure 1/4/6 scenarios and several
+tests), at the cost of being wrong under mobility — use AODV there.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.net.packet import Packet
+from repro.net.routing_base import RoutingProtocol
+
+
+class StaticRouting(RoutingProtocol):
+    """Fixed next-hop tables from a precomputed connectivity graph."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self._graph = graph
+        self._next_hop: dict[tuple[int, int], int] = {}
+        self._unroutable = 0
+        self._failures = 0
+        for src, paths in nx.all_pairs_shortest_path(graph):
+            for dst, path in paths.items():
+                if len(path) >= 2:
+                    self._next_hop[(src, dst)] = path[1]
+
+    def view(self) -> "StaticRouting":
+        """A per-node instance sharing this table.
+
+        Routing protocols bind 1:1 to nodes (``attach`` stores the owner), so
+        a shared shortest-path table is exposed to each node through a cheap
+        view object.
+        """
+        clone = object.__new__(StaticRouting)
+        clone._graph = self._graph
+        clone._next_hop = self._next_hop
+        clone._unroutable = 0
+        clone._failures = 0
+        return clone
+
+    @classmethod
+    def from_positions(
+        cls, positions: dict[int, tuple[float, float]], comm_range_m: float
+    ) -> "StaticRouting":
+        """Build from node positions with a disc connectivity model."""
+        g = nx.Graph()
+        g.add_nodes_from(positions)
+        items = sorted(positions.items())
+        for i, (a, pa) in enumerate(items):
+            for b, pb in items[i + 1 :]:
+                dx = pa[0] - pb[0]
+                dy = pa[1] - pb[1]
+                if (dx * dx + dy * dy) ** 0.5 <= comm_range_m:
+                    g.add_edge(a, b)
+        return cls(g)
+
+    def next_hop(self, src: int, dst: int) -> int | None:
+        """The precomputed next hop from ``src`` toward ``dst``."""
+        return self._next_hop.get((src, dst))
+
+    def route_packet(self, packet: Packet) -> None:
+        nh = self.next_hop(self.node.node_id, packet.dst)
+        if nh is None:
+            self._unroutable += 1
+            self.node.metrics_drop(packet, "no_route")
+            return
+        self.node.mac_send(packet, nh)
+
+    def on_mac_failure(self, packet: Packet, next_hop: int) -> None:
+        # Static routes cannot heal; the loss is recorded and that is all.
+        self._failures += 1
+        self.node.metrics_drop(packet, "mac_failure")
+
+    def on_packet(self, packet: Packet, from_node: int) -> None:
+        # Static routing has no control traffic.
+        pass
+
+    def stats(self) -> dict[str, int]:
+        return {"unroutable": self._unroutable, "mac_failures": self._failures}

@@ -1,0 +1,39 @@
+"""Physical layer: propagation, power levels, radios and channels.
+
+The PHY reproduces NS-2's wireless model for the Lucent WaveLAN card that the
+paper simulates: two-ray ground propagation at 914 MHz, a 2 Mbps data
+channel, decode/carrier-sense thresholds tuned for 250 m / 550 m ranges at
+the maximum power level, and a capture threshold (``CPThresh``) of 10.
+
+On top of NS-2's model, :class:`~repro.phy.radio.Radio` tracks the full
+interference sum over each reception and fails the frame if the SINR ever
+dips below the capture threshold — strictly more physical than NS-2 2.1b8a's
+start-of-reception check, and the behaviour the paper's noise-tolerance
+arithmetic assumes.
+"""
+
+from repro.phy.channel import Channel
+from repro.phy.frame import PhyFrame
+from repro.phy.noise import ConstantNoise
+from repro.phy.power import PowerLevelTable, needed_tx_power
+from repro.phy.propagation import (
+    FreeSpace,
+    LogDistanceShadowing,
+    PropagationModel,
+    TwoRayGround,
+)
+from repro.phy.radio import Radio, RadioListener
+
+__all__ = [
+    "Channel",
+    "ConstantNoise",
+    "FreeSpace",
+    "LogDistanceShadowing",
+    "PhyFrame",
+    "PowerLevelTable",
+    "PropagationModel",
+    "Radio",
+    "RadioListener",
+    "TwoRayGround",
+    "needed_tx_power",
+]

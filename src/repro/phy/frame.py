@@ -1,0 +1,53 @@
+"""PHY-layer frame wrapper: airtime accounting for anything a radio emits.
+
+A :class:`PhyFrame` binds a MAC-layer payload object to the physical
+parameters of its transmission: size, bit rate, PLCP overhead and transmit
+power.  Radios and channels treat the payload as opaque.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.units import bits
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass(slots=True)
+class PhyFrame:
+    """One over-the-air frame.
+
+    Attributes:
+        payload: the MAC frame object being carried (opaque to the PHY).
+        size_bytes: serialised size including MAC overhead.
+        bitrate_bps: payload serialisation rate.
+        plcp_s: PHY preamble+header airtime prepended to the payload.
+        tx_power_w: transmit power (also advertised in the MAC header, per
+            the paper, so receivers can estimate channel gain).
+        src: transmitting node id.
+        frame_id: unique id for tracing and signal bookkeeping.
+    """
+
+    payload: Any
+    size_bytes: int
+    bitrate_bps: float
+    plcp_s: float
+    tx_power_w: float
+    src: int
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {self.size_bytes!r}")
+        if self.bitrate_bps <= 0:
+            raise ValueError(f"bitrate must be positive, got {self.bitrate_bps!r}")
+        if self.tx_power_w <= 0:
+            raise ValueError(f"tx power must be positive, got {self.tx_power_w!r}")
+
+    @property
+    def duration_s(self) -> float:
+        """Total airtime [s]: PLCP overhead plus payload serialisation."""
+        return self.plcp_s + bits(self.size_bytes) / self.bitrate_bps

@@ -1,0 +1,46 @@
+"""Receiver noise models.
+
+The paper's arithmetic needs a well-defined ambient noise power ``P_n`` at
+every receiver (noise tolerance is ``P_r / C_p − P_n``).  The default is a
+constant floor; :class:`ThermalNoise` derives the floor from bandwidth and a
+noise figure for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import thermal_noise_watts
+
+
+class NoiseModel:
+    """Interface: ambient noise power at a receiver."""
+
+    def noise_w(self) -> float:
+        """Current ambient noise power [W] excluding co-channel interference."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantNoise(NoiseModel):
+    """A fixed ambient noise floor."""
+
+    floor_w: float = 1e-13
+
+    def __post_init__(self) -> None:
+        if self.floor_w <= 0:
+            raise ValueError(f"noise floor must be positive, got {self.floor_w!r}")
+
+    def noise_w(self) -> float:
+        return self.floor_w
+
+
+@dataclass(frozen=True)
+class ThermalNoise(NoiseModel):
+    """kT0B thermal noise with a receiver noise figure."""
+
+    bandwidth_hz: float = 22e6
+    noise_figure_db: float = 10.0
+
+    def noise_w(self) -> float:
+        return thermal_noise_watts(self.bandwidth_hz, self.noise_figure_db)

@@ -1,0 +1,148 @@
+"""Discrete transmission power levels and needed-power arithmetic.
+
+The paper adopts ten power levels (1 mW … 281.8 mW) whose decode ranges under
+the NS-2 two-ray model are 40 m … 250 m.  :class:`PowerLevelTable` owns the
+level set and the quantisation rules: protocols never transmit at arbitrary
+powers, they *select a level*, exactly as the paper's Step 2 ("increases its
+power level by one class until gets to maximal level").
+
+:func:`needed_tx_power` implements the paper's estimator
+``p_needed = p_th · p_t / s``: given that a frame sent at power ``p_t`` was
+observed at strength ``s``, the channel gain is ``s / p_t`` and reaching the
+decode threshold ``p_th`` requires ``p_th / gain``.  A configurable margin
+(>1) absorbs fading between observation and use.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.phy.propagation import PropagationModel
+
+
+def needed_tx_power(
+    observed_power_w: float,
+    tx_power_used_w: float,
+    decode_threshold_w: float,
+    margin: float = 1.0,
+) -> float:
+    """Minimum transmit power [W] to reach the decode threshold.
+
+    Args:
+        observed_power_w: signal strength ``s`` at which a frame was received.
+        tx_power_used_w: power ``p_t`` at which that frame was transmitted
+            (carried in the frame header per the paper).
+        decode_threshold_w: receiver decode threshold ``p_th``.
+        margin: linear safety factor (≥1) applied to the threshold.
+
+    Returns:
+        The continuous-valued needed power; quantise with
+        :meth:`PowerLevelTable.select`.
+    """
+    if observed_power_w <= 0 or tx_power_used_w <= 0 or decode_threshold_w <= 0:
+        raise ValueError("powers must be positive")
+    if margin < 1.0:
+        raise ValueError(f"margin must be >= 1, got {margin!r}")
+    gain = observed_power_w / tx_power_used_w
+    return decode_threshold_w * margin / gain
+
+
+@dataclass(frozen=True)
+class PowerLevelTable:
+    """An ascending tuple of permissible transmit powers [W]."""
+
+    levels_w: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels_w:
+            raise ValueError("levels_w must be non-empty")
+        if any(p <= 0 for p in self.levels_w):
+            raise ValueError("all power levels must be positive")
+        if list(self.levels_w) != sorted(self.levels_w):
+            raise ValueError("levels_w must be ascending")
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def max_w(self) -> float:
+        """The maximum ("normal") power level [W]."""
+        return self.levels_w[-1]
+
+    @property
+    def min_w(self) -> float:
+        """The smallest power level [W]."""
+        return self.levels_w[0]
+
+    def __len__(self) -> int:
+        return len(self.levels_w)
+
+    def __iter__(self):
+        return iter(self.levels_w)
+
+    def index_of(self, power_w: float) -> int:
+        """Index of an exact level; raises ValueError if not a table entry."""
+        try:
+            return self.levels_w.index(power_w)
+        except ValueError:
+            raise ValueError(f"{power_w!r} W is not a table level") from None
+
+    # -- selection ------------------------------------------------------------
+
+    def select(self, needed_w: float) -> float:
+        """Smallest level ≥ ``needed_w``, clamped to the maximum level.
+
+        Clamping mirrors the paper: when even the maximum level cannot meet
+        the requirement the node still tries at maximum (the attempt may fail
+        and escalate through MAC retries).
+        """
+        if needed_w <= 0:
+            raise ValueError(f"needed power must be positive, got {needed_w!r}")
+        i = bisect.bisect_left(self.levels_w, needed_w)
+        if i >= len(self.levels_w):
+            return self.max_w
+        return self.levels_w[i]
+
+    def step_up(self, power_w: float) -> float:
+        """The next level above ``power_w`` (paper Step 2's "one class up");
+        returns the maximum if already at or above it."""
+        i = bisect.bisect_right(self.levels_w, power_w)
+        if i >= len(self.levels_w):
+            return self.max_w
+        return self.levels_w[i]
+
+    def is_max(self, power_w: float) -> bool:
+        """True if ``power_w`` is at (or numerically above) the top level."""
+        return power_w >= self.max_w
+
+    # -- derived tables ---------------------------------------------------------
+
+    def decode_ranges(
+        self, model: PropagationModel, rx_threshold_w: float
+    ) -> list[float]:
+        """Decode range [m] of every level under ``model`` — the paper's
+        power-level ↔ range table."""
+        return [model.range_for(p, rx_threshold_w) for p in self.levels_w]
+
+    def sensing_ranges(
+        self, model: PropagationModel, cs_threshold_w: float
+    ) -> list[float]:
+        """Carrier-sensing range [m] of every level under ``model``."""
+        return [model.range_for(p, cs_threshold_w) for p in self.levels_w]
+
+    def level_for_distance(
+        self,
+        dist_m: float,
+        model: PropagationModel,
+        rx_threshold_w: float,
+        margin: float = 1.0,
+    ) -> float:
+        """Smallest level whose decode range covers ``dist_m`` (with margin).
+
+        A geometry-based helper for tests and scenario construction; the
+        protocols themselves learn powers from observed frames instead.
+        """
+        gain = model.gain_at(dist_m)
+        if gain <= 0:
+            return self.max_w
+        return self.select(rx_threshold_w * margin / gain)

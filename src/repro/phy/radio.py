@@ -1,0 +1,369 @@
+"""Half-duplex radio with SINR tracking, capture and carrier-sense edges.
+
+State machine
+-------------
+A radio is either transmitting (``tx_frame`` set), locked onto an incoming
+frame it is trying to decode (``lock`` set), or neither.  Independently it
+tracks the *total* in-band received power from all concurrent arrivals; the
+carrier is "busy" whenever that total meets the carrier-sense threshold or
+the radio itself transmits.
+
+Decode rules (NS-2 ``CPThresh`` semantics, made interference-cumulative):
+
+* A new arrival is **lockable** iff the radio is neither transmitting nor
+  already locked, its received power meets ``rx_threshold_w``, and its SINR
+  against all other current arrivals plus the noise floor meets the capture
+  threshold.
+* While locked, every interference change re-checks the lock's SINR; one dip
+  below the capture threshold latches corruption (a real receiver cannot
+  "unsee" the corrupted symbols).
+* An arrival that was decodable in power but could not be locked (receiver
+  busy, or SINR too low at its start) counts as a *failed decode attempt* —
+  this is what drives the MAC's EIFS deferral, which the paper's
+  asymmetric-link argument depends on.
+
+Carrier-sense edge reporting to the MAC: ``on_carrier_idle(failed)`` carries
+whether the ending busy period should be followed by EIFS (it contained
+foreign energy and its last decode attempt did not succeed — "can sense but
+cannot decode" per the paper's Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.phy.frame import PhyFrame
+from repro.phy.noise import NoiseModel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class RadioListener(Protocol):
+    """MAC-facing callbacks a radio invokes."""
+
+    def on_carrier_busy(self) -> None:
+        """Total in-band power rose to the carrier-sense threshold."""
+
+    def on_carrier_idle(self, failed: bool) -> None:
+        """Carrier dropped below threshold; ``failed`` requests EIFS."""
+
+    def on_rx_start(self, frame: PhyFrame) -> None:
+        """The radio locked onto ``frame`` and is attempting to decode it."""
+
+    def on_rx_end(self, frame: PhyFrame, ok: bool, rx_power_w: float) -> None:
+        """A locked frame finished; ``ok`` is the decode outcome."""
+
+    def on_tx_end(self, frame: PhyFrame) -> None:
+        """The radio finished transmitting ``frame``."""
+
+
+class _NullListener:
+    """Default listener: ignores everything (used before a MAC attaches)."""
+
+    def on_carrier_busy(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def on_carrier_idle(self, failed: bool) -> None:  # pragma: no cover
+        pass
+
+    def on_rx_start(self, frame: PhyFrame) -> None:  # pragma: no cover
+        pass
+
+    def on_rx_end(self, frame, ok, rx_power_w) -> None:  # pragma: no cover
+        pass
+
+    def on_tx_end(self, frame: PhyFrame) -> None:  # pragma: no cover
+        pass
+
+
+@dataclass(slots=True)
+class _Arrival:
+    """One in-flight signal as seen by this radio."""
+
+    frame: PhyFrame
+    power_w: float
+    end_time: float
+
+
+class RadioError(RuntimeError):
+    """Raised on protocol misuse of the radio (e.g. TX while TX)."""
+
+
+class Radio:
+    """A single half-duplex radio attached to one channel.
+
+    Args:
+        sim: the simulation kernel.
+        node_id: owning node id (for traces).
+        position_fn: callable returning the node's current (x, y) [m].
+        rx_threshold_w: minimum power to decode.
+        cs_threshold_w: minimum power to sense carrier.
+        capture_threshold: required linear SINR for successful decode.
+        noise: ambient noise model.
+        tracer: optional structured tracer.
+    """
+
+    __slots__ = (
+        "sim",
+        "node_id",
+        "position_fn",
+        "rx_threshold_w",
+        "cs_threshold_w",
+        "capture_threshold",
+        "noise",
+        "tracer",
+        "listener",
+        "channel_name",
+        "_arrivals",
+        "_total_power_w",
+        "_lock",
+        "_lock_corrupted",
+        "_tx_frame",
+        "_tx_end_event",
+        "_busy_reported",
+        "_busy_saw_foreign",
+        "_busy_last_decode",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        position_fn: Callable[[], tuple[float, float]],
+        *,
+        rx_threshold_w: float,
+        cs_threshold_w: float,
+        capture_threshold: float,
+        noise: NoiseModel,
+        tracer: Tracer = NULL_TRACER,
+        channel_name: str = "data",
+    ) -> None:
+        if rx_threshold_w <= cs_threshold_w:
+            raise ValueError("rx threshold must exceed cs threshold")
+        self.sim = sim
+        self.node_id = node_id
+        self.position_fn = position_fn
+        self.rx_threshold_w = rx_threshold_w
+        self.cs_threshold_w = cs_threshold_w
+        self.capture_threshold = capture_threshold
+        self.noise = noise
+        self.tracer = tracer
+        self.listener: RadioListener = _NullListener()
+        self.channel_name = channel_name
+        self._arrivals: dict[int, _Arrival] = {}
+        self._total_power_w = 0.0
+        self._lock: _Arrival | None = None
+        self._lock_corrupted = False
+        self._tx_frame: PhyFrame | None = None
+        self._tx_end_event = None
+        # Carrier-sense busy-period bookkeeping.
+        self._busy_reported = False
+        self._busy_saw_foreign = False
+        self._busy_last_decode: bool | None = None  # None = no attempt yet
+        self.stats = {
+            "tx_frames": 0,
+            "rx_ok": 0,
+            "rx_corrupted": 0,
+            "rx_unlockable": 0,
+            "rx_aborted_by_tx": 0,
+        }
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """Current node position [m]."""
+        return self.position_fn()
+
+    @property
+    def transmitting(self) -> bool:
+        """True while this radio is emitting a frame."""
+        return self._tx_frame is not None
+
+    @property
+    def receiving(self) -> bool:
+        """True while locked onto an incoming frame."""
+        return self._lock is not None
+
+    @property
+    def lock_power_w(self) -> float | None:
+        """Received power of the frame currently being decoded, if any."""
+        return self._lock.power_w if self._lock is not None else None
+
+    @property
+    def lock_end_time(self) -> float | None:
+        """When the current locked reception finishes, if any."""
+        return self._lock.end_time if self._lock is not None else None
+
+    @property
+    def tx_end_time(self) -> float | None:
+        """When the current transmission finishes, if any."""
+        return self._tx_end_event.time if self._tx_end_event is not None else None
+
+    @property
+    def carrier_busy(self) -> bool:
+        """Medium state as 802.11 sees it: own TX or sensed energy."""
+        return self.transmitting or self._total_power_w >= self.cs_threshold_w
+
+    @property
+    def total_power_w(self) -> float:
+        """Sum of all in-flight arrival powers at this radio [W]."""
+        return self._total_power_w
+
+    @property
+    def interference_w(self) -> float:
+        """Noise floor plus all arrival power not part of the current lock."""
+        lock_p = self._lock.power_w if self._lock is not None else 0.0
+        return self.noise.noise_w() + max(self._total_power_w - lock_p, 0.0)
+
+    def sinr_of(self, power_w: float) -> float:
+        """SINR a signal of ``power_w`` would see against current arrivals.
+
+        The signal's own power is excluded from the interference sum if it is
+        already among the arrivals (caller passes the arrival's power).
+        """
+        other = max(self._total_power_w - power_w, 0.0)
+        return power_w / (self.noise.noise_w() + other)
+
+    # ------------------------------------------------------------- transmit
+
+    def begin_tx(self, frame: PhyFrame) -> None:
+        """Start emitting ``frame``; schedules the local TX-end event.
+
+        The channel is responsible for delivering the signal to other radios.
+        Raises :class:`RadioError` if already transmitting (a MAC bug).
+        """
+        if self._tx_frame is not None:
+            raise RadioError(
+                f"node {self.node_id}: begin_tx while already transmitting"
+            )
+        if self._lock is not None:
+            # Transmitting stomps an ongoing reception; the lock is silently
+            # abandoned (we are now deaf) and counted.  A correct MAC only
+            # hits this through deliberate protocol choices.
+            self.stats["rx_aborted_by_tx"] += 1
+            self._lock = None
+            self._lock_corrupted = False
+        was_busy = self._busy_reported
+        self._tx_frame = frame
+        self.stats["tx_frames"] += 1
+        self.tracer.emit(
+            self.sim.now,
+            "phy.tx",
+            self.node_id,
+            frame=frame.frame_id,
+            power_w=frame.tx_power_w,
+            dur=frame.duration_s,
+            chan=self.channel_name,
+        )
+        self._tx_end_event = self.sim.schedule_in(
+            frame.duration_s, self._finish_tx, label="phy.tx_end"
+        )
+        if not was_busy:
+            self._busy_reported = True
+            self.listener.on_carrier_busy()
+
+    def _finish_tx(self) -> None:
+        frame = self._tx_frame
+        assert frame is not None
+        self._tx_frame = None
+        self._tx_end_event = None
+        self.listener.on_tx_end(frame)
+        # Re-evaluate carrier state now that our own emission stopped.
+        self._update_carrier()
+
+    # -------------------------------------------------------------- receive
+
+    def signal_start(self, frame: PhyFrame, rx_power_w: float) -> None:
+        """A signal's leading edge reached this radio (called by the channel)."""
+        arrival = _Arrival(frame, rx_power_w, self.sim.now + frame.duration_s)
+        self._arrivals[frame.frame_id] = arrival
+        self._total_power_w += rx_power_w
+        self._busy_saw_foreign = True
+
+        if self._tx_frame is not None:
+            # Deaf while transmitting; energy still tracked above.
+            self._update_carrier()
+            return
+
+        if self._lock is None:
+            if rx_power_w >= self.rx_threshold_w:
+                if self.sinr_of(rx_power_w) >= self.capture_threshold:
+                    self._lock = arrival
+                    self._lock_corrupted = False
+                    self.listener.on_rx_start(frame)
+                else:
+                    # Decodable power but drowned at its start: failed attempt.
+                    self.stats["rx_unlockable"] += 1
+                    self._busy_last_decode = False
+        else:
+            # Interference rose for the current lock: re-check its SINR.
+            if (
+                not self._lock_corrupted
+                and self.sinr_of(self._lock.power_w) < self.capture_threshold
+            ):
+                self._lock_corrupted = True
+            if rx_power_w >= self.rx_threshold_w:
+                # Arrived while the receiver was occupied: cannot be decoded.
+                self.stats["rx_unlockable"] += 1
+        self._update_carrier()
+
+    def signal_end(self, frame_id: int) -> None:
+        """A signal's trailing edge passed this radio (called by the channel)."""
+        arrival = self._arrivals.pop(frame_id, None)
+        if arrival is None:
+            return
+        self._total_power_w -= arrival.power_w
+        if not self._arrivals:
+            # Kill accumulated float drift whenever the air goes quiet.
+            self._total_power_w = 0.0
+
+        if self._lock is arrival:
+            ok = not self._lock_corrupted and self._tx_frame is None
+            self._lock = None
+            self._lock_corrupted = False
+            self._busy_last_decode = ok
+            if ok:
+                self.stats["rx_ok"] += 1
+                self.tracer.emit(
+                    self.sim.now,
+                    "phy.rx_ok",
+                    self.node_id,
+                    frame=arrival.frame.frame_id,
+                    power_w=arrival.power_w,
+                    chan=self.channel_name,
+                )
+            else:
+                self.stats["rx_corrupted"] += 1
+                self.tracer.emit(
+                    self.sim.now,
+                    "phy.rx_err",
+                    self.node_id,
+                    frame=arrival.frame.frame_id,
+                    power_w=arrival.power_w,
+                    chan=self.channel_name,
+                )
+            self.listener.on_rx_end(arrival.frame, ok, arrival.power_w)
+        self._update_carrier()
+
+    # ---------------------------------------------------------- carrier sense
+
+    def _update_carrier(self) -> None:
+        busy_now = self.carrier_busy
+        if busy_now and not self._busy_reported:
+            self._busy_reported = True
+            self._busy_saw_foreign = bool(self._arrivals)
+            self._busy_last_decode = None
+            self.tracer.emit(self.sim.now, "phy.cs", self.node_id, busy=True)
+            self.listener.on_carrier_busy()
+        elif not busy_now and self._busy_reported:
+            self._busy_reported = False
+            failed = self._busy_saw_foreign and self._busy_last_decode is not True
+            self._busy_saw_foreign = False
+            self._busy_last_decode = None
+            self.tracer.emit(
+                self.sim.now, "phy.cs", self.node_id, busy=False, failed=failed
+            )
+            self.listener.on_carrier_idle(failed)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the NS-2 substitute: a deterministic, binary-heap based
+event scheduler (:class:`~repro.sim.kernel.Simulator`), named reproducible
+random streams (:class:`~repro.sim.rng.RngRegistry`), structured tracing
+(:mod:`repro.sim.trace`) and timer/periodic-task helpers
+(:mod:`repro.sim.process`).
+"""
+
+from repro.sim.event import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicTask, Timer
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "PeriodicTask",
+    "RngRegistry",
+    "Simulator",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+]

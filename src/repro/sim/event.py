@@ -1,0 +1,122 @@
+"""Event primitives for the discrete-event kernel.
+
+Events are ordered by ``(time, priority, sequence)``.  The monotonically
+increasing sequence number guarantees a *stable, deterministic* ordering for
+events scheduled at the same instant — a property the MAC layer relies on
+(e.g. a carrier-sense BUSY edge must be observed before a same-instant
+backoff expiry fires in scheduling order).
+
+Performance note: the heap stores plain ``(time, priority, seq, event)``
+tuples so ordering comparisons run entirely in C tuple comparison — the
+unique ``seq`` guarantees the :class:`Event` object itself is never compared.
+Profiling showed a dataclass ``__lt__`` here cost ~40 % of total runtime on
+paper-scale runs.
+
+Cancellation is O(1) lazy: a cancelled event stays in the heap but is skipped
+when popped.  This is the standard approach for simulators with heavy timer
+churn (every MAC frame sets and usually cancels a timeout).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time at which the event fires [s].
+        priority: tie-break rank; lower fires first at equal time.
+        seq: insertion sequence number (assigned by the queue).
+        fn: zero-argument callable invoked when the event fires.
+        label: human-readable tag for traces and debugging.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "label")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[[], Any] | None,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called (or the event fired)."""
+        return self.fn is None
+
+    def cancel(self) -> None:
+        """Cancel the event; it is skipped when its heap entry surfaces."""
+        self.fn = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(t={self.time!r}, {self.label or 'anon'}, {state})"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._live = 0
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn`` at absolute time ``time`` and return the event."""
+        ev = Event(time, priority, self._seq, fn, label)
+        heapq.heappush(self._heap, (time, priority, self._seq, ev))
+        self._seq += 1
+        self._live += 1
+        return ev
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or None if empty.
+
+        Cancelled events are discarded transparently.
+        """
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[3]
+            if ev.fn is None:
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event without removing it."""
+        heap = self._heap
+        while heap and heap[0][3].fn is None:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: a previously pushed event was cancelled."""
+        self._live -= 1
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

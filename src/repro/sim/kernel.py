@@ -1,0 +1,152 @@
+"""The simulation kernel: a clock plus an event queue.
+
+Design notes
+------------
+The kernel is intentionally tiny — all protocol behaviour lives in the PHY /
+MAC / routing layers, which interact with the kernel only through
+:meth:`Simulator.schedule` / :meth:`Simulator.cancel` and :attr:`Simulator.now`.
+That keeps the hot loop (pop event, advance clock, call handler) free of
+indirection, which matters: a full paper-scale run executes tens of millions
+of events.  Profiling (per the optimisation guide: measure first) showed the
+heap operations and handler dispatch dominate; both are already minimal here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.event import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, running twice...)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+        >>> sim.run_until(10.0)
+        >>> fired
+        [1.5]
+    """
+
+    __slots__ = ("_queue", "_now", "_running", "_events_executed", "_stopped")
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time [s]."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events dispatched so far (for perf accounting)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn`` at absolute simulation time ``time``.
+
+        Scheduling in the past raises :class:`SimulationError`; scheduling at
+        exactly ``now`` is allowed and fires after the current handler returns.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} < now={self._now!r} ({label or fn!r})"
+            )
+        return self._queue.push(time, fn, priority=priority, label=label)
+
+    def schedule_in(
+        self,
+        delay: float,
+        fn: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn`` after a non-negative relative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r} for {label or fn!r}")
+        return self._queue.push(self._now + delay, fn, priority=priority, label=label)
+
+    def cancel(self, event: Event | None) -> None:
+        """Cancel a previously scheduled event (no-op on None / already done)."""
+        if event is not None and not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # -- execution -----------------------------------------------------------
+
+    def run_until(self, end_time: float) -> None:
+        """Dispatch events in order until the queue drains or ``end_time``.
+
+        The clock is left at ``end_time`` (or the last event time if the
+        queue drained earlier and that is later — it cannot be).
+        """
+        if self._running:
+            raise SimulationError("run_until re-entered — simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        try:
+            while True:
+                if self._stopped:
+                    break
+                nxt = queue.peek_time()
+                if nxt is None or nxt > end_time:
+                    break
+                ev = queue.pop()
+                assert ev is not None and ev.fn is not None
+                self._now = ev.time
+                fn = ev.fn
+                ev.fn = None  # mark consumed; cheap guard against re-fire
+                self._events_executed += 1
+                fn()
+            if not self._stopped and self._now < end_time:
+                # A drained queue still advances the clock to the horizon; a
+                # stop() leaves it at the stopping event's time.
+                self._now = end_time
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Dispatch exactly one event.  Returns False if the queue is empty."""
+        ev = self._queue.pop()
+        if ev is None:
+            return False
+        assert ev.fn is not None
+        self._now = ev.time
+        fn = ev.fn
+        ev.fn = None
+        self._events_executed += 1
+        fn()
+        return True
+
+    def stop(self) -> None:
+        """Request that :meth:`run_until` return after the current handler."""
+        self._stopped = True

@@ -1,0 +1,100 @@
+"""Timer and periodic-task helpers built on the kernel.
+
+The MAC layer manages most of its timers inline (the pattern there is
+set-and-usually-cancel, cheapest done directly against the kernel), but
+application and routing layers use these wrappers for clarity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.event import Event
+from repro.sim.kernel import Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` (re)arms the timer; a running timer is cancelled first, so a
+    Timer can be safely re-armed from any state.
+    """
+
+    __slots__ = ("_sim", "_fn", "_event", "label")
+
+    def __init__(self, sim: Simulator, fn: Callable[[], Any], label: str = "") -> None:
+        self._sim = sim
+        self._fn = fn
+        self._event: Event | None = None
+        self.label = label
+
+    @property
+    def running(self) -> bool:
+        """True while armed and not yet fired/cancelled."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry(self) -> float | None:
+        """Absolute expiry time, or None if not running."""
+        return self._event.time if self.running else None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule_in(delay, self._fire, label=self.label)
+
+    def cancel(self) -> None:
+        """Disarm without firing; safe when not running."""
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn()
+
+
+class PeriodicTask:
+    """Invoke a callback at a fixed period until stopped.
+
+    The first invocation happens ``offset`` seconds after :meth:`start`
+    (default: one full period).
+    """
+
+    __slots__ = ("_sim", "_fn", "_period", "_event", "label")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fn: Callable[[], Any],
+        period: float,
+        label: str = "",
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self._sim = sim
+        self._fn = fn
+        self._period = period
+        self._event: Event | None = None
+        self.label = label
+
+    @property
+    def running(self) -> bool:
+        """True while the task is scheduled."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, offset: float | None = None) -> None:
+        """Begin periodic invocation; ``offset`` defaults to one period."""
+        self.stop()
+        delay = self._period if offset is None else offset
+        self._event = self._sim.schedule_in(delay, self._tick, label=self.label)
+
+    def stop(self) -> None:
+        """Stop invoking; safe when not running."""
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        self._event = self._sim.schedule_in(self._period, self._tick, label=self.label)
+        self._fn()

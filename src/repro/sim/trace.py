@@ -1,0 +1,116 @@
+"""Structured tracing and counters (the NS-2 trace-file analogue).
+
+A :class:`Tracer` collects :class:`TraceRecord` tuples and integer counters.
+Tracing is opt-in per category so that paper-scale runs pay nothing for
+categories nobody subscribed to: ``tracer.enabled(cat)`` is a set lookup and
+the record is only constructed when enabled.
+
+Categories used by the stack:
+
+====================  =====================================================
+``phy.tx``            a radio began transmitting a frame
+``phy.rx_ok``         a frame was received and decoded
+``phy.rx_err``        a frame reception failed (collision / weak signal)
+``phy.cs``            carrier sense busy/idle edges
+``mac.send``          MAC accepted a packet for transmission
+``mac.drop``          MAC dropped a packet (retries exhausted / queue full)
+``mac.handshake``     RTS/CTS/DATA/ACK milestones
+``mac.defer``         deferrals (NAV, EIFS, PCMAC admission)
+``pcmac.pcn``         power-control notifications sent/heard
+``net.route``         routing events (RREQ/RREP/RERR, route add/del)
+``app.tx/app.rx``     application-layer send/deliver
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace line: time, category, node, and free-form detail fields."""
+
+    time: float
+    category: str
+    node: int
+    detail: tuple[tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Fetch a detail field by name."""
+        for k, v in self.detail:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        """The record as a plain dict (for analysis / DataFrame-ish use)."""
+        out: dict[str, Any] = {
+            "time": self.time,
+            "category": self.category,
+            "node": self.node,
+        }
+        out.update(self.detail)
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kv = " ".join(f"{k}={v}" for k, v in self.detail)
+        return f"{self.time:.6f} {self.category} n{self.node} {kv}"
+
+
+@dataclass
+class Tracer:
+    """Collects trace records for enabled categories plus global counters."""
+
+    enabled_categories: set[str] = field(default_factory=set)
+    records: list[TraceRecord] = field(default_factory=list)
+    counters: Counter = field(default_factory=Counter)
+    #: Hard cap on stored records to bound memory in long runs.
+    max_records: int = 2_000_000
+
+    def enable(self, *categories: str) -> None:
+        """Enable record collection for the given categories."""
+        self.enabled_categories.update(categories)
+
+    def enabled(self, category: str) -> bool:
+        """True if records of ``category`` are being stored."""
+        return category in self.enabled_categories
+
+    def emit(self, time: float, category: str, node: int, **detail: Any) -> None:
+        """Store a record if its category is enabled (counters always bump)."""
+        self.counters[category] += 1
+        if category in self.enabled_categories and len(self.records) < self.max_records:
+            self.records.append(
+                TraceRecord(time, category, node, tuple(detail.items()))
+            )
+
+    def count(self, category: str) -> int:
+        """Number of emissions of ``category`` (whether or not stored)."""
+        return self.counters[category]
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named counter without a record."""
+        self.counters[counter] += amount
+
+    def query(
+        self, category: str | None = None, node: int | None = None
+    ) -> Iterable[TraceRecord]:
+        """Iterate stored records filtered by category and/or node."""
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            yield rec
+
+    def clear(self) -> None:
+        """Drop all stored records and counters."""
+        self.records.clear()
+        self.counters.clear()
+
+
+#: A process-wide tracer that ignores everything; used as the default so the
+#: hot path never needs a None check.
+NULL_TRACER = Tracer()

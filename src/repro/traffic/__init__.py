@@ -1,0 +1,6 @@
+"""Application-layer traffic generators (the paper's CBR/UDP workload)."""
+
+from repro.traffic.cbr import CbrSource
+from repro.traffic.poisson import PoissonSource
+
+__all__ = ["CbrSource", "PoissonSource"]

@@ -1,0 +1,58 @@
+"""Constant-bit-rate source over the UDP-like datagram service.
+
+The paper's workload: 512-byte packets at a constant rate, 10 flows.  There
+is no transport-layer reliability — losses are losses, which is what the
+aggregate-throughput metric measures.
+"""
+
+from __future__ import annotations
+
+from repro.net.node import Node
+from repro.net.packet import Packet
+
+
+class CbrSource:
+    """Emits fixed-size packets at a fixed interval from ``node`` to ``dst``."""
+
+    def __init__(
+        self,
+        node: Node,
+        flow_id: int,
+        dst: int,
+        *,
+        interval_s: float,
+        size_bytes: int,
+        start_s: float,
+        stop_s: float | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s!r}")
+        if dst == node.node_id:
+            raise ValueError("source and destination must differ")
+        self.node = node
+        self.flow_id = flow_id
+        self.dst = dst
+        self.interval_s = interval_s
+        self.size_bytes = size_bytes
+        self.stop_s = stop_s
+        self._seq = 0
+        self.sent = 0
+        node.sim.schedule(start_s, self._emit, label=f"cbr.{flow_id}")
+
+    def _emit(self) -> None:
+        now = self.node.sim.now
+        if self.stop_s is not None and now >= self.stop_s:
+            return
+        self._seq += 1
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=self._seq,
+            src=self.node.node_id,
+            dst=self.dst,
+            size_bytes=self.size_bytes,
+            created_at=now,
+            kind="data",
+        )
+        self.sent += 1
+        self.node.app_send(packet)
+        self.node.sim.schedule_in(self.interval_s, self._emit, label=f"cbr.{self.flow_id}")

@@ -1,0 +1,114 @@
+"""Unit conversions and physical constants used throughout the simulator.
+
+All internal power book-keeping is in **watts** (linear scale) because the
+SINR arithmetic (adding interference contributions) is linear.  dBm is used
+only at API boundaries and in traces, via the converters here.
+
+Times are in **seconds** (floats); data sizes in **bytes** unless a name says
+otherwise; rates in **bits per second**.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant [J/K] — used by the thermal noise model.
+BOLTZMANN = 1.380649e-23
+
+#: Reference temperature for thermal noise [K].
+T0_KELVIN = 290.0
+
+#: Microseconds → seconds multiplier, for readable MAC timing constants.
+USEC = 1e-6
+
+#: Milliseconds → seconds.
+MSEC = 1e-3
+
+#: One kilobit per second in bits per second.
+KBPS = 1_000.0
+
+#: One megabit per second in bits per second.
+MBPS = 1_000_000.0
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts.
+
+    >>> round(dbm_to_watts(0.0), 6)
+    0.001
+    >>> round(dbm_to_watts(30.0), 6)
+    1.0
+    """
+    return 10.0 ** (dbm / 10.0) / 1000.0
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises :class:`ValueError` for non-positive powers (log of zero is
+    undefined; a zero-power signal has no dBm representation).
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive to express in dBm, got {watts!r}")
+    return 10.0 * math.log10(watts * 1000.0)
+
+
+def db_to_ratio(db: float) -> float:
+    """Convert a dB value to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def ratio_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises :class:`ValueError` for non-positive ratios.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive to express in dB, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def mw_to_watts(mw: float) -> float:
+    """Convert milliwatts to watts."""
+    return mw * 1e-3
+
+
+def watts_to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts * 1e3
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Carrier wavelength [m] for a given frequency [Hz].
+
+    >>> round(wavelength(914e6), 4)
+    0.328
+    """
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def bits(nbytes: int) -> int:
+    """Size in bits of ``nbytes`` bytes."""
+    if nbytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {nbytes!r}")
+    return nbytes * 8
+
+
+def tx_duration(nbytes: int, bitrate_bps: float) -> float:
+    """Airtime [s] to serialise ``nbytes`` at ``bitrate_bps`` (payload only;
+    PHY preamble is added by :class:`repro.phy.frame.PhyFrame`)."""
+    if bitrate_bps <= 0.0:
+        raise ValueError(f"bitrate must be positive, got {bitrate_bps!r}")
+    return bits(nbytes) / bitrate_bps
+
+
+def thermal_noise_watts(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise floor k·T0·B [W], optionally raised by a noise figure."""
+    if bandwidth_hz <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz!r}")
+    return BOLTZMANN * T0_KELVIN * bandwidth_hz * db_to_ratio(noise_figure_db)

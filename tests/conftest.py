@@ -1,0 +1,109 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MacConfig, PhyConfig, PowerControlConfig
+from repro.mac.timing import MacTiming
+from repro.phy.channel import Channel
+from repro.phy.noise import ConstantNoise
+from repro.phy.propagation import TwoRayGround
+from repro.phy.radio import Radio
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def phy_cfg() -> PhyConfig:
+    """The paper's PHY configuration."""
+    return PhyConfig()
+
+
+@pytest.fixture
+def mac_cfg() -> MacConfig:
+    """The paper's MAC configuration."""
+    return MacConfig()
+
+
+@pytest.fixture
+def power_cfg() -> PowerControlConfig:
+    """Default power-control parameters."""
+    return PowerControlConfig()
+
+
+@pytest.fixture
+def timing(mac_cfg, phy_cfg) -> MacTiming:
+    """Derived MAC timing."""
+    return MacTiming(mac_cfg, phy_cfg)
+
+
+@pytest.fixture
+def two_ray() -> TwoRayGround:
+    """The paper's propagation model."""
+    return TwoRayGround()
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    """A tracer with every stack category enabled."""
+    t = Tracer()
+    t.enable(
+        "phy.tx",
+        "phy.rx_ok",
+        "phy.rx_err",
+        "phy.cs",
+        "mac.send",
+        "mac.drop",
+        "mac.handshake",
+        "mac.defer",
+        "pcmac.pcn",
+        "net.route",
+        "net.drop",
+        "app.tx",
+        "app.rx",
+    )
+    return t
+
+
+def make_radio(
+    sim: Simulator,
+    node_id: int,
+    position: tuple[float, float],
+    phy_cfg: PhyConfig | None = None,
+    **overrides,
+) -> Radio:
+    """A radio pinned at a fixed position with paper thresholds."""
+    cfg = phy_cfg or PhyConfig()
+    kwargs = dict(
+        rx_threshold_w=cfg.rx_threshold_w,
+        cs_threshold_w=cfg.cs_threshold_w,
+        capture_threshold=cfg.capture_threshold,
+        noise=ConstantNoise(cfg.noise_floor_w),
+    )
+    kwargs.update(overrides)
+    return Radio(sim, node_id, lambda: position, **kwargs)
+
+
+def make_channel(sim: Simulator, phy_cfg: PhyConfig | None = None, **overrides) -> Channel:
+    """A two-ray data channel with paper parameters."""
+    cfg = phy_cfg or PhyConfig()
+    kwargs = dict(
+        interference_floor_w=cfg.interference_floor_w,
+        model_propagation_delay=cfg.model_propagation_delay,
+    )
+    kwargs.update(overrides)
+    return Channel(sim, TwoRayGround(), **kwargs)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded generator for deterministic tests."""
+    return np.random.default_rng(42)

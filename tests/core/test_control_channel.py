@@ -1,0 +1,104 @@
+"""Control channel agent tests: PCN broadcast, listening, collisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PcmacConfig, PhyConfig
+from repro.core.control_channel import ControlChannelAgent
+from repro.phy.channel import Channel
+from repro.phy.propagation import TwoRayGround
+from repro.sim.kernel import Simulator
+from tests.conftest import make_radio
+
+
+def build_agents(positions, pcmac_cfg=None):
+    sim = Simulator()
+    phy_cfg = PhyConfig()
+    chan = Channel(
+        sim, TwoRayGround(), interference_floor_w=phy_cfg.interference_floor_w,
+        name="control",
+    )
+    agents = []
+    for i, pos in enumerate(positions):
+        radio = make_radio(sim, i, pos, channel_name="control")
+        chan.attach(radio)
+        agents.append(
+            ControlChannelAgent(
+                sim, i, radio, chan,
+                pcmac_cfg=pcmac_cfg or PcmacConfig(),
+                phy_cfg=phy_cfg,
+            )
+        )
+    return sim, agents
+
+
+class TestAnnouncement:
+    def test_neighbours_register_the_receiver(self):
+        sim, agents = build_agents([(0, 0), (100, 0), (200, 0)])
+        agents[0].announce_reception(1e-10, reception_end=0.01)
+        sim.run_until(0.005)
+        for other in agents[1:]:
+            assert 0 in other.registry
+        rec = agents[1].registry.active_records(sim.now)[0]
+        assert rec.expires == 0.01
+        # Quantisation through the 16-bit field is conservative.
+        assert rec.tolerance_w <= 1e-10
+        assert rec.tolerance_w >= 0.99e-10
+
+    def test_out_of_decode_range_neighbour_misses_pcn(self):
+        sim, agents = build_agents([(0, 0), (400, 0)])
+        agents[0].announce_reception(1e-10, reception_end=0.01)
+        sim.run_until(0.005)
+        assert 0 not in agents[1].registry
+
+    def test_gain_estimate_from_pcn_power(self):
+        sim, agents = build_agents([(0, 0), (100, 0)])
+        agents[0].announce_reception(1e-10, reception_end=0.01)
+        sim.run_until(0.005)
+        rec = agents[1].registry.active_records(sim.now)[0]
+        expected_gain = TwoRayGround().gain_at(100.0)
+        assert rec.gain == pytest.approx(expected_gain, rel=1e-6)
+
+    def test_own_pcn_not_registered(self):
+        sim, agents = build_agents([(0, 0), (100, 0)])
+        agents[0].announce_reception(1e-10, reception_end=0.01)
+        sim.run_until(0.005)
+        assert 0 not in agents[0].registry
+
+    def test_repeats_schedule_additional_pcns(self):
+        sim, agents = build_agents(
+            [(0, 0), (100, 0)], pcmac_cfg=PcmacConfig(pcn_repeats=4)
+        )
+        agents[0].announce_reception(1e-10, reception_end=0.01)
+        sim.run_until(0.02)
+        assert agents[0].stats["pcn_sent"] == 4
+        assert agents[1].stats["pcn_heard"] == 4
+
+    def test_repeats_stop_at_reception_end(self):
+        sim, agents = build_agents(
+            [(0, 0), (100, 0)], pcmac_cfg=PcmacConfig(pcn_repeats=3)
+        )
+        agents[0].announce_reception(1e-10, reception_end=0.0001)
+        sim.run_until(0.02)
+        # Later repeats would land after the reception: suppressed.
+        assert agents[0].stats["pcn_sent"] <= 2
+
+
+class TestCollisions:
+    def test_simultaneous_pcns_collide_at_a_middle_listener(self):
+        """Two receivers announcing at the same instant: the listener between
+        them decodes neither (assumption 3: collisions exist, kept rare by
+        the tiny frame)."""
+        sim, agents = build_agents([(0, 0), (125, 0), (250, 0)])
+        agents[0].announce_reception(1e-10, reception_end=0.01)
+        agents[2].announce_reception(2e-10, reception_end=0.01)
+        sim.run_until(0.005)
+        assert len(agents[1].registry) == 0
+        assert agents[1].stats["pcn_lost"] >= 1
+
+    def test_skip_when_already_transmitting(self):
+        sim, agents = build_agents([(0, 0), (100, 0)])
+        agents[0].announce_reception(1e-10, reception_end=0.01)
+        agents[0].announce_reception(1e-10, reception_end=0.01)  # same instant
+        assert agents[0].stats["pcn_skipped"] == 1

@@ -1,0 +1,122 @@
+"""Sent-table / received-table implicit-ACK tests (paper Step 4/6)."""
+
+from __future__ import annotations
+
+from repro.core.handshake import ReceivedTable, SentTable
+
+
+class TestSentTable:
+    def test_confirm_with_nothing_outstanding(self):
+        t = SentTable()
+        assert t.confirm(5, 1, 10) is True  # nothing to lose
+
+    def test_record_then_matching_confirm(self):
+        t = SentTable()
+        t.record(5, session_id=1, session_seq=10, frame_copy="copy")
+        assert t.confirm(5, 1, 10) is True
+
+    def test_mismatched_seq_demands_retransmit(self):
+        t = SentTable()
+        t.record(5, 1, 10, "copy")
+        assert t.confirm(5, 1, 9) is False
+
+    def test_mismatched_session_demands_retransmit(self):
+        t = SentTable()
+        t.record(5, 1, 10, "copy")
+        assert t.confirm(5, 2, 10) is False
+
+    def test_null_report_with_outstanding_data_is_a_loss(self):
+        """Responder reports nothing received but we sent something: lost."""
+        t = SentTable()
+        t.record(5, 1, 10, "copy")
+        assert t.confirm(5, None, None) is False
+
+    def test_null_report_with_empty_table_is_fine(self):
+        t = SentTable()
+        assert t.confirm(5, None, None) is True
+
+    def test_copy_retained_for_retransmission(self):
+        t = SentTable()
+        t.record(5, 1, 10, "the-frame")
+        assert t.get(5).frame_copy == "the-frame"
+
+    def test_newer_send_replaces_record(self):
+        t = SentTable()
+        t.record(5, 1, 10, "old")
+        t.record(5, 1, 11, "new")
+        assert t.get(5).frame_copy == "new"
+        assert t.confirm(5, 1, 10) is False
+
+    def test_reset_drops_record_and_copy(self):
+        """Paper: RERR from an upstream terminal deletes the retained copy."""
+        t = SentTable()
+        t.record(5, 1, 10, "copy")
+        t.reset(5)
+        assert t.get(5) is None
+        assert t.confirm(5, None, None) is True
+
+    def test_tables_are_per_neighbour(self):
+        t = SentTable()
+        t.record(5, 1, 10, "a")
+        t.record(6, 1, 20, "b")
+        assert t.confirm(5, 1, 10) is True
+        assert t.confirm(6, 1, 10) is False
+
+
+class TestReceivedTable:
+    def test_last_from_unknown_is_none(self):
+        assert ReceivedTable().last_from(3) is None
+
+    def test_record_then_report(self):
+        t = ReceivedTable()
+        t.record(3, 1, 7)
+        assert t.last_from(3) == (1, 7)
+
+    def test_duplicate_detection(self):
+        t = ReceivedTable()
+        t.record(3, 1, 7)
+        assert t.is_duplicate(3, 1, 7) is True
+        assert t.is_duplicate(3, 1, 8) is False
+        assert t.is_duplicate(4, 1, 7) is False
+
+    def test_interleaved_sessions_track_last_only(self):
+        """The table holds one slot per neighbour (paper's design)."""
+        t = ReceivedTable()
+        t.record(3, 1, 5)
+        t.record(3, 2, 9)
+        assert t.last_from(3) == (2, 9)
+        # The older session's packet no longer reads as a duplicate.
+        assert t.is_duplicate(3, 1, 5) is False
+
+    def test_reset(self):
+        """Paper: RREP sent / RERR received resets the neighbour's entry."""
+        t = ReceivedTable()
+        t.record(3, 1, 7)
+        t.reset(3)
+        assert t.last_from(3) is None
+
+    def test_reset_unknown_is_safe(self):
+        ReceivedTable().reset(99)
+
+
+class TestLossRecoveryProtocol:
+    """End-to-end table choreography for one loss (paper Step 4)."""
+
+    def test_loss_and_recovery_sequence(self):
+        sender, receiver = SentTable(), ReceivedTable()
+
+        # Packet 1 delivered.
+        sender.record(2, session_id=9, session_seq=1, frame_copy="p1")
+        receiver.record(1, session_id=9, session_seq=1)
+
+        # Packet 2 lost in flight: sender records, receiver never sees it.
+        sender.record(2, 9, 2, "p2")
+
+        # Next exchange: receiver's CTS reports (9, 1); sender detects loss.
+        report = receiver.last_from(1)
+        assert sender.confirm(2, *report) is False
+        assert sender.get(2).frame_copy == "p2"
+
+        # Retransmission arrives; receiver updates; next CTS confirms.
+        receiver.record(1, 9, 2)
+        assert sender.confirm(2, *receiver.last_from(1)) is True

@@ -1,0 +1,131 @@
+"""Noise tolerance arithmetic and admission registry tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.noise_tolerance import (
+    ActiveReceiverRegistry,
+    noise_tolerance_w,
+)
+
+
+class TestToleranceFormula:
+    def test_paper_formula(self):
+        """N_t = P_r / C_p − P_n."""
+        assert noise_tolerance_w(1e-8, 1e-10, 10.0) == pytest.approx(
+            1e-9 - 1e-10
+        )
+
+    def test_clamped_at_zero_when_already_marginal(self):
+        assert noise_tolerance_w(1e-9, 1e-9, 10.0) == 0.0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            noise_tolerance_w(0.0, 1e-10, 10.0)
+        with pytest.raises(ValueError):
+            noise_tolerance_w(1e-9, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            noise_tolerance_w(1e-9, 1e-10, 0.0)
+
+    @given(
+        st.floats(min_value=1e-12, max_value=1e-3),
+        st.floats(min_value=0, max_value=1e-6),
+    )
+    def test_property_tolerance_nonnegative(self, signal, interference):
+        assert noise_tolerance_w(signal, interference, 10.0) >= 0.0
+
+    @given(st.floats(min_value=1e-12, max_value=1e-3))
+    def test_property_consuming_full_tolerance_hits_capture_limit(self, signal):
+        """If an interferer adds exactly N_t, SINR lands exactly at C_p."""
+        cp = 10.0
+        noise = 1e-13
+        tol = noise_tolerance_w(signal, noise, cp)
+        if tol > 0:
+            assert signal / (noise + tol) == pytest.approx(cp, rel=1e-9)
+
+
+class TestRegistry:
+    def test_admissible_when_empty(self):
+        reg = ActiveReceiverRegistry()
+        assert reg.blocking_until(0.2818, now=0.0, margin_coefficient=0.7) is None
+
+    def test_blocks_when_caused_noise_exceeds_margin(self):
+        reg = ActiveReceiverRegistry()
+        # Gain 1e-9: transmitting 0.28 W lands 2.8e-10 at the receiver.
+        reg.update(5, tolerance_w=1e-10, expires=2.0, gain=1e-9)
+        assert reg.blocking_until(0.2818, now=0.0, margin_coefficient=0.7) == 2.0
+
+    def test_admits_within_margin(self):
+        reg = ActiveReceiverRegistry()
+        # Caused noise 2.8e-10 ≤ 0.7 × 1e-9.
+        reg.update(5, tolerance_w=1e-9, expires=2.0, gain=1e-9)
+        assert reg.blocking_until(0.2818, now=0.0, margin_coefficient=0.7) is None
+
+    def test_margin_coefficient_bites(self):
+        """A transmission admitted at coefficient 1.0 can be blocked at 0.7
+        — the paper's fluctuation headroom."""
+        reg = ActiveReceiverRegistry()
+        reg.update(5, tolerance_w=3.5e-10, expires=2.0, gain=1e-9)
+        # Caused: 2.82e-10.  1.0×tol = 3.5e-10 admits; 0.7×tol = 2.45e-10 blocks.
+        assert reg.blocking_until(0.2818, now=0.0, margin_coefficient=1.0) is None
+        assert reg.blocking_until(0.2818, now=0.0, margin_coefficient=0.7) == 2.0
+
+    def test_zero_tolerance_blocks_everything(self):
+        reg = ActiveReceiverRegistry()
+        reg.update(5, tolerance_w=0.0, expires=2.0, gain=1e-15)
+        assert reg.blocking_until(1e-3, now=0.0, margin_coefficient=0.7) == 2.0
+
+    def test_expired_records_are_ignored_and_purged(self):
+        reg = ActiveReceiverRegistry()
+        reg.update(5, tolerance_w=0.0, expires=1.0, gain=1e-9)
+        assert reg.blocking_until(0.2818, now=1.5, margin_coefficient=0.7) is None
+        assert 5 not in reg
+
+    def test_latest_blocking_expiry_wins(self):
+        reg = ActiveReceiverRegistry()
+        reg.update(5, tolerance_w=0.0, expires=2.0, gain=1e-9)
+        reg.update(6, tolerance_w=0.0, expires=3.0, gain=1e-9)
+        assert reg.blocking_until(0.2818, now=0.0, margin_coefficient=0.7) == 3.0
+
+    def test_lower_power_can_pass_where_higher_blocks(self):
+        """Power control creates admission: the whole point of the scheme."""
+        reg = ActiveReceiverRegistry()
+        reg.update(5, tolerance_w=1e-9, expires=2.0, gain=1e-8)
+        # 281.8 mW causes 2.8e-9 > 0.7e-9 → blocked; 10.6 mW causes 1.06e-10 → ok.
+        assert reg.blocking_until(0.2818, 0.0, 0.7) == 2.0
+        assert reg.blocking_until(10.6e-3, 0.0, 0.7) is None
+
+    def test_update_replaces_record(self):
+        reg = ActiveReceiverRegistry()
+        reg.update(5, tolerance_w=0.0, expires=2.0, gain=1e-9)
+        reg.update(5, tolerance_w=1.0, expires=2.0, gain=1e-9)
+        assert reg.blocking_until(0.2818, 0.0, 0.7) is None
+
+    def test_drop(self):
+        reg = ActiveReceiverRegistry()
+        reg.update(5, tolerance_w=0.0, expires=2.0, gain=1e-9)
+        reg.drop(5)
+        assert reg.blocking_until(0.2818, 0.0, 0.7) is None
+
+    def test_rejects_invalid(self):
+        reg = ActiveReceiverRegistry()
+        with pytest.raises(ValueError):
+            reg.update(5, tolerance_w=1e-9, expires=1.0, gain=0.0)
+        with pytest.raises(ValueError):
+            reg.blocking_until(0.0, 0.0, 0.7)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=0.3),
+        st.floats(min_value=1e-12, max_value=1e-8),
+        st.floats(min_value=1e-12, max_value=1e-6),
+    )
+    def test_property_admission_is_monotone_in_power(self, power, gain, tol):
+        """If power P is blocked, any P' > P is blocked too."""
+        reg = ActiveReceiverRegistry()
+        reg.update(1, tolerance_w=tol, expires=1.0, gain=gain)
+        blocked_low = reg.blocking_until(power, 0.0, 0.7) is not None
+        blocked_high = reg.blocking_until(power * 2, 0.0, 0.7) is not None
+        assert not (blocked_low and not blocked_high)

@@ -1,0 +1,63 @@
+"""PCN frame encoding tests (paper Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pcn import (
+    PCN_SIZE_BYTES,
+    decode_tolerance,
+    encode_tolerance,
+)
+
+
+class TestFrameSize:
+    def test_48_bits(self):
+        """Fig. 7: preamble 16 + node id 8 + tolerance 16 + FEC 8 = 48 bits."""
+        assert PCN_SIZE_BYTES == 6
+
+
+class TestEncoding:
+    def test_zero_tolerance_encodes_as_zero(self):
+        assert encode_tolerance(0.0) == 0
+
+    def test_negative_tolerance_encodes_as_zero(self):
+        assert encode_tolerance(-1e-12) == 0
+
+    def test_zero_code_decodes_to_zero(self):
+        assert decode_tolerance(0) == 0.0
+
+    def test_code_fits_sixteen_bits(self):
+        assert 0 <= encode_tolerance(1e6) <= 0xFFFF
+        assert 0 <= encode_tolerance(1e-30) <= 0xFFFF
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_tolerance(-1)
+        with pytest.raises(ValueError):
+            decode_tolerance(0x10000)
+
+    def test_quantisation_error_is_small(self):
+        value = 3.7e-11
+        decoded = decode_tolerance(encode_tolerance(value))
+        assert decoded == pytest.approx(value, rel=0.005)
+
+    @given(st.floats(min_value=1e-16, max_value=1e-3))
+    def test_property_decoded_never_exceeds_true_tolerance(self, value):
+        """Rounding must be conservative: an overstated tolerance would let
+        a neighbour corrupt the reception it is meant to protect.  The 1e-6 dB
+        float-boundary guard bounds any overshoot at ~2.3e-7 relative."""
+        decoded = decode_tolerance(encode_tolerance(value))
+        assert decoded <= value * (1 + 1e-6)
+
+    @given(st.floats(min_value=1e-16, max_value=1e-3))
+    def test_property_roundtrip_within_one_step(self, value):
+        decoded = decode_tolerance(encode_tolerance(value))
+        # 0.01 dB step → worst-case ~0.24 % undershoot.
+        assert decoded >= value * 0.995
+
+    @given(st.integers(min_value=1, max_value=0xFFFF))
+    def test_property_encode_decode_encode_stable(self, code):
+        assert encode_tolerance(decode_tolerance(code)) == code

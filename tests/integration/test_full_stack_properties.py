@@ -1,0 +1,76 @@
+"""Property-based full-stack invariants over randomised small scenarios.
+
+Hypothesis drives the scenario knobs (protocol, seed, load, node count); the
+invariants must hold for *every* combination:
+
+* conservation — no packet is delivered that was never sent, and no packet
+  is delivered twice;
+* delay positivity — delivered packets always take > 0 time;
+* throughput bound — delivered bits never exceed offered bits;
+* accounting closure — MAC counters are internally consistent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import MobilityConfig, ScenarioConfig, TrafficConfig
+from repro.experiments.scenario import build_network
+
+PROTOCOLS = ("basic", "scheme1", "scheme2", "pcmac")
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    protocol=st.sampled_from(PROTOCOLS),
+    seed=st.integers(min_value=1, max_value=50),
+    load_kbps=st.sampled_from([60.0, 150.0, 400.0]),
+    node_count=st.integers(min_value=4, max_value=12),
+)
+def test_full_stack_invariants(protocol, seed, load_kbps, node_count):
+    cfg = ScenarioConfig(
+        node_count=node_count,
+        duration_s=4.0,
+        seed=seed,
+        traffic=TrafficConfig(
+            flow_count=min(2, node_count - 1), offered_load_bps=load_kbps * 1e3
+        ),
+        mobility=MobilityConfig(field_width_m=600.0, field_height_m=600.0),
+    )
+    net = build_network(cfg, protocol)
+    result = net.run()
+
+    # Conservation.
+    assert result.received <= result.sent
+    for flow in net.metrics.flows.values():
+        assert flow.received <= flow.sent
+        assert flow.bytes_received == flow.received * cfg.traffic.packet_size_bytes
+
+    # Throughput bound: delivered ≤ offered (small tolerance for windowing).
+    assert result.throughput_kbps <= load_kbps * 1.05
+
+    # Delay positivity.
+    if result.received:
+        assert result.avg_delay_ms > 0.0
+
+    # Delivery ratio and fairness live in [0, 1].
+    assert 0.0 <= result.delivery_ratio <= 1.0
+    assert 0.0 <= result.fairness <= 1.0
+
+    # MAC accounting closure, summed across nodes.
+    mt = result.mac_totals
+    assert mt["cts_timeouts"] <= mt["rts_sent"]
+    assert mt["data_sent"] >= 0
+    assert mt["tx_energy_j"] >= 0.0
+    if protocol != "pcmac":
+        assert mt["implicit_retransmits"] == 0
+        assert mt["admission_blocks"] == 0
+
+    # The simulator itself terminated at the horizon with a sane event count.
+    assert net.sim.now >= cfg.duration_s
+    assert result.events_executed > 0

@@ -1,0 +1,152 @@
+"""Test harness: a handful of MAC-equipped static nodes on one channel.
+
+Wires real radios, channel(s) and MACs without the routing/traffic stack so
+MAC behaviour can be driven and observed packet by packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.config import MacConfig, PcmacConfig, PhyConfig, PowerControlConfig
+from repro.core.pcmac import PcmacMac
+from repro.mac.base import DcfMac
+from repro.mac.basic import Basic80211Mac
+from repro.phy.channel import Channel
+from repro.phy.noise import ConstantNoise
+from repro.phy.propagation import TwoRayGround
+from repro.phy.radio import Radio
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class FakePacket:
+    """A minimal network packet for MAC-level tests."""
+
+    flow_id: int = 0
+    seq: int = 0
+    size_bytes: int = 512
+    kind: str = "data"
+    payload: Any = None
+
+
+@dataclass
+class StackNode:
+    """One node of the MAC test harness."""
+
+    node_id: int
+    radio: Radio
+    mac: DcfMac
+    delivered: list[tuple[Any, int]] = field(default_factory=list)
+    failures: list[tuple[Any, int]] = field(default_factory=list)
+
+
+class MacHarness:
+    """N static nodes with real MACs; no routing, no traffic agents."""
+
+    def __init__(
+        self,
+        positions: list[tuple[float, float]],
+        mac_cls: type[DcfMac] = Basic80211Mac,
+        *,
+        phy_cfg: PhyConfig | None = None,
+        mac_cfg: MacConfig | None = None,
+        power_cfg: PowerControlConfig | None = None,
+        pcmac_cfg: PcmacConfig | None = None,
+        seed: int = 1,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = Simulator()
+        self.phy_cfg = phy_cfg or PhyConfig()
+        self.mac_cfg = mac_cfg or MacConfig()
+        self.power_cfg = power_cfg or PowerControlConfig()
+        self.pcmac_cfg = pcmac_cfg or PcmacConfig()
+        self.tracer = tracer or Tracer()
+        propagation = TwoRayGround()
+        self.channel = Channel(
+            self.sim,
+            propagation,
+            interference_floor_w=self.phy_cfg.interference_floor_w,
+        )
+        self.control_channel = Channel(
+            self.sim,
+            propagation,
+            interference_floor_w=self.phy_cfg.interference_floor_w,
+            name="control",
+        )
+        self.nodes: list[StackNode] = []
+        noise = ConstantNoise(self.phy_cfg.noise_floor_w)
+        for i, pos in enumerate(positions):
+            radio = Radio(
+                self.sim,
+                i,
+                lambda p=pos: p,
+                rx_threshold_w=self.phy_cfg.rx_threshold_w,
+                cs_threshold_w=self.phy_cfg.cs_threshold_w,
+                capture_threshold=self.phy_cfg.capture_threshold,
+                noise=noise,
+                tracer=self.tracer,
+            )
+            self.channel.attach(radio)
+            rng = np.random.default_rng(seed * 1000 + i)
+            if mac_cls is PcmacMac:
+                control_radio = Radio(
+                    self.sim,
+                    i,
+                    lambda p=pos: p,
+                    rx_threshold_w=self.phy_cfg.rx_threshold_w,
+                    cs_threshold_w=self.phy_cfg.cs_threshold_w,
+                    capture_threshold=self.phy_cfg.capture_threshold,
+                    noise=noise,
+                    tracer=self.tracer,
+                    channel_name="control",
+                )
+                self.control_channel.attach(control_radio)
+                mac = PcmacMac(
+                    self.sim,
+                    i,
+                    radio,
+                    self.channel,
+                    control_radio=control_radio,
+                    control_channel=self.control_channel,
+                    mac_cfg=self.mac_cfg,
+                    phy_cfg=self.phy_cfg,
+                    power_cfg=self.power_cfg,
+                    pcmac_cfg=self.pcmac_cfg,
+                    rng=rng,
+                    tracer=self.tracer,
+                )
+            else:
+                mac = mac_cls(
+                    self.sim,
+                    i,
+                    radio,
+                    self.channel,
+                    mac_cfg=self.mac_cfg,
+                    phy_cfg=self.phy_cfg,
+                    power_cfg=self.power_cfg,
+                    rng=rng,
+                    tracer=self.tracer,
+                )
+            node = StackNode(i, radio, mac)
+            mac.deliver_up = (
+                lambda pkt, src, n=node: n.delivered.append((pkt, src))
+            )
+            mac.on_link_failure = (
+                lambda pkt, nh, n=node: n.failures.append((pkt, nh))
+            )
+            self.nodes.append(node)
+
+    def send(self, src: int, dst: int, packet: FakePacket | None = None) -> FakePacket:
+        """Enqueue one packet from node ``src`` to node ``dst``."""
+        pkt = packet or FakePacket()
+        self.nodes[src].mac.enqueue_packet(pkt, dst)
+        return pkt
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation."""
+        self.sim.run_until(self.sim.now + duration)

@@ -1,0 +1,110 @@
+"""Interface queue and power history table tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mac.ifqueue import IfQueue, QueuedPacket
+from repro.mac.power_history import PowerHistoryTable
+
+
+def entry(tag: int, next_hop: int = 1) -> QueuedPacket:
+    return QueuedPacket(packet=tag, next_hop=next_hop)
+
+
+class TestIfQueue:
+    def test_fifo_order(self):
+        q = IfQueue(10)
+        for k in range(5):
+            q.push(entry(k))
+        assert [q.pop().packet for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_drop_tail_when_full(self):
+        q = IfQueue(2)
+        assert q.push(entry(0))
+        assert q.push(entry(1))
+        assert not q.push(entry(2))
+        assert q.drops == 1
+        assert len(q) == 2
+
+    def test_paper_default_capacity(self):
+        assert IfQueue(50).capacity == 50
+
+    def test_pop_empty_returns_none(self):
+        assert IfQueue(5).pop() is None
+
+    def test_peek_does_not_remove(self):
+        q = IfQueue(5)
+        q.push(entry(7))
+        assert q.peek().packet == 7
+        assert len(q) == 1
+
+    def test_remove_where(self):
+        q = IfQueue(10)
+        for k in range(6):
+            q.push(entry(k, next_hop=k % 2))
+        removed = q.remove_where(lambda e: e.next_hop == 0)
+        assert removed == 3
+        assert [e.packet for e in [q.pop() for _ in range(3)]] == [1, 3, 5]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            IfQueue(0)
+
+    @given(st.lists(st.integers(), max_size=120))
+    def test_property_never_exceeds_capacity(self, tags):
+        q = IfQueue(50)
+        for t in tags:
+            q.push(entry(t))
+        assert len(q) <= 50
+        assert q.drops == max(len(tags) - 50, 0)
+
+
+class TestPowerHistoryTable:
+    def test_update_then_lookup(self):
+        t = PowerHistoryTable(3.0)
+        t.update(5, needed_w=0.01, gain=1e-8, now=0.0)
+        assert t.needed_power(5, 1.0) == 0.01
+        assert t.gain_to(5, 1.0) == 1e-8
+
+    def test_miss_returns_none(self):
+        t = PowerHistoryTable(3.0)
+        assert t.needed_power(5, 0.0) is None
+
+    def test_expiry_after_three_seconds(self):
+        """The paper's 3 s record lifetime."""
+        t = PowerHistoryTable(3.0)
+        t.update(5, needed_w=0.01, gain=1e-8, now=0.0)
+        assert t.needed_power(5, 3.0) == 0.01  # exactly at the boundary: kept
+        assert t.needed_power(5, 3.0001) is None
+
+    def test_expired_lookup_purges_record(self):
+        t = PowerHistoryTable(3.0)
+        t.update(5, needed_w=0.01, gain=1e-8, now=0.0)
+        t.needed_power(5, 10.0)
+        assert 5 not in t
+
+    def test_update_refreshes_expiry(self):
+        t = PowerHistoryTable(3.0)
+        t.update(5, needed_w=0.01, gain=1e-8, now=0.0)
+        t.update(5, needed_w=0.02, gain=2e-8, now=2.0)
+        assert t.needed_power(5, 4.5) == 0.02
+
+    def test_purge_drops_only_expired(self):
+        t = PowerHistoryTable(3.0)
+        t.update(1, needed_w=0.01, gain=1e-8, now=0.0)
+        t.update(2, needed_w=0.01, gain=1e-8, now=5.0)
+        t.purge(6.0)
+        assert 1 not in t
+        assert 2 in t
+
+    def test_rejects_invalid_values(self):
+        t = PowerHistoryTable(3.0)
+        with pytest.raises(ValueError):
+            t.update(1, needed_w=0.0, gain=1e-8, now=0.0)
+        with pytest.raises(ValueError):
+            t.update(1, needed_w=0.01, gain=0.0, now=0.0)
+        with pytest.raises(ValueError):
+            PowerHistoryTable(0.0)

@@ -1,0 +1,133 @@
+"""NAV and backoff engine tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mac.backoff import BackoffEngine
+from repro.mac.nav import Nav
+
+
+class TestNav:
+    def test_initially_idle(self):
+        nav = Nav()
+        assert not nav.busy_at(0.0)
+
+    def test_set_reserves(self):
+        nav = Nav()
+        assert nav.set(5.0)
+        assert nav.busy_at(4.999)
+        assert not nav.busy_at(5.0)
+
+    def test_shorter_duration_never_truncates(self):
+        """802.11: NAV updates only extend the reservation."""
+        nav = Nav()
+        nav.set(10.0)
+        assert not nav.set(5.0)
+        assert nav.until == 10.0
+
+    def test_longer_duration_extends(self):
+        nav = Nav()
+        nav.set(5.0)
+        assert nav.set(10.0)
+        assert nav.until == 10.0
+
+    def test_remaining(self):
+        nav = Nav()
+        nav.set(10.0)
+        assert nav.remaining(4.0) == pytest.approx(6.0)
+        assert nav.remaining(12.0) == 0.0
+
+    def test_reset(self):
+        nav = Nav()
+        nav.set(10.0)
+        nav.reset()
+        assert not nav.busy_at(0.0)
+
+
+class TestBackoffEngine:
+    def test_draw_within_cw(self, rng):
+        eng = BackoffEngine(31, 1023, rng)
+        for _ in range(50):
+            eng.finish()
+            assert 0 <= eng.draw() <= 31
+
+    def test_draw_is_idempotent_while_pending(self, rng):
+        eng = BackoffEngine(31, 1023, rng)
+        first = eng.draw()
+        assert eng.draw() == first
+
+    def test_consume_decrements(self, rng):
+        eng = BackoffEngine(31, 1023, rng)
+        slots = eng.draw()
+        if slots >= 2:
+            eng.consume(2)
+            assert eng.slots_remaining == slots - 2
+
+    def test_consume_clamps_at_zero(self, rng):
+        eng = BackoffEngine(31, 1023, rng)
+        eng.draw()
+        eng.consume(10_000)
+        assert eng.slots_remaining == 0
+
+    def test_consume_without_pending_raises(self, rng):
+        eng = BackoffEngine(31, 1023, rng)
+        with pytest.raises(RuntimeError):
+            eng.consume(1)
+
+    def test_consume_rejects_negative(self, rng):
+        eng = BackoffEngine(31, 1023, rng)
+        eng.draw()
+        with pytest.raises(ValueError):
+            eng.consume(-1)
+
+    def test_failure_doubles_cw(self, rng):
+        eng = BackoffEngine(31, 1023, rng)
+        eng.on_failure()
+        assert eng.cw == 63
+        eng.on_failure()
+        assert eng.cw == 127
+
+    def test_cw_caps_at_max(self, rng):
+        eng = BackoffEngine(31, 1023, rng)
+        for _ in range(20):
+            eng.on_failure()
+        assert eng.cw == 1023
+
+    def test_success_resets_cw(self, rng):
+        eng = BackoffEngine(31, 1023, rng)
+        eng.on_failure()
+        eng.on_failure()
+        eng.on_success()
+        assert eng.cw == 31
+
+    def test_failure_discards_pending_backoff(self, rng):
+        eng = BackoffEngine(31, 1023, rng)
+        eng.draw()
+        eng.on_failure()
+        assert not eng.pending
+
+    def test_rejects_bad_bounds(self, rng):
+        with pytest.raises(ValueError):
+            BackoffEngine(0, 1023, rng)
+        with pytest.raises(ValueError):
+            BackoffEngine(63, 31, rng)
+
+    @given(st.integers(min_value=0, max_value=20))
+    def test_property_cw_follows_standard_sequence(self, failures):
+        """cw after k failures is min(2^k·(cw_min+1)−1, cw_max)."""
+        eng = BackoffEngine(31, 1023, np.random.default_rng(0))
+        for _ in range(failures):
+            eng.on_failure()
+        assert eng.cw == min(2**failures * 32 - 1, 1023)
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=30))
+    def test_property_slots_never_negative(self, consumes):
+        eng = BackoffEngine(31, 1023, np.random.default_rng(1))
+        eng.draw()
+        for c in consumes:
+            eng.consume(c)
+            assert eng.slots_remaining >= 0

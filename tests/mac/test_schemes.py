@@ -1,0 +1,118 @@
+"""Power-policy unit tests for the three baseline protocol variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mac.basic import Basic80211Mac
+from repro.mac.frames import FrameType, MacFrame
+from repro.mac.scheme1 import Scheme1Mac
+from repro.mac.scheme2 import Scheme2Mac
+from tests.mac.harness import FakePacket, MacHarness
+
+MAX_W = 0.2818
+
+
+def rts_frame(src=1, power=MAX_W) -> MacFrame:
+    return MacFrame(ftype=FrameType.RTS, src=src, dst=0, size_bytes=20,
+                    tx_power_w=power)
+
+
+def data_frame(src=1, power=MAX_W) -> MacFrame:
+    return MacFrame(ftype=FrameType.DATA, src=src, dst=0, size_bytes=540,
+                    tx_power_w=power)
+
+
+class TestBasicPolicy:
+    def test_everything_at_max(self):
+        h = MacHarness([(0, 0), (100, 0)], mac_cls=Basic80211Mac)
+        mac = h.nodes[0].mac
+        # Teach the history a low needed power — basic must ignore it.
+        mac.history.update(1, needed_w=2e-3, gain=1e-6, now=0.0)
+        assert mac.power_for_rts(1) == pytest.approx(MAX_W)
+        assert mac.power_for_cts(rts_frame(), 1e-9) == pytest.approx(MAX_W)
+        assert mac.power_for_data(1, None) == pytest.approx(MAX_W)
+        assert mac.power_for_ack(data_frame(), 1e-9) == pytest.approx(MAX_W)
+        assert mac.power_for_broadcast() == pytest.approx(MAX_W)
+
+
+class TestScheme1Policy:
+    def test_rts_cts_at_max_data_ack_at_needed(self):
+        h = MacHarness([(0, 0), (100, 0)], mac_cls=Scheme1Mac)
+        mac = h.nodes[0].mac
+        mac.history.update(1, needed_w=2e-3, gain=1e-6, now=0.0)
+        assert mac.power_for_rts(1) == pytest.approx(MAX_W)
+        assert mac.power_for_cts(rts_frame(), 1e-9) == pytest.approx(MAX_W)
+        # DATA quantises the needed power up to a table level.
+        assert mac.power_for_data(1, None) == pytest.approx(2e-3)
+        assert mac.power_for_ack(data_frame(src=1), 1e-9) == pytest.approx(2e-3)
+
+    def test_cold_history_means_max_data(self):
+        h = MacHarness([(0, 0), (100, 0)], mac_cls=Scheme1Mac)
+        assert h.nodes[0].mac.power_for_data(7, None) == pytest.approx(MAX_W)
+
+
+class TestScheme2Policy:
+    def test_all_frames_at_needed(self):
+        h = MacHarness([(0, 0), (100, 0)], mac_cls=Scheme2Mac)
+        mac = h.nodes[0].mac
+        mac.history.update(1, needed_w=2e-3, gain=1e-6, now=0.0)
+        assert mac.power_for_rts(1) == pytest.approx(2e-3)
+        assert mac.power_for_cts(rts_frame(src=1), 1e-9) == pytest.approx(2e-3)
+        assert mac.power_for_data(1, None) == pytest.approx(2e-3)
+
+    def test_needed_power_quantises_up(self):
+        h = MacHarness([(0, 0), (100, 0)], mac_cls=Scheme2Mac)
+        mac = h.nodes[0].mac
+        mac.history.update(1, needed_w=5e-3, gain=1e-6, now=0.0)
+        assert mac.power_for_rts(1) == pytest.approx(7.25e-3)
+
+    def test_escalation_on_rts_failure(self):
+        from repro.mac.base import _TxAttempt
+        from repro.mac.ifqueue import QueuedPacket
+
+        h = MacHarness([(0, 0), (100, 0)], mac_cls=Scheme2Mac)
+        mac = h.nodes[0].mac
+        mac.history.update(1, needed_w=2e-3, gain=1e-6, now=0.0)
+        attempt = _TxAttempt(entry=QueuedPacket(packet=FakePacket(), next_hop=1))
+        mac.on_rts_failure(attempt)
+        assert attempt.boosted_rts_power_w == pytest.approx(3.45e-3)
+        mac.on_rts_failure(attempt)
+        assert attempt.boosted_rts_power_w == pytest.approx(4.8e-3)
+
+    def test_escalation_saturates_at_max(self):
+        from repro.mac.base import _TxAttempt
+        from repro.mac.ifqueue import QueuedPacket
+
+        h = MacHarness([(0, 0), (100, 0)], mac_cls=Scheme2Mac)
+        mac = h.nodes[0].mac
+        attempt = _TxAttempt(entry=QueuedPacket(packet=FakePacket(), next_hop=1))
+        for _ in range(15):
+            mac.on_rts_failure(attempt)
+        # Cold history starts at max: no escalation possible.
+        assert attempt.boosted_rts_power_w is None
+
+    def test_learning_from_overheard_frames(self):
+        """Any decodable frame refreshes the history (paper Section III)."""
+        h = MacHarness([(0, 0), (60, 0), (120, 0)], mac_cls=Scheme2Mac)
+        h.send(0, 1, FakePacket())
+        h.run(0.2)
+        # Node 2 overheard node 0's RTS/DATA at 120 m and node 1's CTS.
+        mac2 = h.nodes[2].mac
+        assert 0 in mac2.history
+        assert 1 in mac2.history
+        # The learned level for the 120 m neighbour must cover the link.
+        needed = mac2.needed_power_to(0)
+        assert needed >= 10.6e-3  # 120 m needs at least the 110–120 m class
+
+
+class TestAirtimeAccounting:
+    def test_control_vs_data_split(self):
+        h = MacHarness([(0, 0), (100, 0)])
+        h.send(0, 1)
+        h.run(0.2)
+        st = h.nodes[0].mac.stats
+        assert st.airtime_data_s > 0
+        assert st.airtime_control_s > 0  # the RTS
+        # One 512 B DATA at 2 Mbps outweighs one 20 B RTS at 1 Mbps.
+        assert st.airtime_data_s > st.airtime_control_s

@@ -1,0 +1,100 @@
+"""MacTiming tests: airtimes, IFS relationships, NAV durations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MacConfig, PhyConfig
+from repro.mac.timing import MacTiming
+
+
+class TestAirtimes:
+    def test_rts_airtime(self, timing):
+        # 20 B at 1 Mbps + 192 µs PLCP = 352 µs.
+        assert timing.rts_airtime == pytest.approx(352e-6)
+
+    def test_cts_and_ack_equal(self, timing):
+        assert timing.cts_airtime == timing.ack_airtime  # both 14 B
+
+    def test_data_airtime_512B(self, timing):
+        # (512 + 28) B at 2 Mbps + PLCP = 2.352 ms.
+        assert timing.data_airtime(512) == pytest.approx(192e-6 + 540 * 8 / 2e6)
+
+    def test_data_longer_than_control(self, timing):
+        assert timing.data_airtime(512) > timing.rts_airtime
+
+
+class TestInterframeSpaces:
+    def test_ordering_sifs_difs_eifs(self, timing):
+        assert timing.sifs < timing.difs < timing.eifs
+
+    def test_difs_is_sifs_plus_two_slots(self, timing):
+        assert timing.difs == pytest.approx(timing.sifs + 2 * timing.slot)
+
+    def test_eifs_covers_ack(self, timing):
+        """EIFS protects the ACK a deaf station couldn't anticipate
+        (paper Section II: 'EIFS duration is longer than the transmission
+        time of an ACK')."""
+        assert timing.eifs > timing.ack_airtime
+        assert timing.eifs == pytest.approx(
+            timing.sifs + timing.difs + timing.ack_airtime
+        )
+
+
+class TestTimeouts:
+    def test_cts_timeout_covers_sifs_plus_cts(self, timing):
+        assert timing.cts_timeout > timing.sifs + timing.cts_airtime
+
+    def test_ack_timeout_covers_sifs_plus_ack(self, timing):
+        assert timing.ack_timeout > timing.sifs + timing.ack_airtime
+
+
+class TestNavDurations:
+    def test_rts_duration_four_way(self, timing):
+        expected = (
+            3 * timing.sifs
+            + timing.cts_airtime
+            + timing.data_airtime(512)
+            + timing.ack_airtime
+        )
+        assert timing.rts_duration(512, with_ack=True) == pytest.approx(expected)
+
+    def test_rts_duration_three_way_omits_ack(self, timing):
+        diff = timing.rts_duration(512, with_ack=True) - timing.rts_duration(
+            512, with_ack=False
+        )
+        assert diff == pytest.approx(timing.sifs + timing.ack_airtime)
+
+    def test_cts_duration_chains_from_rts(self, timing):
+        """CTS duration = RTS duration − SIFS − CTS airtime (802.11 rule)."""
+        rts = timing.rts_duration(512, with_ack=True)
+        cts = timing.cts_duration(512, with_ack=True)
+        assert cts == pytest.approx(rts - timing.sifs - timing.cts_airtime)
+
+    def test_data_duration_three_way_is_zero(self, timing):
+        assert timing.data_duration(with_ack=False) == 0.0
+
+    def test_data_duration_four_way_covers_ack(self, timing):
+        assert timing.data_duration(with_ack=True) == pytest.approx(
+            timing.sifs + timing.ack_airtime
+        )
+
+
+class TestConfigValidation:
+    def test_rejects_bad_cw(self):
+        with pytest.raises(ValueError):
+            MacConfig(cw_min=0)
+        with pytest.raises(ValueError):
+            MacConfig(cw_min=63, cw_max=31)
+
+    def test_rejects_bad_retry_limits(self):
+        with pytest.raises(ValueError):
+            MacConfig(short_retry_limit=0)
+
+    def test_phy_rejects_descending_levels(self):
+        with pytest.raises(ValueError):
+            PhyConfig(power_levels_w=(2e-3, 1e-3))
+
+    def test_phy_rejects_rx_below_cs(self):
+        with pytest.raises(ValueError):
+            PhyConfig(rx_threshold_w=1e-12, cs_threshold_w=1e-11)

@@ -1,0 +1,50 @@
+"""AODV message wire-format tests."""
+
+from __future__ import annotations
+
+from repro.net.aodv.messages import (
+    RERR_BASE_SIZE,
+    RERR_PER_DEST,
+    RErrMessage,
+    RRepMessage,
+    RReqMessage,
+)
+
+
+class TestRreq:
+    def test_rfc_size(self):
+        msg = RReqMessage(1, 0, 1, 5, None, 0)
+        assert msg.size_bytes == 24
+
+    def test_hopped_increments_only_hop_count(self):
+        msg = RReqMessage(1, 0, 1, 5, 3, 2)
+        nxt = msg.hopped()
+        assert nxt.hop_count == 3
+        assert (nxt.rreq_id, nxt.origin, nxt.dst, nxt.dst_seq) == (1, 0, 5, 3)
+
+    def test_immutability(self):
+        msg = RReqMessage(1, 0, 1, 5, None, 0)
+        try:
+            msg.hop_count = 9
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestRrep:
+    def test_rfc_size(self):
+        assert RRepMessage(0, 5, 2, 0, 10.0).size_bytes == 20
+
+    def test_hopped_preserves_lifetime(self):
+        msg = RRepMessage(0, 5, 2, 1, 10.0)
+        assert msg.hopped().lifetime_s == 10.0
+        assert msg.hopped().hop_count == 2
+
+
+class TestRerr:
+    def test_size_scales_with_destinations(self):
+        one = RErrMessage(unreachable=((5, 2),))
+        three = RErrMessage(unreachable=((5, 2), (6, 1), (7, 9)))
+        assert one.size_bytes == RERR_BASE_SIZE + RERR_PER_DEST
+        assert three.size_bytes == RERR_BASE_SIZE + 3 * RERR_PER_DEST

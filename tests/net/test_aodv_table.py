@@ -1,0 +1,114 @@
+"""AODV routing table semantics (RFC 3561 §6.2 update rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.aodv.routing_table import AodvRoutingTable
+
+
+@pytest.fixture
+def table() -> AodvRoutingTable:
+    return AodvRoutingTable()
+
+
+class TestLookup:
+    def test_empty_lookup(self, table):
+        assert table.lookup(5, 0.0) is None
+
+    def test_install_and_lookup(self, table):
+        table.update(5, next_hop=2, hop_count=3, dst_seq=1, expires=10.0)
+        route = table.lookup(5, 0.0)
+        assert route.next_hop == 2
+        assert route.hop_count == 3
+
+    def test_expired_route_invisible(self, table):
+        table.update(5, 2, 3, 1, expires=10.0)
+        assert table.lookup(5, 11.0) is None
+
+    def test_expiry_invalidates_entry(self, table):
+        table.update(5, 2, 3, 1, expires=10.0)
+        table.lookup(5, 11.0)
+        assert not table.entry(5).valid
+
+
+class TestUpdateRules:
+    def test_fresher_seq_replaces(self, table):
+        table.update(5, 2, 3, dst_seq=1, expires=10.0)
+        assert table.update(5, 9, 5, dst_seq=2, expires=10.0)
+        assert table.lookup(5, 0.0).next_hop == 9
+
+    def test_stale_seq_rejected(self, table):
+        table.update(5, 2, 3, dst_seq=5, expires=10.0)
+        assert not table.update(5, 9, 1, dst_seq=4, expires=10.0)
+        assert table.lookup(5, 0.0).next_hop == 2
+
+    def test_equal_seq_shorter_path_wins(self, table):
+        table.update(5, 2, 3, dst_seq=1, expires=10.0)
+        assert table.update(5, 9, 2, dst_seq=1, expires=10.0)
+        assert table.lookup(5, 0.0).next_hop == 9
+
+    def test_equal_seq_longer_path_rejected(self, table):
+        table.update(5, 2, 3, dst_seq=1, expires=10.0)
+        assert not table.update(5, 9, 4, dst_seq=1, expires=10.0)
+
+    def test_same_route_refreshes_lifetime(self, table):
+        table.update(5, 2, 3, dst_seq=1, expires=10.0)
+        table.update(5, 2, 3, dst_seq=1, expires=20.0)
+        assert table.entry(5).expires == 20.0
+
+    def test_invalid_route_always_replaceable(self, table):
+        table.update(5, 2, 3, dst_seq=5, expires=10.0)
+        table.invalidate(5)
+        assert table.update(5, 9, 7, dst_seq=1, expires=10.0)
+
+
+class TestRefresh:
+    def test_refresh_extends_active_route(self, table):
+        table.update(5, 2, 3, 1, expires=10.0)
+        table.refresh(5, now=8.0, lifetime_s=10.0)
+        assert table.entry(5).expires == 18.0
+
+    def test_refresh_never_shortens(self, table):
+        table.update(5, 2, 3, 1, expires=100.0)
+        table.refresh(5, now=0.0, lifetime_s=10.0)
+        assert table.entry(5).expires == 100.0
+
+
+class TestInvalidation:
+    def test_invalidate_via_collects_broken_routes(self, table):
+        table.update(5, 2, 3, 1, expires=10.0)
+        table.update(6, 2, 4, 1, expires=10.0)
+        table.update(7, 3, 2, 1, expires=10.0)
+        broken = table.invalidate_via(2)
+        assert sorted(r.dst for r in broken) == [5, 6]
+        assert table.lookup(7, 0.0) is not None
+
+    def test_invalidate_via_bumps_seq(self, table):
+        """RFC §6.11: the destination seq increments on invalidation so the
+        RERR convinces upstream nodes."""
+        table.update(5, 2, 3, dst_seq=4, expires=10.0)
+        (broken,) = table.invalidate_via(2)
+        assert broken.dst_seq == 5
+
+    def test_invalidate_specific_destination(self, table):
+        table.update(5, 2, 3, 1, expires=10.0)
+        table.invalidate(5, dst_seq=9)
+        assert table.lookup(5, 0.0) is None
+        assert table.entry(5).dst_seq == 9
+
+    def test_precursors_survive_reinstall(self, table):
+        table.update(5, 2, 3, 1, expires=10.0)
+        table.add_precursor(5, 8)
+        table.invalidate(5)
+        table.update(5, 4, 2, 2, expires=10.0)
+        assert 8 in table.entry(5).precursors
+
+
+class TestValidRoutes:
+    def test_only_live_routes_listed(self, table):
+        table.update(5, 2, 3, 1, expires=10.0)
+        table.update(6, 2, 3, 1, expires=1.0)
+        table.update(7, 2, 3, 1, expires=10.0)
+        table.invalidate(7)
+        assert [r.dst for r in table.valid_routes(5.0)] == [5]

@@ -1,0 +1,127 @@
+"""Node container tests: delivery, forwarding, TTL, drop attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.static import StaticMobility
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.routing_base import RoutingProtocol
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class RecordingRouting(RoutingProtocol):
+    """Captures routing calls."""
+
+    def __init__(self):
+        self.routed = []
+        self.failures = []
+        self.control = []
+
+    def route_packet(self, packet):
+        self.routed.append(packet)
+
+    def on_mac_failure(self, packet, next_hop):
+        self.failures.append((packet, next_hop))
+
+    def on_packet(self, packet, from_node):
+        self.control.append((packet, from_node))
+
+
+class RecordingMac:
+    """Captures MAC calls; provides the callbacks Node wires."""
+
+    def __init__(self):
+        self.enqueued = []
+        self.deliver_up = None
+        self.on_link_failure = None
+        self.name = "fake"
+
+    def enqueue_packet(self, packet, next_hop, needs_ack=True):
+        self.enqueued.append((packet, next_hop))
+        return True
+
+    def on_route_event(self, event, neighbour):
+        pass
+
+
+@pytest.fixture
+def node():
+    sim = Simulator()
+    mac = RecordingMac()
+    routing = RecordingRouting()
+    n = Node(
+        sim,
+        5,
+        mobility=StaticMobility((1.0, 2.0)),
+        mac=mac,
+        routing=routing,
+        metrics=MetricsCollector(),
+        rngs=RngRegistry(1),
+    )
+    return n
+
+
+def pkt(dst=5, kind="data", ttl=8, flow=0, seq=1):
+    return Packet(
+        flow_id=flow, seq=seq, src=0, dst=dst, size_bytes=512,
+        created_at=0.0, kind=kind, ttl=ttl,
+    )
+
+
+class TestDelivery:
+    def test_data_for_me_reaches_metrics(self, node):
+        p = pkt(dst=5)
+        node.metrics.on_app_send(p)
+        node._on_mac_deliver(p, from_node=3)
+        assert node.metrics.total_received == 1
+
+    def test_aodv_packet_goes_to_routing(self, node):
+        p = pkt(dst=5, kind="aodv")
+        node._on_mac_deliver(p, from_node=3)
+        assert node.routing.control == [(p, 3)]
+        assert node.metrics.total_received == 0
+
+    def test_foreign_data_is_forwarded(self, node):
+        p = pkt(dst=9, ttl=8)
+        node._on_mac_deliver(p, from_node=3)
+        assert node.routing.routed == [p]
+        assert p.ttl == 7
+        assert p.hops == 1
+
+    def test_ttl_expiry_drops(self, node):
+        p = pkt(dst=9, ttl=1)
+        node.metrics.on_app_send(p)
+        node._on_mac_deliver(p, from_node=3)
+        assert node.routing.routed == []
+        assert node.metrics.drop_breakdown()["ttl_expired"] == 1
+
+    def test_delivery_counts_final_hop(self, node):
+        p = pkt(dst=5)
+        node.metrics.on_app_send(p)
+        node._on_mac_deliver(p, from_node=3)
+        assert p.hops == 1
+
+
+class TestSendPath:
+    def test_app_send_routes_and_counts(self, node):
+        p = pkt(dst=9)
+        node.app_send(p)
+        assert node.metrics.total_sent == 1
+        assert node.routing.routed == [p]
+
+    def test_mac_send_enqueues(self, node):
+        p = pkt(dst=9)
+        node.mac_send(p, next_hop=2)
+        assert node.mac.enqueued == [(p, 2)]
+
+    def test_mac_failure_propagates_to_routing(self, node):
+        p = pkt(dst=9)
+        node._on_mac_failure(p, 2)
+        assert node.routing.failures == [(p, 2)]
+
+    def test_position_from_mobility(self, node):
+        assert node.position == (1.0, 2.0)

@@ -1,0 +1,39 @@
+"""Network packet tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import Packet
+
+
+def packet(**overrides) -> Packet:
+    kwargs = dict(
+        flow_id=1, seq=1, src=0, dst=5, size_bytes=512, created_at=0.0
+    )
+    kwargs.update(overrides)
+    return Packet(**kwargs)
+
+
+class TestPacket:
+    def test_defaults(self):
+        p = packet()
+        assert p.kind == "data"
+        assert p.hops == 0
+        assert p.ttl > 0
+
+    def test_uids_unique(self):
+        assert packet().uid != packet().uid
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            packet(size_bytes=0)
+
+    def test_rejects_bad_ttl(self):
+        with pytest.raises(ValueError):
+            packet(ttl=0)
+
+    def test_session_identity_fields(self):
+        """(flow_id, seq) is the identity PCMAC's tables key on."""
+        p = packet(flow_id=7, seq=42)
+        assert (p.flow_id, p.seq) == (7, 42)

@@ -1,0 +1,46 @@
+"""Static routing tests."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.net.static_routing import StaticRouting
+
+
+class TestNextHopTable:
+    def test_shortest_path_next_hop(self):
+        g = nx.path_graph(4)  # 0-1-2-3
+        r = StaticRouting(g)
+        assert r.next_hop(0, 3) == 1
+        assert r.next_hop(1, 3) == 2
+        assert r.next_hop(2, 3) == 3
+
+    def test_disconnected_pair_has_no_hop(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        r = StaticRouting(g)
+        assert r.next_hop(0, 1) is None
+
+    def test_self_route_absent(self):
+        r = StaticRouting(nx.path_graph(3))
+        assert r.next_hop(1, 1) is None
+
+    def test_from_positions_builds_disc_graph(self):
+        r = StaticRouting.from_positions(
+            {0: (0, 0), 1: (100, 0), 2: (200, 0)}, comm_range_m=150.0
+        )
+        assert r.next_hop(0, 2) == 1  # 0→2 is 200 m: out of range directly
+
+    def test_from_positions_direct_when_in_range(self):
+        r = StaticRouting.from_positions(
+            {0: (0, 0), 1: (100, 0)}, comm_range_m=150.0
+        )
+        assert r.next_hop(0, 1) == 1
+
+    def test_views_share_table_but_not_counters(self):
+        base = StaticRouting(nx.path_graph(3))
+        v1, v2 = base.view(), base.view()
+        assert v1.next_hop(0, 2) == v2.next_hop(0, 2) == 1
+        v1._unroutable += 1
+        assert v2._unroutable == 0

@@ -1,0 +1,50 @@
+"""PhyFrame airtime tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phy.frame import PhyFrame
+
+
+def make_frame(**overrides):
+    kwargs = dict(
+        payload=None,
+        size_bytes=512,
+        bitrate_bps=2e6,
+        plcp_s=192e-6,
+        tx_power_w=0.2818,
+        src=0,
+    )
+    kwargs.update(overrides)
+    return PhyFrame(**kwargs)
+
+
+class TestDuration:
+    def test_includes_plcp_and_payload(self):
+        f = make_frame()
+        assert f.duration_s == pytest.approx(192e-6 + 4096 / 2e6)
+
+    def test_control_frame_at_basic_rate(self):
+        f = make_frame(size_bytes=20, bitrate_bps=1e6)
+        assert f.duration_s == pytest.approx(192e-6 + 160e-6)
+
+    def test_longer_payload_longer_airtime(self):
+        assert make_frame(size_bytes=1024).duration_s > make_frame().duration_s
+
+
+class TestValidation:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            make_frame(size_bytes=0)
+
+    def test_rejects_zero_bitrate(self):
+        with pytest.raises(ValueError):
+            make_frame(bitrate_bps=0.0)
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(ValueError):
+            make_frame(tx_power_w=0.0)
+
+    def test_frame_ids_unique(self):
+        assert make_frame().frame_id != make_frame().frame_id

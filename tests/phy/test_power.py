@@ -1,0 +1,168 @@
+"""Power level table and needed-power estimator tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import PAPER_POWER_LEVELS_W, PhyConfig
+from repro.phy.power import PowerLevelTable, needed_tx_power
+from repro.phy.propagation import TwoRayGround
+
+
+@pytest.fixture
+def table() -> PowerLevelTable:
+    return PowerLevelTable(PAPER_POWER_LEVELS_W)
+
+
+class TestTableConstruction:
+    def test_paper_table_has_ten_levels(self, table):
+        assert len(table) == 10
+
+    def test_min_max(self, table):
+        assert table.min_w == pytest.approx(1e-3)
+        assert table.max_w == pytest.approx(281.8e-3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PowerLevelTable(())
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            PowerLevelTable((2e-3, 1e-3))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PowerLevelTable((0.0, 1e-3))
+
+    def test_index_of(self, table):
+        assert table.index_of(1e-3) == 0
+        with pytest.raises(ValueError):
+            table.index_of(5e-3)
+
+
+class TestSelection:
+    def test_exact_level_selected(self, table):
+        assert table.select(15e-3) == 15e-3
+
+    def test_rounds_up_between_levels(self, table):
+        assert table.select(5e-3) == 7.25e-3
+
+    def test_clamps_above_max(self, table):
+        assert table.select(1.0) == table.max_w
+
+    def test_below_min_selects_min(self, table):
+        assert table.select(1e-9) == table.min_w
+
+    def test_rejects_nonpositive(self, table):
+        with pytest.raises(ValueError):
+            table.select(0.0)
+
+    @given(st.floats(min_value=1e-9, max_value=1.0))
+    def test_property_selected_covers_needed(self, needed):
+        table = PowerLevelTable(PAPER_POWER_LEVELS_W)
+        chosen = table.select(needed)
+        # The selected level meets the requirement unless it exceeds the
+        # table maximum (clamped, per the paper's escalation-to-max rule).
+        assert chosen >= min(needed, table.max_w)
+
+    @given(st.floats(min_value=1e-9, max_value=280e-3))
+    def test_property_selection_is_tight(self, needed):
+        """No lower level would also satisfy the requirement."""
+        table = PowerLevelTable(PAPER_POWER_LEVELS_W)
+        chosen = table.select(needed)
+        idx = table.index_of(chosen)
+        if idx > 0:
+            assert table.levels_w[idx - 1] < needed
+
+
+class TestStepUp:
+    def test_steps_one_class(self, table):
+        assert table.step_up(1e-3) == 2e-3
+
+    def test_from_between_levels(self, table):
+        assert table.step_up(5e-3) == 7.25e-3
+
+    def test_saturates_at_max(self, table):
+        assert table.step_up(table.max_w) == table.max_w
+
+    def test_is_max(self, table):
+        assert table.is_max(table.max_w)
+        assert table.is_max(1.0)
+        assert not table.is_max(75.8e-3)
+
+    def test_escalation_reaches_max_in_finite_steps(self, table):
+        """Paper Step 2: repeated one-class escalation terminates at max."""
+        p = table.min_w
+        for _ in range(len(table)):
+            p = table.step_up(p)
+        assert p == table.max_w
+
+
+class TestNeededTxPower:
+    def test_inverts_observed_gain(self):
+        # Frame sent at 100 mW observed at 1e-9 W: gain 1e-8.  Reaching a
+        # 3.652e-10 threshold needs 36.52 mW.
+        needed = needed_tx_power(1e-9, 0.1, 3.652e-10)
+        assert needed == pytest.approx(3.652e-2)
+
+    def test_margin_scales_linearly(self):
+        base = needed_tx_power(1e-9, 0.1, 3.652e-10, margin=1.0)
+        doubled = needed_tx_power(1e-9, 0.1, 3.652e-10, margin=2.0)
+        assert doubled == pytest.approx(2.0 * base)
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValueError):
+            needed_tx_power(0.0, 0.1, 1e-10)
+        with pytest.raises(ValueError):
+            needed_tx_power(1e-9, 0.0, 1e-10)
+        with pytest.raises(ValueError):
+            needed_tx_power(1e-9, 0.1, 0.0)
+
+    def test_rejects_margin_below_one(self):
+        with pytest.raises(ValueError):
+            needed_tx_power(1e-9, 0.1, 1e-10, margin=0.5)
+
+    @given(
+        st.floats(min_value=1e-12, max_value=1e-3),
+        st.floats(min_value=1e-3, max_value=0.3),
+    )
+    def test_property_needed_power_reaches_threshold(self, observed, tx_used):
+        """Transmitting at the estimate exactly meets the threshold."""
+        threshold = 3.652e-10
+        needed = needed_tx_power(observed, tx_used, threshold)
+        gain = observed / tx_used
+        assert needed * gain == pytest.approx(threshold, rel=1e-9)
+
+
+class TestDerivedTables:
+    def test_decode_ranges_ascend_with_power(self):
+        cfg = PhyConfig()
+        table = PowerLevelTable(cfg.power_levels_w)
+        ranges = table.decode_ranges(TwoRayGround(), cfg.rx_threshold_w)
+        assert ranges == sorted(ranges)
+        assert ranges[-1] == pytest.approx(250.0, rel=0.001)
+
+    def test_sensing_exceeds_decode_everywhere(self):
+        cfg = PhyConfig()
+        table = PowerLevelTable(cfg.power_levels_w)
+        model = TwoRayGround()
+        decode = table.decode_ranges(model, cfg.rx_threshold_w)
+        sense = table.sensing_ranges(model, cfg.cs_threshold_w)
+        assert all(s > d for s, d in zip(sense, decode))
+
+    def test_level_for_distance_covers(self):
+        cfg = PhyConfig()
+        table = PowerLevelTable(cfg.power_levels_w)
+        model = TwoRayGround()
+        level = table.level_for_distance(100.0, model, cfg.rx_threshold_w)
+        # A 100 m link needs the 7.25 mW level per the paper's table.
+        assert level == pytest.approx(7.25e-3)
+
+    def test_level_for_distance_beyond_reach_returns_max(self):
+        cfg = PhyConfig()
+        table = PowerLevelTable(cfg.power_levels_w)
+        assert table.level_for_distance(
+            400.0, TwoRayGround(), cfg.rx_threshold_w
+        ) == table.max_w

@@ -1,0 +1,77 @@
+"""Event queue ordering and cancellation tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.event import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(3.0, lambda: order.append(3))
+        q.push(1.0, lambda: order.append(1))
+        q.push(2.0, lambda: order.append(2))
+        while (ev := q.pop()) is not None:
+            ev.fn()
+        assert order == [1, 2, 3]
+
+    def test_equal_times_fifo_by_insertion(self):
+        q = EventQueue()
+        events = [q.push(1.0, lambda: None, label=f"e{i}") for i in range(10)]
+        popped = [q.pop() for _ in range(10)]
+        assert [e.label for e in popped] == [e.label for e in events]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None, priority=5, label="low")
+        q.push(1.0, lambda: None, priority=0, label="high")
+        assert q.pop().label == "high"
+        assert q.pop().label == "low"
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_property_pop_sequence_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while (ev := q.pop()) is not None:
+            popped.append(ev.time)
+        assert popped == sorted(times)
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        ev1 = q.push(1.0, lambda: None, label="a")
+        q.push(2.0, lambda: None, label="b")
+        ev1.cancel()
+        q.note_cancelled()
+        assert q.pop().label == "b"
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        q.note_cancelled()
+        assert len(q) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        ev.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 5.0
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert not q

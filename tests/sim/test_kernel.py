@@ -1,0 +1,112 @@
+"""Simulator kernel tests: clock discipline, scheduling rules, stop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_run_until_advances_clock_to_end(self, sim):
+        sim.run_until(5.0)
+        assert sim.now == 5.0
+
+    def test_events_fire_at_their_time(self, sim):
+        seen = []
+        sim.schedule(1.25, lambda: seen.append(sim.now))
+        sim.run_until(2.0)
+        assert seen == [1.25]
+
+    def test_events_beyond_horizon_do_not_fire(self, sim):
+        seen = []
+        sim.schedule(3.0, lambda: seen.append(True))
+        sim.run_until(2.0)
+        assert seen == []
+        sim.run_until(4.0)
+        assert seen == [True]
+
+
+class TestSchedulingRules:
+    def test_cannot_schedule_in_past(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(1.5, lambda: None)
+
+    def test_schedule_in_rejects_negative_delay(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-0.1, lambda: None)
+
+    def test_schedule_at_now_fires_after_current_handler(self, sim):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(sim.now, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run_until(2.0)
+        assert order == ["outer", "inner"]
+
+    def test_cancel_prevents_firing(self, sim):
+        seen = []
+        ev = sim.schedule(1.0, lambda: seen.append(True))
+        sim.cancel(ev)
+        sim.run_until(2.0)
+        assert seen == []
+
+    def test_cancel_none_is_noop(self, sim):
+        sim.cancel(None)
+
+    def test_double_cancel_is_safe(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.cancel(ev)
+        sim.cancel(ev)
+        sim.run_until(2.0)
+
+
+class TestExecution:
+    def test_events_executed_counter(self, sim):
+        for k in range(5):
+            sim.schedule(float(k) + 0.5, lambda: None)
+        sim.run_until(10.0)
+        assert sim.events_executed == 5
+
+    def test_pending_events(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.run_until(1.5)
+        assert sim.pending_events == 1
+
+    def test_stop_halts_run(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run_until(10.0)
+        assert seen == [1]
+        # The stopped run leaves the clock at the stop point, not the horizon.
+        assert sim.now == 1.0
+
+    def test_step_executes_single_event(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(2.0, lambda: seen.append(2))
+        assert sim.step()
+        assert seen == [1]
+        assert sim.step()
+        assert seen == [1, 2]
+        assert not sim.step()
+
+    def test_handler_chain_ordering(self, sim):
+        """Handlers scheduling at identical times preserve FIFO order."""
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("c"))
+        sim.run_until(2.0)
+        assert order == ["a", "b", "c"]

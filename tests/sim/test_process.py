@@ -1,0 +1,81 @@
+"""Timer and PeriodicTask tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.process import PeriodicTask, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now))
+        t.start(1.0)
+        sim.run_until(2.0)
+        assert fired == [1.0]
+
+    def test_cancel_prevents_fire(self, sim):
+        fired = []
+        t = Timer(sim, lambda: fired.append(True))
+        t.start(1.0)
+        t.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_restart_resets_expiry(self, sim):
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now))
+        t.start(1.0)
+        sim.run_until(0.5)
+        t.start(1.0)  # re-arm at t=0.5
+        sim.run_until(3.0)
+        assert fired == [1.5]
+
+    def test_running_property(self, sim):
+        t = Timer(sim, lambda: None)
+        assert not t.running
+        t.start(1.0)
+        assert t.running
+        assert t.expiry == 1.0
+        sim.run_until(2.0)
+        assert not t.running
+
+    def test_cancel_when_not_running_is_safe(self, sim):
+        Timer(sim, lambda: None).cancel()
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self, sim):
+        fired = []
+        task = PeriodicTask(sim, lambda: fired.append(sim.now), period=1.0)
+        task.start()
+        sim.run_until(3.5)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_offset_controls_first_fire(self, sim):
+        fired = []
+        task = PeriodicTask(sim, lambda: fired.append(sim.now), period=1.0)
+        task.start(offset=0.25)
+        sim.run_until(2.5)
+        assert fired == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_invocations(self, sim):
+        fired = []
+        task = PeriodicTask(sim, lambda: fired.append(sim.now), period=1.0)
+        task.start()
+        sim.schedule(2.5, task.stop)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_rejects_nonpositive_period(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, lambda: None, period=0.0)
+
+    def test_running_property(self, sim):
+        task = PeriodicTask(sim, lambda: None, period=1.0)
+        assert not task.running
+        task.start()
+        assert task.running
+        task.stop()
+        assert not task.running

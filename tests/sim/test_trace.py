@@ -1,0 +1,62 @@
+"""Tracer tests: category gating, counters, queries."""
+
+from __future__ import annotations
+
+from repro.sim.trace import Tracer
+
+
+class TestGating:
+    def test_disabled_category_counts_but_stores_nothing(self):
+        t = Tracer()
+        t.emit(1.0, "phy.tx", 3, frame=7)
+        assert t.count("phy.tx") == 1
+        assert list(t.query()) == []
+
+    def test_enabled_category_stores_records(self):
+        t = Tracer()
+        t.enable("phy.tx")
+        t.emit(1.0, "phy.tx", 3, frame=7)
+        recs = list(t.query("phy.tx"))
+        assert len(recs) == 1
+        assert recs[0].get("frame") == 7
+
+    def test_max_records_bounds_memory(self):
+        t = Tracer(max_records=5)
+        t.enable("x")
+        for k in range(10):
+            t.emit(float(k), "x", 0)
+        assert len(t.records) == 5
+        assert t.count("x") == 10
+
+
+class TestQueries:
+    def test_filter_by_node(self):
+        t = Tracer()
+        t.enable("a")
+        t.emit(1.0, "a", 1)
+        t.emit(2.0, "a", 2)
+        assert [r.node for r in t.query("a", node=2)] == [2]
+
+    def test_record_as_dict(self):
+        t = Tracer()
+        t.enable("a")
+        t.emit(1.5, "a", 9, reason="test")
+        rec = next(iter(t.query("a")))
+        d = rec.as_dict()
+        assert d["time"] == 1.5
+        assert d["category"] == "a"
+        assert d["node"] == 9
+        assert d["reason"] == "test"
+
+    def test_bump_counter(self):
+        t = Tracer()
+        t.bump("custom", 3)
+        assert t.counters["custom"] == 3
+
+    def test_clear(self):
+        t = Tracer()
+        t.enable("a")
+        t.emit(1.0, "a", 0)
+        t.clear()
+        assert t.count("a") == 0
+        assert list(t.query()) == []

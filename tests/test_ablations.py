@@ -1,0 +1,56 @@
+"""Ablation experiment plumbing tests (tiny scale — shapes, not claims)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MobilityConfig, ScenarioConfig, TrafficConfig
+from repro.experiments.ablations import (
+    run_control_rate_ablation,
+    run_handshake_ablation,
+    run_history_expiry_ablation,
+    run_margin_ablation,
+    run_propagation_ablation,
+)
+
+
+def tiny_cfg() -> ScenarioConfig:
+    return ScenarioConfig(
+        node_count=6,
+        duration_s=3.0,
+        seed=4,
+        traffic=TrafficConfig(flow_count=2, offered_load_bps=120e3),
+        mobility=MobilityConfig(field_width_m=400.0, field_height_m=400.0),
+    )
+
+
+class TestAblationPlumbing:
+    def test_margin_ablation_keys(self):
+        out = run_margin_ablation(tiny_cfg(), coefficients=(0.5, 1.0))
+        assert set(out) == {0.5, 1.0}
+        assert all(r.protocol == "pcmac" for r in out.values())
+
+    def test_control_rate_ablation_keys(self):
+        out = run_control_rate_ablation(tiny_cfg(), rates_kbps=(250, 500))
+        assert set(out) == {250, 500}
+
+    def test_handshake_ablation_variants(self):
+        out = run_handshake_ablation(tiny_cfg())
+        assert set(out) == {"three_way", "four_way"}
+        # Structural signature: only the four-way run ACKs its data.
+        assert (
+            out["four_way"].mac_totals["ack_sent"]
+            > out["three_way"].mac_totals["ack_sent"]
+        )
+
+    def test_history_expiry_ablation_keys(self):
+        out = run_history_expiry_ablation(tiny_cfg(), expiries_s=(0.5, 3.0))
+        assert set(out) == {0.5, 3.0}
+
+    def test_propagation_ablation_grid(self):
+        out = run_propagation_ablation(
+            tiny_cfg(), exponents=(2.4,), protocols=("basic", "pcmac")
+        )
+        assert set(out) == {("basic", 2.4), ("pcmac", 2.4)}
+        for result in out.values():
+            assert result.sent > 0

@@ -1,0 +1,119 @@
+"""Analysis helpers: statistics, plotting, reporting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.report import markdown_table, paper_vs_measured, series_table
+from repro.analysis.stats import (
+    compare_series,
+    mean_confidence_interval,
+    saturation_ordering,
+)
+
+
+class TestMeanCI:
+    def test_single_value_zero_halfwidth(self):
+        mean, hw = mean_confidence_interval([5.0])
+        assert mean == 5.0
+        assert hw == 0.0
+
+    def test_identical_values_zero_halfwidth(self):
+        mean, hw = mean_confidence_interval([3.0, 3.0, 3.0])
+        assert mean == 3.0
+        assert hw == 0.0
+
+    def test_known_interval(self):
+        # n=4: var = 2/3, sem = sqrt(var/4) ≈ 0.408; t(0.975, df=3) ≈ 3.182
+        # → half-width ≈ 1.299.
+        mean, hw = mean_confidence_interval([1.0, 2.0, 3.0, 2.0])
+        assert mean == pytest.approx(2.0)
+        assert hw == pytest.approx(1.299, abs=0.01)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=30))
+    def test_property_mean_inside_interval(self, values):
+        mean, hw = mean_confidence_interval(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+        assert hw >= 0
+
+
+class TestCompareSeries:
+    def test_identical_series(self):
+        cmp = compare_series([1, 2, 3], [1, 2, 3])
+        assert cmp.rank_correlation == pytest.approx(1.0)
+        assert cmp.final_ratio == pytest.approx(1.0)
+        assert cmp.mean_ratio == pytest.approx(1.0)
+
+    def test_scaled_series_keeps_rank_correlation(self):
+        cmp = compare_series([2, 4, 6], [1, 2, 3])
+        assert cmp.rank_correlation == pytest.approx(1.0)
+        assert cmp.final_ratio == pytest.approx(2.0)
+
+    def test_reversed_series_anticorrelates(self):
+        cmp = compare_series([3, 2, 1], [1, 2, 3])
+        assert cmp.rank_correlation == pytest.approx(-1.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            compare_series([1], [1, 2])
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            compare_series([1, 2], [0, 1])
+
+    def test_saturation_ordering(self):
+        series = {"a": [1, 5], "b": [9, 2], "c": [1, 7]}
+        assert saturation_ordering(series) == ["c", "a", "b"]
+
+
+class TestAsciiChart:
+    def test_renders_all_series_markers(self):
+        chart = ascii_chart(
+            {"one": ([0, 1], [0, 1]), "two": ([0, 1], [1, 0])},
+            title="t", x_label="x", y_label="y",
+        )
+        assert "o=one" in chart
+        assert "*=two" in chart
+        assert "t" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"flat": ([0, 1, 2], [5, 5, 5])})
+        assert "o=flat" in chart
+
+
+class TestReport:
+    def test_markdown_table_shape(self):
+        out = markdown_table(["a", "b"], [[1, 2.5], ["x", "y"]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | 2.5 |" in out
+        assert "| x | y |" in out
+
+    def test_series_table_columns(self):
+        out = series_table("load", [100, 200], {"basic": [1, 2], "pcmac": [3, 4]})
+        assert "| load | basic | pcmac |" in out
+        assert "| 100 | 1 | 3 |" in out
+
+    def test_paper_vs_measured_interleaves(self):
+        out = paper_vs_measured(
+            "x", [1], {"p": [10.0]}, {"p": [11.0]}
+        )
+        assert "p (paper)" in out
+        assert "p (ours)" in out
+        assert "| 1 | 10.0 | 11.0 |" in out
+
+    def test_paper_vs_measured_missing_measurement(self):
+        out = paper_vs_measured("x", [1], {"p": [10.0]}, {})
+        assert "—" in out

@@ -1,0 +1,43 @@
+"""CLI smoke tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_ranges_command(self, capsys):
+        assert main(["ranges"]) == 0
+        out = capsys.readouterr().out
+        assert "281.80" in out
+        assert "decode 250.0 m" in out
+
+    def test_quickrun_command(self, capsys):
+        code = main([
+            "quickrun", "--protocol", "basic", "--nodes", "6",
+            "--duration", "4", "--load-kbps", "80",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "thr=" in out
+        assert "fairness" in out
+
+    def test_quickrun_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            main(["quickrun", "--protocol", "tdma"])
+
+    def test_figure8_tiny(self, capsys):
+        code = main([
+            "figure8", "--scale", "quick", "--seeds", "1",
+            "--loads", "80,160", "--nodes", "8", "--duration", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "basic (paper)" in out
+        assert "Figure 8" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,86 @@
+"""Smoke tests: every shipped example must run and print its story.
+
+The examples are part of the public deliverable; running them in CI keeps
+them honest against API drift.  Each is imported as a module and its
+``main()`` invoked with a trimmed configuration via monkeypatching where the
+full run would be slow.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize(
+        "name",
+        ["quickstart", "asymmetric_link", "spatial_reuse", "mobile_aodv"],
+    )
+    def test_example_file_present(self, name):
+        assert (EXAMPLES_DIR / f"{name}.py").is_file()
+
+
+class TestExamplesRun:
+    def test_asymmetric_link_runs(self, capsys):
+        mod = load_example("asymmetric_link")
+        # Shorten the scenario: patch the runner's duration via run().
+        results = {p: mod.run(p) for p in ("scheme2", "pcmac")}
+        _, flows_s2 = results["scheme2"]
+        _, flows_pc = results["pcmac"]
+        assert flows_pc[0].delivery_ratio > flows_s2[0].delivery_ratio
+
+    def test_spatial_reuse_runs(self):
+        mod = load_example("spatial_reuse")
+        basic = mod.run("basic")
+        pcmac = mod.run("pcmac")
+        assert pcmac.throughput_kbps > basic.throughput_kbps
+
+    def test_quickstart_main_prints_table(self, capsys, monkeypatch):
+        mod = load_example("quickstart")
+        # Trim the scenario so the smoke test stays fast.
+        import repro
+
+        original = repro.ScenarioConfig
+
+        def small_config(**kwargs):
+            kwargs["node_count"] = 10
+            kwargs["duration_s"] = 5.0
+            return original(**kwargs)
+
+        monkeypatch.setattr(mod, "ScenarioConfig", small_config)
+        mod.main()
+        out = capsys.readouterr().out
+        for proto in ("basic", "pcmac", "scheme1", "scheme2"):
+            assert proto in out
+
+    def test_mobile_aodv_main_prints_routing_stats(self, capsys, monkeypatch):
+        mod = load_example("mobile_aodv")
+        import repro
+
+        original = repro.ScenarioConfig
+
+        def small_config(**kwargs):
+            kwargs["node_count"] = 12
+            kwargs["duration_s"] = 5.0
+            return original(**kwargs)
+
+        monkeypatch.setattr(mod, "ScenarioConfig", small_config)
+        monkeypatch.setattr(sys, "argv", ["mobile_aodv.py", "pcmac"])
+        mod.main()
+        out = capsys.readouterr().out
+        assert "aodv" in out
+        assert "tx energy" in out

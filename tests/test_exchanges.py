@@ -1,0 +1,120 @@
+"""Exchange reconstruction tests — synthetic traces and live harness runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.exchanges import (
+    Exchange,
+    exchange_summary,
+    reconstruct_exchanges,
+)
+from repro.core.pcmac import PcmacMac
+from repro.sim.trace import TraceRecord
+from tests.mac.harness import FakePacket, MacHarness
+
+
+def rec(time, kind, node, dst, power=0.1):
+    return TraceRecord(
+        time, "mac.handshake", node,
+        (("kind", kind), ("dst", dst), ("power_w", power)),
+    )
+
+
+class TestSyntheticTraces:
+    def test_four_way_exchange(self):
+        records = [
+            rec(0.000, "RTS", 0, 1),
+            rec(0.001, "CTS", 1, 0),
+            rec(0.002, "DATA", 0, 1),
+            rec(0.005, "ACK", 1, 0),
+        ]
+        (ex,) = reconstruct_exchanges(records)
+        assert ex.frames == ["RTS", "CTS", "DATA", "ACK"]
+        assert ex.completed_data
+        assert not ex.three_way
+        assert ex.duration_s == pytest.approx(0.005)
+
+    def test_three_way_exchange(self):
+        records = [
+            rec(0.000, "RTS", 0, 1),
+            rec(0.001, "CTS", 1, 0),
+            rec(0.002, "DATA", 0, 1),
+        ]
+        (ex,) = reconstruct_exchanges(records)
+        assert ex.three_way
+
+    def test_failed_exchange_has_no_cts(self):
+        records = [rec(0.000, "RTS", 0, 1)]
+        (ex,) = reconstruct_exchanges(records)
+        assert ex.frames == ["RTS"]
+        assert not ex.completed_data
+
+    def test_interleaved_pairs_kept_separate(self):
+        records = [
+            rec(0.000, "RTS", 0, 1),
+            rec(0.0001, "RTS", 2, 3),
+            rec(0.001, "CTS", 1, 0),
+            rec(0.0011, "CTS", 3, 2),
+            rec(0.002, "DATA", 0, 1),
+            rec(0.0021, "DATA", 2, 3),
+        ]
+        exchanges = reconstruct_exchanges(records)
+        assert len(exchanges) == 2
+        assert all(e.completed_data for e in exchanges)
+
+    def test_broadcast_data_ignored(self):
+        records = [rec(0.0, "DATA", 0, -1)]
+        assert reconstruct_exchanges(records) == []
+
+    def test_stale_cts_not_attached(self):
+        records = [
+            rec(0.000, "RTS", 0, 1),
+            rec(0.500, "CTS", 1, 0),  # far beyond the gap window
+        ]
+        (ex,) = reconstruct_exchanges(records)
+        assert ex.frames == ["RTS"]
+
+    def test_summary_rates(self):
+        records = [
+            rec(0.000, "RTS", 0, 1),
+            rec(0.001, "CTS", 1, 0),
+            rec(0.002, "DATA", 0, 1),
+            rec(0.010, "RTS", 0, 1),  # failed exchange
+        ]
+        summary = exchange_summary(reconstruct_exchanges(records))
+        assert summary["count"] == 2
+        assert summary["completed"] == 1
+        assert summary["completion_rate"] == 0.5
+        assert summary["three_way_rate"] == 1.0
+
+    def test_empty_summary(self):
+        assert exchange_summary([])["count"] == 0
+
+
+class TestLiveTraces:
+    def test_pcmac_run_reconstructs_three_way(self, tracer):
+        h = MacHarness([(0, 0), (100, 0)], mac_cls=PcmacMac, tracer=tracer)
+        for k in range(3):
+            h.send(0, 1, FakePacket(flow_id=1, seq=k + 1, kind="data"))
+        h.run(1.0)
+        exchanges = reconstruct_exchanges(tracer.records)
+        assert len(exchanges) == 3
+        assert all(e.three_way for e in exchanges)
+
+    def test_basic_run_reconstructs_four_way(self, tracer):
+        h = MacHarness([(0, 0), (100, 0)], tracer=tracer)
+        h.send(0, 1)
+        h.run(1.0)
+        (ex,) = reconstruct_exchanges(tracer.records)
+        assert ex.frames == ["RTS", "CTS", "DATA", "ACK"]
+
+    def test_power_learning_visible_in_exchanges(self, tracer):
+        h = MacHarness([(0, 0), (60, 0)], mac_cls=PcmacMac, tracer=tracer)
+        h.send(0, 1, FakePacket(seq=1, kind="data"))
+        h.run(0.5)
+        h.send(0, 1, FakePacket(seq=2, kind="data"))
+        h.run(0.5)
+        first, second = reconstruct_exchanges(tracer.records)
+        assert first.rts_power_w == pytest.approx(0.2818)  # cold start
+        assert second.rts_power_w < first.rts_power_w      # learned

@@ -1,0 +1,61 @@
+"""CSV export tests."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.analysis.export import (
+    RESULT_FIELDS,
+    series_to_csv,
+    sweep_to_csv,
+    write_results_csv,
+)
+from repro.config import ScenarioConfig, TrafficConfig
+from repro.experiments.sweep import run_load_sweep
+
+
+def small_sweep():
+    cfg = ScenarioConfig(
+        node_count=6,
+        duration_s=3.0,
+        seed=2,
+        traffic=TrafficConfig(flow_count=2, offered_load_bps=80e3),
+    )
+    return run_load_sweep(cfg, ["basic"], [40.0, 80.0], seeds=(1, 2))
+
+
+class TestCsvExport:
+    def test_sweep_row_count(self):
+        text = sweep_to_csv(small_sweep())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == list(RESULT_FIELDS)
+        assert len(rows) == 1 + 2 * 2  # header + loads × seeds
+
+    def test_values_roundtrip(self):
+        sweep = small_sweep()
+        text = sweep_to_csv(sweep)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        originals = {
+            (r.protocol, float(r.offered_load_kbps), r.seed): r
+            for runs in sweep.results.values()
+            for r in runs
+        }
+        for row in rows:
+            key = (row["protocol"], float(row["offered_load_kbps"]), int(row["seed"]))
+            assert key in originals
+            assert float(row["throughput_kbps"]) == originals[key].throughput_kbps
+
+    def test_write_results_returns_count(self):
+        sweep = small_sweep()
+        runs = [r for v in sweep.results.values() for r in v]
+        buf = io.StringIO()
+        assert write_results_csv(runs, buf) == len(runs)
+
+    def test_series_csv_columns(self):
+        text = series_to_csv(
+            "load", [100.0, 200.0], {"basic": [1.0, 2.0], "pcmac": [3.0, 4.0]}
+        )
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["load", "basic", "pcmac"]
+        assert rows[1] == ["100.0", "1.0", "3.0"]

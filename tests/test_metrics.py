@@ -1,0 +1,122 @@
+"""Metrics collector and fairness tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.fairness import jain_index
+from repro.net.packet import Packet
+
+
+def pkt(flow=0, seq=1, created=0.0, size=512) -> Packet:
+    return Packet(
+        flow_id=flow, seq=seq, src=0, dst=1, size_bytes=size, created_at=created
+    )
+
+
+class TestCollector:
+    def test_send_receive_accounting(self):
+        m = MetricsCollector()
+        p = pkt()
+        m.on_app_send(p)
+        m.on_app_receive(p, now=0.5)
+        assert m.total_sent == 1
+        assert m.total_received == 1
+        assert m.delivery_ratio() == 1.0
+
+    def test_throughput_kbps(self):
+        m = MetricsCollector()
+        for k in range(10):
+            p = pkt(seq=k, size=512)
+            m.on_app_send(p)
+            m.on_app_receive(p, now=1.0)
+        # 10 × 512 B = 40.96 kbit over 2 s → 20.48 kbps.
+        assert m.throughput_kbps(2.0) == pytest.approx(20.48)
+
+    def test_delay_ms(self):
+        m = MetricsCollector()
+        p = pkt(created=1.0)
+        m.on_app_send(p)
+        m.on_app_receive(p, now=1.25)
+        assert m.avg_delay_ms() == pytest.approx(250.0)
+
+    def test_duplicates_counted_once(self):
+        m = MetricsCollector()
+        p = pkt()
+        m.on_app_send(p)
+        m.on_app_receive(p, now=0.5)
+        m.on_app_receive(p, now=0.6)
+        assert m.total_received == 1
+        assert m.flows[0].duplicates == 1
+
+    def test_drop_attribution_only_for_data(self):
+        m = MetricsCollector()
+        m.on_drop(pkt(), "link_break")
+        aodv = Packet(flow_id=-1, seq=1, src=0, dst=1, size_bytes=24,
+                      created_at=0.0, kind="aodv")
+        m.on_drop(aodv, "link_break")
+        assert m.drop_breakdown()["link_break"] == 1
+
+    def test_per_flow_throughput(self):
+        m = MetricsCollector()
+        for flow, n in ((0, 4), (1, 2)):
+            for k in range(n):
+                p = pkt(flow=flow, seq=k)
+                m.on_app_send(p)
+                m.on_app_receive(p, now=1.0)
+        tp = m.per_flow_throughput_kbps(1.0)
+        assert tp[0] == pytest.approx(2 * tp[1])
+
+    def test_hops_tracked(self):
+        m = MetricsCollector()
+        p = pkt()
+        p.hops = 3
+        m.on_app_send(p)
+        m.on_app_receive(p, now=0.5)
+        assert m.flows[0].avg_hops == 3.0
+
+    def test_rejects_nonpositive_duration(self):
+        m = MetricsCollector()
+        with pytest.raises(ValueError):
+            m.throughput_kbps(0.0)
+
+    def test_empty_collector_reports_zeroes(self):
+        m = MetricsCollector()
+        assert m.delivery_ratio() == 0.0
+        assert m.avg_delay_ms() == 0.0
+        assert m.throughput_kbps(1.0) == 0.0
+
+
+class TestJainIndex:
+    def test_perfect_fairness(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_total_unfairness(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_is_zero(self):
+        assert jain_index([]) == 0.0
+
+    def test_all_zero_is_zero(self):
+        assert jain_index([0.0, 0.0]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_property_bounds(self, values):
+        idx = jain_index(values)
+        assert 0.0 <= idx <= 1.0 + 1e-12
+
+    @given(
+        st.lists(st.floats(min_value=1e-3, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=1e-3, max_value=100.0),
+    )
+    def test_property_scale_invariant(self, values, scale):
+        assert jain_index(values) == pytest.approx(
+            jain_index([v * scale for v in values]), rel=1e-6
+        )

@@ -1,0 +1,123 @@
+"""Mobility model and placement tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import MobilityConfig
+from repro.mobility.placement import grid_positions, line_positions, uniform_positions
+from repro.mobility.static import StaticMobility
+from repro.mobility.waypoint import RandomWaypoint
+
+
+class TestStatic:
+    def test_position_constant(self):
+        m = StaticMobility((3.0, 4.0))
+        assert m.position_at(0.0) == (3.0, 4.0)
+        assert m.position_at(1e6) == (3.0, 4.0)
+
+
+class TestRandomWaypoint:
+    def cfg(self, **overrides) -> MobilityConfig:
+        kwargs = dict(speed_mps=3.0, pause_s=3.0, field_width_m=1000.0,
+                      field_height_m=1000.0)
+        kwargs.update(overrides)
+        return MobilityConfig(**kwargs)
+
+    def test_initial_pause_keeps_start_position(self):
+        m = RandomWaypoint(np.random.default_rng(1), self.cfg(), (10.0, 20.0))
+        assert m.position_at(0.0) == (10.0, 20.0)
+        assert m.position_at(2.9) == (10.0, 20.0)
+
+    def test_moves_after_pause(self):
+        m = RandomWaypoint(np.random.default_rng(1), self.cfg(), (10.0, 20.0))
+        later = m.position_at(10.0)
+        assert later != (10.0, 20.0)
+
+    def test_speed_bounds_displacement(self):
+        """Between any two query times the node moves at most speed·Δt."""
+        m = RandomWaypoint(np.random.default_rng(2), self.cfg(), (500.0, 500.0))
+        prev = m.position_at(0.0)
+        for step in range(1, 400):
+            t = step * 0.5
+            cur = m.position_at(t)
+            moved = math.hypot(cur[0] - prev[0], cur[1] - prev[1])
+            assert moved <= 3.0 * 0.5 + 1e-9
+            prev = cur
+
+    def test_stays_in_field(self):
+        m = RandomWaypoint(np.random.default_rng(3), self.cfg(), (500.0, 500.0))
+        for step in range(1000):
+            x, y = m.position_at(step * 1.0)
+            assert 0.0 <= x <= 1000.0
+            assert 0.0 <= y <= 1000.0
+
+    def test_deterministic_given_rng_seed(self):
+        a = RandomWaypoint(np.random.default_rng(7), self.cfg(), (1.0, 2.0))
+        b = RandomWaypoint(np.random.default_rng(7), self.cfg(), (1.0, 2.0))
+        for t in (0.0, 5.0, 17.3, 120.0):
+            assert a.position_at(t) == b.position_at(t)
+
+    def test_zero_speed_never_moves(self):
+        m = RandomWaypoint(
+            np.random.default_rng(1), self.cfg(speed_mps=0.0), (10.0, 20.0)
+        )
+        assert m.position_at(1e5) == (10.0, 20.0)
+
+    def test_speed_range_draws_within_bounds(self):
+        m = RandomWaypoint(
+            np.random.default_rng(4),
+            self.cfg(),
+            (0.0, 0.0),
+            speed_range=(1.0, 5.0),
+        )
+        # Sample positions densely; implied speeds must stay ≤ 5 m/s.
+        prev = m.position_at(0.0)
+        for step in range(1, 200):
+            t = step * 0.5
+            cur = m.position_at(t)
+            moved = math.hypot(cur[0] - prev[0], cur[1] - prev[1])
+            assert moved <= 5.0 * 0.5 + 1e-9
+            prev = cur
+
+
+class TestPlacement:
+    def test_uniform_positions_in_field(self):
+        pts = uniform_positions(np.random.default_rng(1), 100, 1000.0, 500.0)
+        assert len(pts) == 100
+        assert all(0 <= x <= 1000 and 0 <= y <= 500 for x, y in pts)
+
+    def test_uniform_deterministic(self):
+        a = uniform_positions(np.random.default_rng(5), 10, 1000, 1000)
+        b = uniform_positions(np.random.default_rng(5), 10, 1000, 1000)
+        assert a == b
+
+    def test_grid_covers_field(self):
+        pts = grid_positions(9, 300.0, 300.0)
+        assert len(pts) == 9
+        assert pts[0] == (50.0, 50.0)
+        assert all(0 < x < 300 and 0 < y < 300 for x, y in pts)
+
+    def test_grid_handles_non_square_counts(self):
+        assert len(grid_positions(7, 100.0, 100.0)) == 7
+
+    def test_line_positions_spacing(self):
+        pts = line_positions(4, 150.0)
+        assert pts == [(0.0, 0.0), (150.0, 0.0), (300.0, 0.0), (450.0, 0.0)]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            uniform_positions(np.random.default_rng(1), 0, 100, 100)
+        with pytest.raises(ValueError):
+            grid_positions(0, 100, 100)
+        with pytest.raises(ValueError):
+            line_positions(3, 0.0)
+
+    @given(st.integers(min_value=1, max_value=60))
+    def test_property_grid_count_exact(self, n):
+        assert len(grid_positions(n, 100.0, 100.0)) == n

@@ -1,0 +1,59 @@
+"""Saturation-point search tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MobilityConfig, ScenarioConfig, TrafficConfig
+from repro.experiments.saturation import find_saturation
+from repro.mobility.placement import line_positions
+
+
+def tiny_cfg() -> ScenarioConfig:
+    # A 100 m × 100 m field guarantees the two nodes share a link.
+    return ScenarioConfig(
+        node_count=2,
+        duration_s=5.0,
+        seed=1,
+        traffic=TrafficConfig(flow_count=1, offered_load_bps=100e3),
+        mobility=MobilityConfig(
+            speed_mps=0.0, field_width_m=100.0, field_height_m=100.0
+        ),
+    )
+
+
+class TestFindSaturation:
+    def test_single_link_saturates_near_channel_capacity(self):
+        """One 2 Mbps link with RTS/CTS overhead saturates near ~1.4 Mbps."""
+        point = find_saturation(
+            tiny_cfg(),
+            "basic",
+            start_kbps=400.0,
+            step_kbps=400.0,
+            max_kbps=2400.0,
+        )
+        assert 800.0 <= point.throughput_kbps <= 1800.0
+        assert point.probes[-1][0] <= 2400.0
+
+    def test_knee_throughput_is_max_probed(self):
+        point = find_saturation(
+            tiny_cfg(), "basic", start_kbps=400.0, step_kbps=400.0,
+            max_kbps=2000.0,
+        )
+        assert point.throughput_kbps == pytest.approx(
+            max(thr for _, thr in point.probes)
+        )
+
+    def test_probe_sequence_is_ascending_in_load(self):
+        point = find_saturation(
+            tiny_cfg(), "basic", start_kbps=200.0, step_kbps=200.0,
+            max_kbps=1000.0,
+        )
+        loads = [load for load, _ in point.probes]
+        assert loads == sorted(loads)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            find_saturation(tiny_cfg(), "basic", start_kbps=0.0)
+        with pytest.raises(ValueError):
+            find_saturation(tiny_cfg(), "basic", step_kbps=-1.0)

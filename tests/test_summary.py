@@ -1,0 +1,61 @@
+"""Efficiency summary tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import ExperimentResult
+from repro.metrics.summary import efficiency_table, summarise_efficiency
+
+
+def result(**overrides) -> ExperimentResult:
+    kwargs = dict(
+        protocol="basic",
+        offered_load_kbps=600.0,
+        duration_s=10.0,
+        throughput_kbps=400.0,
+        avg_delay_ms=100.0,
+        delivery_ratio=0.9,
+        fairness=0.95,
+        sent=1000,
+        received=900,
+        drops={},
+        mac_totals={
+            "tx_energy_j": 2.0,
+            "airtime_control_s": 1.0,
+            "airtime_data_s": 3.0,
+            "data_sent": 1800.0,
+        },
+        routing_totals={},
+        events_executed=1,
+        wallclock_s=0.1,
+    )
+    kwargs.update(overrides)
+    return ExperimentResult(**kwargs)
+
+
+class TestSummarise:
+    def test_energy_per_bit(self):
+        s = summarise_efficiency(result())
+        # 400 kbps × 10 s = 4e6 bits; 2 J / 4e6 = 5e-7 J/bit.
+        assert s.energy_per_bit_j == pytest.approx(5e-7)
+
+    def test_control_airtime_fraction(self):
+        s = summarise_efficiency(result())
+        assert s.control_airtime_fraction == pytest.approx(0.25)
+
+    def test_data_tx_per_delivery(self):
+        s = summarise_efficiency(result())
+        assert s.data_tx_per_delivery == pytest.approx(2.0)
+
+    def test_zero_delivery_is_safe(self):
+        s = summarise_efficiency(
+            result(throughput_kbps=0.0, received=0)
+        )
+        assert s.energy_per_bit_j == 0.0
+
+    def test_table_renders_all_protocols(self):
+        table = efficiency_table({"basic": result(), "pcmac": result(protocol="pcmac")})
+        assert "basic" in table
+        assert "pcmac" in table
+        assert "J/Mbit" in table

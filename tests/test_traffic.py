@@ -1,0 +1,102 @@
+"""Traffic generator tests (driven against a stub node)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.traffic.cbr import CbrSource
+from repro.traffic.poisson import PoissonSource
+
+
+class StubNode:
+    """Minimal Node stand-in capturing app_send calls."""
+
+    def __init__(self, sim: Simulator, node_id: int = 0) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.sent = []
+
+    def app_send(self, packet) -> None:
+        self.sent.append((self.sim.now, packet))
+
+
+class TestCbrSource:
+    def test_emits_at_fixed_interval(self, sim):
+        node = StubNode(sim)
+        CbrSource(node, 0, dst=1, interval_s=0.5, size_bytes=512, start_s=1.0)
+        sim.run_until(3.1)
+        times = [t for t, _ in node.sent]
+        assert times == pytest.approx([1.0, 1.5, 2.0, 2.5, 3.0])
+
+    def test_packet_fields(self, sim):
+        node = StubNode(sim, node_id=4)
+        CbrSource(node, 7, dst=9, interval_s=1.0, size_bytes=256, start_s=0.5)
+        sim.run_until(1.0)
+        _, pkt = node.sent[0]
+        assert pkt.flow_id == 7
+        assert pkt.src == 4
+        assert pkt.dst == 9
+        assert pkt.size_bytes == 256
+        assert pkt.kind == "data"
+        assert pkt.created_at == 0.5
+
+    def test_sequence_numbers_increment(self, sim):
+        node = StubNode(sim)
+        CbrSource(node, 0, dst=1, interval_s=0.25, size_bytes=64, start_s=0.0)
+        sim.run_until(1.1)
+        seqs = [p.seq for _, p in node.sent]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_stop_time_honoured(self, sim):
+        node = StubNode(sim)
+        CbrSource(node, 0, dst=1, interval_s=0.5, size_bytes=64,
+                  start_s=0.0, stop_s=1.2)
+        sim.run_until(5.0)
+        assert len(node.sent) == 3  # t = 0.0, 0.5, 1.0
+
+    def test_rate_matches_offered_load(self, sim):
+        """512 B at 60 kbps → one packet every 68.27 ms."""
+        node = StubNode(sim)
+        interval = 512 * 8 / 60e3
+        CbrSource(node, 0, dst=1, interval_s=interval, size_bytes=512, start_s=0.0)
+        sim.run_until(10.0)
+        delivered_bps = len(node.sent) * 512 * 8 / 10.0
+        assert delivered_bps == pytest.approx(60e3, rel=0.02)
+
+    def test_rejects_bad_args(self, sim):
+        node = StubNode(sim)
+        with pytest.raises(ValueError):
+            CbrSource(node, 0, dst=0, interval_s=1.0, size_bytes=64, start_s=0.0)
+        with pytest.raises(ValueError):
+            CbrSource(node, 0, dst=1, interval_s=0.0, size_bytes=64, start_s=0.0)
+
+
+class TestPoissonSource:
+    def test_mean_rate_approximates_target(self, sim):
+        node = StubNode(sim)
+        PoissonSource(
+            node, 0, dst=1, mean_interval_s=0.05, size_bytes=64,
+            start_s=0.0, rng=np.random.default_rng(3),
+        )
+        sim.run_until(60.0)
+        rate = len(node.sent) / 60.0
+        assert rate == pytest.approx(20.0, rel=0.15)
+
+    def test_gaps_are_irregular(self, sim):
+        node = StubNode(sim)
+        PoissonSource(
+            node, 0, dst=1, mean_interval_s=0.1, size_bytes=64,
+            start_s=0.0, rng=np.random.default_rng(4),
+        )
+        sim.run_until(10.0)
+        times = [t for t, _ in node.sent]
+        gaps = {round(b - a, 9) for a, b in zip(times, times[1:])}
+        assert len(gaps) > 1  # CBR would produce a single gap value
+
+    def test_rejects_bad_args(self, sim):
+        node = StubNode(sim)
+        with pytest.raises(ValueError):
+            PoissonSource(node, 0, dst=1, mean_interval_s=0.0, size_bytes=64,
+                          start_s=0.0, rng=np.random.default_rng(1))

@@ -1,0 +1,102 @@
+"""Unit-conversion tests (repro.units)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestDbmConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_known_value(self):
+        assert units.watts_to_dbm(0.2818) == pytest.approx(24.5, abs=0.01)
+
+    def test_watts_to_dbm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+
+    def test_watts_to_dbm_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(-1.0)
+
+    @given(st.floats(min_value=-120.0, max_value=60.0))
+    def test_roundtrip_dbm(self, dbm):
+        assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    @given(st.floats(min_value=1e-15, max_value=1e3))
+    def test_roundtrip_watts(self, watts):
+        assert units.dbm_to_watts(units.watts_to_dbm(watts)) == pytest.approx(
+            watts, rel=1e-9
+        )
+
+
+class TestRatioConversions:
+    def test_zero_db_is_unity(self):
+        assert units.db_to_ratio(0.0) == 1.0
+
+    def test_ten_db_is_factor_ten(self):
+        assert units.db_to_ratio(10.0) == pytest.approx(10.0)
+
+    def test_ratio_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.ratio_to_db(0.0)
+
+    @given(st.floats(min_value=-60.0, max_value=60.0))
+    def test_roundtrip_db(self, db):
+        assert units.ratio_to_db(units.db_to_ratio(db)) == pytest.approx(db)
+
+
+class TestWavelength:
+    def test_paper_frequency(self):
+        # 914 MHz WaveLAN carrier: λ ≈ 0.328 m.
+        assert units.wavelength(914e6) == pytest.approx(0.328, abs=1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.wavelength(0.0)
+
+
+class TestSizesAndDurations:
+    def test_bits(self):
+        assert units.bits(512) == 4096
+
+    def test_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.bits(-1)
+
+    def test_tx_duration_512B_at_2mbps(self):
+        # 4096 bits at 2 Mbps = 2.048 ms.
+        assert units.tx_duration(512, 2e6) == pytest.approx(2.048e-3)
+
+    def test_tx_duration_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            units.tx_duration(100, 0.0)
+
+    def test_mw_roundtrip(self):
+        assert units.watts_to_mw(units.mw_to_watts(281.8)) == pytest.approx(281.8)
+
+
+class TestThermalNoise:
+    def test_ktb_at_1hz(self):
+        assert units.thermal_noise_watts(1.0) == pytest.approx(
+            units.BOLTZMANN * units.T0_KELVIN
+        )
+
+    def test_noise_figure_raises_floor(self):
+        base = units.thermal_noise_watts(22e6)
+        raised = units.thermal_noise_watts(22e6, noise_figure_db=10.0)
+        assert raised == pytest.approx(10.0 * base)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_watts(0.0)

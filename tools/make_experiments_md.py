@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Generate the measured-results tables of EXPERIMENTS.md from the
+full-scale sweep output (``fullscale_results.json``).
+
+Usage:  python tools/make_experiments_md.py
+Prints the markdown tables to stdout; EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.analysis.report import markdown_table
+from repro.analysis.stats import compare_series
+from repro.experiments.figure8 import FIGURE8_LOADS_KBPS, PAPER_FIG8_KBPS
+from repro.experiments.figure9 import PAPER_FIG9_MS
+
+PROTOCOLS = ("basic", "pcmac", "scheme1", "scheme2")
+
+
+def main() -> None:
+    path = pathlib.Path(__file__).resolve().parent.parent / "fullscale_results.json"
+    data = json.loads(path.read_text())
+    loads = sorted({int(k.split("@")[1]) for k in data})
+
+    def series(metric: str) -> dict[str, list[float]]:
+        return {
+            p: [data[f"{p}@{ld}"][metric] for ld in loads] for p in PROTOCOLS
+        }
+
+    thr = series("thr")
+    dly = series("dly")
+
+    print("### Figure 8 — measured (50 nodes, 40 s, seeds {1,2} mean)\n")
+    rows = []
+    for i, ld in enumerate(loads):
+        rows.append(
+            [ld]
+            + [round(thr[p][i], 1) for p in PROTOCOLS]
+        )
+    print(markdown_table(["load [kbps]", *PROTOCOLS], rows))
+
+    print("\n### Figure 9 — measured (same runs)\n")
+    rows = []
+    for i, ld in enumerate(loads):
+        rows.append([ld] + [round(dly[p][i], 1) for p in PROTOCOLS])
+    print(markdown_table(["load [kbps]", *PROTOCOLS], rows))
+
+    print("\n### Shape agreement vs the digitised paper curves\n")
+    rows = []
+    for p in PROTOCOLS:
+        c8 = compare_series(thr[p], [
+            PAPER_FIG8_KBPS[p][FIGURE8_LOADS_KBPS.index(ld)] for ld in loads
+        ])
+        c9 = compare_series(dly[p], [
+            PAPER_FIG9_MS[p][FIGURE8_LOADS_KBPS.index(ld)] for ld in loads
+        ])
+        rows.append([
+            p,
+            round(c8.rank_correlation, 2),
+            round(c8.final_ratio, 2),
+            round(c9.rank_correlation, 2),
+            round(c9.final_ratio, 2),
+        ])
+    print(
+        markdown_table(
+            ["protocol", "Fig8 rank-ρ", "Fig8 final ratio",
+             "Fig9 rank-ρ", "Fig9 final ratio"],
+            rows,
+        )
+    )
+
+    print("\n### Key quantities\n")
+    peak = {p: max(thr[p]) for p in PROTOCOLS}
+    print(f"- peak throughput: " + ", ".join(
+        f"{p} {peak[p]:.0f} kbps" for p in PROTOCOLS))
+    gain = (peak["pcmac"] / peak["basic"] - 1) * 100
+    print(f"- PCMAC peak-capacity gain over basic 802.11: {gain:+.1f}% "
+          f"(paper: +8–10%)")
+    mean_dly = {p: sum(dly[p]) / len(dly[p]) for p in PROTOCOLS}
+    print(f"- mean delay across the sweep: " + ", ".join(
+        f"{p} {mean_dly[p]:.0f} ms" for p in PROTOCOLS))
+
+
+if __name__ == "__main__":
+    main()
