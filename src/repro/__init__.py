@@ -18,6 +18,7 @@ Quickstart::
     print(result.row())
 """
 
+from repro.campaign import Campaign, ResultStore, RunSpec, run_campaign
 from repro.config import (
     AodvConfig,
     MacConfig,
@@ -41,6 +42,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AodvConfig",
     "BuiltNetwork",
+    "Campaign",
     "ExperimentResult",
     "MAC_REGISTRY",
     "MacConfig",
@@ -48,10 +50,13 @@ __all__ = [
     "PcmacConfig",
     "PhyConfig",
     "PowerControlConfig",
+    "ResultStore",
+    "RunSpec",
     "ScenarioConfig",
     "SweepResult",
     "TrafficConfig",
     "build_network",
+    "run_campaign",
     "run_load_sweep",
     "__version__",
 ]

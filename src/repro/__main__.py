@@ -4,4 +4,8 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+# The guard matters: under the multiprocessing "spawn" start method the
+# campaign runner's workers re-import __main__, which must not re-enter
+# the CLI.
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,10 @@ from __future__ import annotations
 
 import csv
 import io
+import os
 from typing import TextIO
 
+from repro.campaign.store import ResultStore
 from repro.experiments.scenario import ExperimentResult
 from repro.experiments.sweep import SweepResult
 
@@ -42,12 +44,27 @@ def write_results_csv(results: list[ExperimentResult], out: TextIO) -> int:
 def sweep_to_csv(sweep: SweepResult) -> str:
     """Render a full sweep (every protocol × load × seed run) as CSV text."""
     buf = io.StringIO()
-    runs = [
-        r
-        for key in sorted(sweep.results)
-        for r in sweep.results[key]
-    ]
-    write_results_csv(runs, buf)
+    write_results_csv(sweep.all_runs(), buf)
+    return buf.getvalue()
+
+
+def load_store_results(root: str | os.PathLike) -> list[ExperimentResult]:
+    """Read every result from a campaign store directory.
+
+    Rows are sorted by (protocol, offered load, seed) so the export is
+    stable regardless of the order cells finished in.
+    """
+    if not os.path.isdir(root):
+        raise FileNotFoundError(f"no campaign store at {os.fspath(root)!r}")
+    results = ResultStore(root).results()
+    results.sort(key=lambda r: (r.protocol, r.offered_load_kbps, r.seed))
+    return results
+
+
+def store_to_csv(root: str | os.PathLike) -> str:
+    """Render a campaign store directory as per-run CSV text."""
+    buf = io.StringIO()
+    write_results_csv(load_store_results(root), buf)
     return buf.getvalue()
 
 

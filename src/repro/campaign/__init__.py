@@ -1,0 +1,30 @@
+"""Campaign orchestration: content-addressed runs over protocol × load × seed grids.
+
+A *campaign* is a declarative grid of simulation runs.  Each cell is a
+:class:`~repro.campaign.spec.RunSpec` — a frozen, hashable description of one
+simulation (scenario config + protocol + optional scenario overrides) whose
+stable content hash keys a :class:`~repro.campaign.store.ResultStore`.  The
+:mod:`~repro.campaign.runner` fans specs out to a ``multiprocessing`` worker
+pool and memoises every finished cell in the store, so interrupted campaigns
+resume where they stopped and repeated invocations are pure cache hits.
+
+This is the architectural seam for scaling the reproduction: every future
+backend (remote executors, sharded stores) plugs in behind the same
+``specs → runner → store`` contract.
+"""
+
+from repro.campaign.runner import CampaignReport, run_campaign, run_specs
+from repro.campaign.spec import SPEC_SCHEMA_VERSION, Campaign, RunSpec
+from repro.campaign.store import ResultStore, result_from_dict, result_to_dict
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "ResultStore",
+    "RunSpec",
+    "SPEC_SCHEMA_VERSION",
+    "result_from_dict",
+    "result_to_dict",
+    "run_campaign",
+    "run_specs",
+]

@@ -1,0 +1,149 @@
+"""Campaign executor: fan specs out to a worker pool, memoise in a store.
+
+The executor is deliberately dumb about *what* it runs: a spec is a sealed
+description, the worker just calls :meth:`RunSpec.run`.  Determinism falls
+out of the spec design — every cell carries its own seed and the simulator
+is single-threaded per run — so a campaign at ``jobs=8`` produces results
+identical to the serial path, merely sooner.  Results are keyed by content
+hash, which also makes the executor indifferent to completion order.
+
+``jobs=1`` bypasses ``multiprocessing`` entirely (no pickling, no fork), so
+the serial path stays debuggable and usable on platforms without working
+process pools.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.campaign.spec import Campaign, RunSpec
+from repro.campaign.store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.scenario import ExperimentResult
+
+ProgressFn = Callable[[str], None]
+
+
+def _execute(spec: RunSpec) -> tuple[str, "ExperimentResult"]:
+    """Worker entry point: run one cell (module-level for picklability)."""
+    return spec.key(), spec.run()
+
+
+def _start_method() -> str:
+    """Fork on Linux (cheap), spawn everywhere else.
+
+    macOS nominally offers fork too, but forking a process that has touched
+    the system frameworks (numpy links Accelerate) can deadlock — the reason
+    CPython made spawn the macOS default in 3.8.  Workers are re-imported
+    under spawn, which is safe here: the worker entry point is module-level
+    and ``repro.__main__`` guards its CLI dispatch.
+    """
+    return "fork" if sys.platform.startswith("linux") else "spawn"
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign invocation."""
+
+    #: spec key → result, covering every requested cell.
+    results: dict[str, "ExperimentResult"] = field(default_factory=dict)
+    #: Cells actually simulated this invocation.
+    executed: int = 0
+    #: Cells served from the store without simulation.
+    cached: int = 0
+    #: Wall-clock time of the whole invocation [s].
+    wallclock_s: float = 0.0
+
+    @property
+    def total(self) -> int:
+        """Requested cell count (executed + cached)."""
+        return self.executed + self.cached
+
+    def in_spec_order(self, specs: Sequence[RunSpec]) -> list["ExperimentResult"]:
+        """Results reordered to match ``specs`` (the grid's nesting order)."""
+        return [self.results[spec.key()] for spec in specs]
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    resume: bool = True,
+    progress: ProgressFn | None = None,
+) -> CampaignReport:
+    """Execute every spec, reusing stored results where possible.
+
+    Args:
+        specs: the cells to ensure results for (duplicates collapse).
+        jobs: worker process count; 1 = run serially in this process.
+        store: optional on-disk memo; finished cells are appended as they
+            complete, so an interrupted campaign resumes on the next call.
+        resume: when False, stored results are ignored (and overwritten) —
+            every cell is re-simulated.
+        progress: optional callback receiving one line per finished cell.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+    t0 = time.perf_counter()
+    report = CampaignReport()
+
+    pending: list[RunSpec] = []
+    seen: set[str] = set()
+    for spec in specs:
+        key = spec.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        cached = store.get(key) if (store is not None and resume) else None
+        if cached is not None:
+            report.results[key] = cached
+            report.cached += 1
+            if progress is not None:
+                progress(f"[cached] {cached.row()}  seed={cached.seed}")
+        else:
+            pending.append(spec)
+
+    def record(spec: RunSpec, key: str, result: "ExperimentResult") -> None:
+        report.results[key] = result
+        report.executed += 1
+        if store is not None:
+            store.put(spec, result)
+        if progress is not None:
+            progress(
+                f"[{report.executed}/{len(pending)}] {result.row()}"
+                f"  seed={result.seed}"
+            )
+
+    if jobs == 1 or len(pending) <= 1:
+        for spec in pending:
+            key, result = _execute(spec)
+            record(spec, key, result)
+    else:
+        by_key = {spec.key(): spec for spec in pending}
+        ctx = multiprocessing.get_context(_start_method())
+        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+            for key, result in pool.imap_unordered(_execute, pending, chunksize=1):
+                record(by_key[key], key, result)
+
+    report.wallclock_s = time.perf_counter() - t0
+    return report
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    resume: bool = True,
+    progress: ProgressFn | None = None,
+) -> CampaignReport:
+    """Expand a grid campaign and execute it (see :func:`run_specs`)."""
+    return run_specs(
+        campaign.specs(), jobs=jobs, store=store, resume=resume, progress=progress
+    )

@@ -1,0 +1,181 @@
+"""Run specifications: frozen, content-addressed descriptions of one run.
+
+A :class:`RunSpec` captures everything :func:`~repro.experiments.scenario.build_network`
+needs — the :class:`~repro.config.ScenarioConfig` (which embeds the seed and
+offered load) plus the builder overrides the controlled experiments use
+(explicit positions, static routing, named flow pairs, alternative
+propagation).  Because every field is an immutable value type, a spec can be
+
+* hashed into a stable content key (:meth:`RunSpec.key`) for the result store,
+* pickled across process boundaries for the worker pool, and
+* re-expanded into an identical simulation anywhere, any time.
+
+:class:`Campaign` is the grid counterpart: protocols × loads × seeds over a
+base config, expanded in the same nesting order the paper's serial sweep
+used (load outermost, then protocol, then seed) so progress output and
+result assembly stay comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, is_dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.config import ScenarioConfig
+from repro.phy.propagation import PropagationModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.scenario import BuiltNetwork, ExperimentResult
+
+#: Bump whenever the spec serialisation or the simulation semantics change
+#: incompatibly — old store entries then stop matching and are recomputed.
+SPEC_SCHEMA_VERSION = 1
+
+
+def _canonical(obj):
+    """Recursively convert a spec field into canonical JSON-able form."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__kind__": type(obj).__name__,
+            **{k: _canonical(v) for k, v in asdict(obj).items()},
+        }
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell: config + protocol + builder overrides."""
+
+    cfg: ScenarioConfig
+    protocol: str
+    #: Explicit initial positions (controlled geometries); None = uniform.
+    positions: tuple[tuple[float, float], ...] | None = None
+    #: Random waypoint motion when True, static nodes when False.
+    mobile: bool = True
+    #: "aodv" (paper) or "static" (requires ``mobile=False``).
+    routing: str = "aodv"
+    #: Explicit (src, dst) flows; None = random distinct pairs.
+    flow_pairs: tuple[tuple[int, int], ...] | None = None
+    #: Propagation model override (a frozen dataclass from
+    #: :mod:`repro.phy.propagation`); None = the paper's two-ray from ``cfg``.
+    propagation: PropagationModel | None = None
+
+    @property
+    def seed(self) -> int:
+        """The cell's RNG seed (carried by the config)."""
+        return self.cfg.seed
+
+    @property
+    def load_kbps(self) -> float:
+        """The cell's aggregate offered load [kbps]."""
+        return self.cfg.traffic.offered_load_bps / 1000.0
+
+    def describe(self) -> dict:
+        """Canonical JSON-able description (the hash pre-image)."""
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "cfg": _canonical(self.cfg),
+            "protocol": self.protocol,
+            "positions": _canonical(self.positions),
+            "mobile": self.mobile,
+            "routing": self.routing,
+            "flow_pairs": _canonical(self.flow_pairs),
+            "propagation": _canonical(self.propagation),
+        }
+
+    def key(self) -> str:
+        """Stable content hash identifying this cell in a result store."""
+        blob = json.dumps(
+            self.describe(), sort_keys=True, separators=(",", ":")
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()[:32]
+
+    def label(self) -> str:
+        """Short human-readable cell name for progress lines."""
+        return (
+            f"{self.protocol}@{self.load_kbps:g}kbps/seed{self.seed}"
+        )
+
+    def build(self) -> "BuiltNetwork":
+        """Wire the network this spec describes."""
+        from repro.experiments.scenario import build_network
+
+        return build_network(
+            self.cfg,
+            self.protocol,
+            positions=list(self.positions) if self.positions is not None else None,
+            mobile=self.mobile,
+            routing=self.routing,
+            flow_pairs=(
+                list(self.flow_pairs) if self.flow_pairs is not None else None
+            ),
+            propagation=self.propagation,
+        )
+
+    def run(self) -> "ExperimentResult":
+        """Build and execute the cell, returning its summary."""
+        return self.build().run()
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A protocol × load × seed grid over one base scenario."""
+
+    base: ScenarioConfig
+    protocols: tuple[str, ...]
+    loads_kbps: tuple[float, ...]
+    seeds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        from repro.experiments.scenario import MAC_REGISTRY
+
+        for proto in self.protocols:
+            if proto not in MAC_REGISTRY:
+                raise ValueError(
+                    f"unknown protocol {proto!r}; choose from {sorted(MAC_REGISTRY)}"
+                )
+        if not (self.protocols and self.loads_kbps and self.seeds):
+            raise ValueError("protocols, loads_kbps and seeds must be non-empty")
+
+    @classmethod
+    def build(
+        cls,
+        base: ScenarioConfig,
+        protocols: Sequence[str],
+        loads_kbps: Sequence[float],
+        seeds: Sequence[int],
+    ) -> "Campaign":
+        """Normalising constructor (accepts any sequences)."""
+        return cls(
+            base=base,
+            protocols=tuple(protocols),
+            loads_kbps=tuple(float(x) for x in loads_kbps),
+            seeds=tuple(int(s) for s in seeds),
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of cells in the grid."""
+        return len(self.protocols) * len(self.loads_kbps) * len(self.seeds)
+
+    def specs(self) -> list[RunSpec]:
+        """Expand the grid (load outermost, then protocol, then seed)."""
+        out: list[RunSpec] = []
+        for load in self.loads_kbps:
+            for proto in self.protocols:
+                for seed in self.seeds:
+                    cfg = replace(
+                        self.base,
+                        seed=seed,
+                        traffic=replace(
+                            self.base.traffic, offered_load_bps=load * 1000.0
+                        ),
+                    )
+                    out.append(RunSpec(cfg=cfg, protocol=proto))
+        return out

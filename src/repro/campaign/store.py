@@ -1,0 +1,155 @@
+"""On-disk result store, content-addressed by :meth:`RunSpec.key`.
+
+Layout of a store directory::
+
+    <root>/
+        results.jsonl     # one JSON object per finished cell, append-only
+        meta.json         # store format version + spec schema version
+
+Each ``results.jsonl`` line is ``{"key", "spec", "result"}`` where ``spec``
+is a human-readable cell summary (protocol / load / seed — for auditing, not
+for addressing) and ``result`` the serialised
+:class:`~repro.experiments.scenario.ExperimentResult`.  Appending after every
+finished run makes interruption safe: a killed campaign keeps every completed
+cell, and the next invocation against the same store resumes from there.  A
+torn final line (e.g. the process died mid-write) is detected and ignored on
+load.  When a key appears more than once the last line wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.campaign.spec import SPEC_SCHEMA_VERSION, RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.scenario import ExperimentResult
+
+#: Bump when the on-disk layout itself changes shape.
+STORE_FORMAT_VERSION = 1
+
+RESULTS_FILE = "results.jsonl"
+META_FILE = "meta.json"
+
+
+def result_to_dict(result: "ExperimentResult") -> dict:
+    """Serialise an :class:`ExperimentResult` to a JSON-able dict."""
+    return asdict(result)
+
+
+def result_from_dict(data: dict) -> "ExperimentResult":
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
+    from repro.experiments.scenario import ExperimentResult, FlowSummary
+
+    payload = dict(data)
+    payload["flows"] = tuple(
+        FlowSummary(**flow) for flow in payload.get("flows", ())
+    )
+    payload["drops"] = {str(k): int(v) for k, v in payload["drops"].items()}
+    return ExperimentResult(**payload)
+
+
+class ResultStore:
+    """Append-only JSONL store of finished campaign cells.
+
+    The in-memory index mirrors the file, so lookups never touch disk after
+    construction; ``put`` appends one line and fsyncs so a crash loses at
+    most the cell being written.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / RESULTS_FILE
+        self._index: dict[str, "ExperimentResult"] = {}
+        self._specs: dict[str, dict] = {}
+        self._write_meta()
+        self._load()
+
+    # ------------------------------------------------------------------ disk
+
+    def _write_meta(self) -> None:
+        meta_path = self.root / META_FILE
+        if meta_path.exists():
+            return
+        meta_path.write_text(
+            json.dumps(
+                {
+                    "store_format": STORE_FORMAT_VERSION,
+                    "spec_schema": SPEC_SCHEMA_VERSION,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    result = result_from_dict(record["result"])
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # Torn tail from an interrupted write; everything before
+                    # it is intact, so skip rather than fail the campaign.
+                    continue
+                self._index[record["key"]] = result
+                self._specs[record["key"]] = record.get("spec", {})
+
+    # ----------------------------------------------------------------- access
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, key: str) -> "ExperimentResult | None":
+        """The stored result for ``key``, or None."""
+        return self._index.get(key)
+
+    def keys(self) -> Iterator[str]:
+        """All stored cell keys."""
+        return iter(self._index)
+
+    def results(self) -> list["ExperimentResult"]:
+        """Every stored result (load order; duplicates resolved last-wins)."""
+        return list(self._index.values())
+
+    def spec_summary(self, key: str) -> dict:
+        """The audit summary recorded with ``key`` (may be empty)."""
+        return self._specs.get(key, {})
+
+    def put(self, spec: RunSpec, result: "ExperimentResult") -> str:
+        """Record one finished cell; returns its key."""
+        key = spec.key()
+        record = {
+            "key": key,
+            "spec": {
+                "protocol": spec.protocol,
+                "load_kbps": spec.load_kbps,
+                "seed": spec.seed,
+                "node_count": spec.cfg.node_count,
+                "duration_s": spec.cfg.duration_s,
+                "routing": spec.routing,
+                "mobile": spec.mobile,
+            },
+            "result": result_to_dict(result),
+        }
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._index[key] = result
+        self._specs[key] = record["spec"]
+        return key

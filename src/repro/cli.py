@@ -6,9 +6,18 @@ Experiments:
 * ``figure9`` — mean end-to-end delay vs offered load (paper Figure 9)
 * ``ranges``  — the power-level ↔ decode-range table (Section IV)
 * ``quickrun`` — one scenario, one protocol, printed summary
+* ``campaign`` — a protocol × load × seed grid through the parallel
+  campaign runner, with an optional content-addressed result store
 
 ``--scale quick`` (default) runs a reduced configuration; ``--scale full``
 uses the paper's 50 nodes / 400 s / 8 loads.
+
+``figure8``/``figure9``/``campaign`` share the campaign flags: ``--jobs N``
+fans cells out to N worker processes (results are identical to serial —
+every cell carries its own seed); ``--store DIR`` memoises finished cells
+on disk; ``--no-resume`` forces recomputation of stored cells.  Re-running
+against the same store is a pure cache hit, and an interrupted campaign
+resumes from the cells already on disk.
 """
 
 from __future__ import annotations
@@ -17,8 +26,12 @@ import argparse
 import sys
 from dataclasses import replace
 
+from repro.analysis.export import sweep_to_csv
 from repro.analysis.plotting import ascii_chart
 from repro.analysis.report import paper_vs_measured
+from repro.campaign.runner import run_specs
+from repro.campaign.spec import Campaign
+from repro.campaign.store import ResultStore
 from repro.config import ScenarioConfig
 from repro.experiments.figure8 import (
     FIGURE8_LOADS_KBPS,
@@ -29,6 +42,18 @@ from repro.experiments.figure8 import (
 from repro.experiments.figure9 import PAPER_FIG9_MS
 from repro.experiments.ranges import max_power_ranges, power_level_table
 from repro.experiments.scenario import MAC_REGISTRY, build_network
+from repro.experiments.sweep import sweep_from_campaign
+
+
+def _add_campaign_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--store", type=str, default="",
+                   help="result store directory (enables caching/resume)")
+    p.add_argument("--resume", dest="resume", action="store_true", default=True,
+                   help="reuse cells already in the store (default)")
+    p.add_argument("--no-resume", dest="resume", action="store_false",
+                   help="ignore stored cells and re-simulate everything")
 
 
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
@@ -46,6 +71,7 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                        help="override node count (0 = scale default)")
         p.add_argument("--duration", type=float, default=0.0,
                        help="override simulated seconds (0 = scale default)")
+        _add_campaign_flags(p)
 
     sub.add_parser("ranges", help="power level vs range table")
 
@@ -56,7 +82,27 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     q.add_argument("--load-kbps", type=float, default=400.0)
     q.add_argument("--seed", type=int, default=1)
 
+    c = sub.add_parser(
+        "campaign",
+        help="run a protocol × load × seed grid via the campaign runner",
+    )
+    c.add_argument("--protocols", type=str, default=",".join(PROTOCOLS),
+                   help="comma-separated MAC protocols")
+    c.add_argument("--loads", type=str, default="300,500,700",
+                   help="comma-separated offered loads [kbps]")
+    c.add_argument("--seeds", type=str, default="1",
+                   help="comma-separated replication seeds")
+    c.add_argument("--nodes", type=int, default=30)
+    c.add_argument("--duration", type=float, default=60.0)
+    c.add_argument("--export-csv", type=str, default="",
+                   help="write per-run CSV to this path ('-' = stdout)")
+    _add_campaign_flags(c)
+
     return parser.parse_args(argv)
+
+
+def _open_store(args: argparse.Namespace) -> ResultStore | None:
+    return ResultStore(args.store) if args.store else None
 
 
 def _scale_config(scale: str) -> tuple[ScenarioConfig, tuple[float, ...]]:
@@ -76,7 +122,13 @@ def _run_figure(args: argparse.Namespace, *, delay: bool) -> int:
         cfg = replace(cfg, duration_s=args.duration)
     seeds = tuple(int(s) for s in args.seeds.split(","))
     sweep = run_figure8(
-        cfg, loads_kbps=loads, seeds=seeds, progress=lambda s: print("  " + s)
+        cfg,
+        loads_kbps=loads,
+        seeds=seeds,
+        progress=lambda s: print("  " + s),
+        jobs=args.jobs,
+        store=_open_store(args),
+        resume=args.resume,
     )
     if delay:
         measured = sweep.delay_series()
@@ -153,6 +205,54 @@ def _run_quick(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_campaign(args: argparse.Namespace) -> int:
+    base = ScenarioConfig(node_count=args.nodes, duration_s=args.duration)
+    campaign = Campaign.build(
+        base,
+        tuple(args.protocols.split(",")),
+        tuple(float(x) for x in args.loads.split(",")),
+        tuple(int(s) for s in args.seeds.split(",")),
+    )
+    store = _open_store(args)
+    print(
+        f"campaign: {len(campaign.protocols)} protocols × "
+        f"{len(campaign.loads_kbps)} loads × {len(campaign.seeds)} seeds "
+        f"= {campaign.size} cells, jobs={args.jobs}"
+        + (f", store={args.store}" if args.store else "")
+    )
+    report = run_specs(
+        campaign.specs(),
+        jobs=args.jobs,
+        store=store,
+        resume=args.resume,
+        progress=lambda s: print("  " + s),
+    )
+    sweep = sweep_from_campaign(campaign, report.results)
+    print(
+        f"\ndone: {report.executed} simulated, {report.cached} cached, "
+        f"{report.wallclock_s:.1f}s wall"
+    )
+    for title, series, unit in (
+        ("throughput [kbps]", sweep.throughput_series(), "kbps"),
+        ("end-to-end delay [ms]", sweep.delay_series(), "ms"),
+    ):
+        chart = {name: (list(sweep.loads_kbps), vals) for name, vals in series.items()}
+        print()
+        print(ascii_chart(chart, title=f"campaign: {title}",
+                          x_label="offered load [kbps]", y_label=unit))
+    if args.export_csv:
+        # Export the requested grid, not the whole store — a shared store
+        # may hold cells from other campaigns.
+        csv_text = sweep_to_csv(sweep)
+        if args.export_csv == "-":
+            print(csv_text, end="")
+        else:
+            with open(args.export_csv, "w", encoding="utf-8") as fh:
+                fh.write(csv_text)
+            print(f"wrote {args.export_csv}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _parse_args(argv)
@@ -164,6 +264,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_ranges()
     if args.experiment == "quickrun":
         return _run_quick(args)
+    if args.experiment == "campaign":
+        return _run_campaign(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -13,17 +13,20 @@ from repro.experiments.scenario import (
     MAC_REGISTRY,
     BuiltNetwork,
     ExperimentResult,
+    FlowSummary,
     build_network,
 )
-from repro.experiments.sweep import SweepResult, run_load_sweep
+from repro.experiments.sweep import SweepResult, run_load_sweep, sweep_from_campaign
 
 __all__ = [
     "MAC_REGISTRY",
     "BuiltNetwork",
     "ExperimentResult",
+    "FlowSummary",
     "SaturationPoint",
     "SweepResult",
     "build_network",
     "find_saturation",
     "run_load_sweep",
+    "sweep_from_campaign",
 ]

@@ -11,6 +11,10 @@ chart the trade-off:
 * ``three_way_data`` — PCMAC with the classic four-way DATA handshake
   re-enabled (isolates how much of the gain comes from removing the ACK);
 * ``history_expiry_s`` (3 s) — how long a gain estimate stays trusted.
+
+Every sweep expands into content-addressed :class:`~repro.campaign.spec.RunSpec`
+cells and routes through the campaign runner, so all ablations accept
+``jobs`` (worker pool width) and ``store`` (on-disk memoisation).
 """
 
 from __future__ import annotations
@@ -18,48 +22,100 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Sequence
 
+from repro.campaign.runner import run_specs
+from repro.campaign.spec import RunSpec
+from repro.campaign.store import ResultStore
 from repro.config import ScenarioConfig
-from repro.experiments.scenario import ExperimentResult, build_network
+from repro.experiments.scenario import ExperimentResult
+
+
+def _run_keyed(
+    keyed_specs: list[tuple], *, jobs: int, store: ResultStore | None
+) -> dict:
+    """Execute ``(label, spec)`` pairs; return ``label -> result``."""
+    specs = [spec for _, spec in keyed_specs]
+    report = run_specs(specs, jobs=jobs, store=store)
+    return {
+        label: report.results[spec.key()] for label, spec in keyed_specs
+    }
 
 
 def run_margin_ablation(
     base: ScenarioConfig,
     coefficients: Sequence[float] = (0.5, 0.7, 0.9, 1.0),
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> dict[float, ExperimentResult]:
     """PCMAC throughput/delay as the 0.7 admission margin varies."""
-    out: dict[float, ExperimentResult] = {}
-    for coeff in coefficients:
-        cfg = replace(base, pcmac=replace(base.pcmac, margin_coefficient=coeff))
-        out[coeff] = build_network(cfg, "pcmac").run()
-    return out
+    keyed = [
+        (
+            coeff,
+            RunSpec(
+                cfg=replace(
+                    base, pcmac=replace(base.pcmac, margin_coefficient=coeff)
+                ),
+                protocol="pcmac",
+            ),
+        )
+        for coeff in coefficients
+    ]
+    return _run_keyed(keyed, jobs=jobs, store=store)
 
 
 def run_control_rate_ablation(
     base: ScenarioConfig,
     rates_kbps: Sequence[float] = (100, 250, 500, 1000),
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> dict[float, ExperimentResult]:
     """PCMAC sensitivity to the control channel bandwidth."""
-    out: dict[float, ExperimentResult] = {}
-    for rate in rates_kbps:
-        cfg = replace(
-            base, pcmac=replace(base.pcmac, control_rate_bps=rate * 1000.0)
+    keyed = [
+        (
+            rate,
+            RunSpec(
+                cfg=replace(
+                    base,
+                    pcmac=replace(base.pcmac, control_rate_bps=rate * 1000.0),
+                ),
+                protocol="pcmac",
+            ),
         )
-        out[rate] = build_network(cfg, "pcmac").run()
-    return out
+        for rate in rates_kbps
+    ]
+    return _run_keyed(keyed, jobs=jobs, store=store)
 
 
-def run_handshake_ablation(base: ScenarioConfig) -> dict[str, ExperimentResult]:
+def run_handshake_ablation(
+    base: ScenarioConfig,
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> dict[str, ExperimentResult]:
     """PCMAC with three-way vs four-way DATA handshake."""
-    three = build_network(base, "pcmac").run()
-    cfg4 = replace(base, pcmac=replace(base.pcmac, three_way_data=False))
-    four = build_network(cfg4, "pcmac").run()
-    return {"three_way": three, "four_way": four}
+    keyed = [
+        ("three_way", RunSpec(cfg=base, protocol="pcmac")),
+        (
+            "four_way",
+            RunSpec(
+                cfg=replace(
+                    base, pcmac=replace(base.pcmac, three_way_data=False)
+                ),
+                protocol="pcmac",
+            ),
+        ),
+    ]
+    return _run_keyed(keyed, jobs=jobs, store=store)
 
 
 def run_propagation_ablation(
     base: ScenarioConfig,
     exponents: Sequence[float] = (2.4, 2.7, 3.0),
     protocols: Sequence[str] = ("basic", "pcmac"),
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> dict[tuple[str, float], ExperimentResult]:
     """PCMAC-vs-basic under log-distance path loss instead of two-ray.
 
@@ -71,24 +127,39 @@ def run_propagation_ablation(
     """
     from repro.phy.propagation import LogDistanceShadowing
 
-    out: dict[tuple[str, float], ExperimentResult] = {}
+    keyed = []
     for exponent in exponents:
         model = LogDistanceShadowing(
             frequency_hz=base.phy.frequency_hz, exponent=exponent
         )
         for protocol in protocols:
-            net = build_network(base, protocol, propagation=model)
-            out[(protocol, exponent)] = net.run()
-    return out
+            keyed.append(
+                (
+                    (protocol, exponent),
+                    RunSpec(cfg=base, protocol=protocol, propagation=model),
+                )
+            )
+    return _run_keyed(keyed, jobs=jobs, store=store)
 
 
 def run_history_expiry_ablation(
     base: ScenarioConfig,
     expiries_s: Sequence[float] = (0.5, 3.0, 10.0),
+    *,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> dict[float, ExperimentResult]:
     """Power-history lifetime sweep (stale gains vs constant max-power misses)."""
-    out: dict[float, ExperimentResult] = {}
-    for expiry in expiries_s:
-        cfg = replace(base, power=replace(base.power, history_expiry_s=expiry))
-        out[expiry] = build_network(cfg, "pcmac").run()
-    return out
+    keyed = [
+        (
+            expiry,
+            RunSpec(
+                cfg=replace(
+                    base, power=replace(base.power, history_expiry_s=expiry)
+                ),
+                protocol="pcmac",
+            ),
+        )
+        for expiry in expiries_s
+    ]
+    return _run_keyed(keyed, jobs=jobs, store=store)

@@ -17,11 +17,13 @@ the window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Sequence
 
+from repro.campaign.runner import run_specs
+from repro.campaign.spec import RunSpec
+from repro.campaign.store import ResultStore
 from repro.config import MobilityConfig, ScenarioConfig, TrafficConfig
-from repro.experiments.scenario import build_network
 from repro.metrics.fairness import jain_index
 
 #: A→B link length [m]; ~15 mW, sensing radius ≈ 264 m.
@@ -42,6 +44,38 @@ class FairnessPoint:
     throughput_kbps: float
 
 
+def fairness_spec(
+    protocol: str,
+    gap_m: float,
+    *,
+    load_bps: float = 1200e3,
+    duration_s: float = 20.0,
+    seed: int = 11,
+) -> RunSpec:
+    """The content-addressed cell for one (protocol, gap) combination."""
+    positions = (
+        (0.0, 0.0),                                   # A
+        (SHORT_LINK_M, 0.0),                          # B
+        (SHORT_LINK_M + gap_m, 0.0),                  # C
+        (SHORT_LINK_M + gap_m + LONG_LINK_M, 0.0),    # D
+    )
+    cfg = ScenarioConfig(
+        node_count=4,
+        duration_s=duration_s,
+        seed=seed,
+        traffic=TrafficConfig(flow_count=2, offered_load_bps=load_bps),
+        mobility=MobilityConfig(speed_mps=0.0),
+    )
+    return RunSpec(
+        cfg=cfg,
+        protocol=protocol,
+        positions=positions,
+        mobile=False,
+        routing="static",
+        flow_pairs=((0, 1), (2, 3)),
+    )
+
+
 def run_fairness_sweep(
     protocols: Sequence[str] = ("basic", "scheme2", "pcmac"),
     gaps_m: Sequence[float] = (100.0, 210.0, 320.0, 430.0),
@@ -49,48 +83,41 @@ def run_fairness_sweep(
     load_bps: float = 1200e3,
     duration_s: float = 20.0,
     seed: int = 11,
+    jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> list[FairnessPoint]:
     """Sweep the pair separation; return one point per (protocol, gap).
 
     ``gap_m`` is the distance from B (the low-power receiver) to C (the
-    high-power transmitter).
+    high-power transmitter).  The cells route through the campaign runner,
+    so ``jobs`` parallelises them and a ``store`` memoises each one.
     """
+    cells = [
+        (protocol, gap)
+        for gap in gaps_m
+        for protocol in protocols
+    ]
+    specs = [
+        fairness_spec(
+            protocol, gap, load_bps=load_bps, duration_s=duration_s, seed=seed
+        )
+        for protocol, gap in cells
+    ]
+    report = run_specs(specs, jobs=jobs, store=store)
     out: list[FairnessPoint] = []
-    for gap in gaps_m:
-        positions = [
-            (0.0, 0.0),                                   # A
-            (SHORT_LINK_M, 0.0),                          # B
-            (SHORT_LINK_M + gap, 0.0),                    # C
-            (SHORT_LINK_M + gap + LONG_LINK_M, 0.0),      # D
-        ]
-        for protocol in protocols:
-            cfg = ScenarioConfig(
-                node_count=4,
-                duration_s=duration_s,
-                seed=seed,
-                traffic=TrafficConfig(flow_count=2, offered_load_bps=load_bps),
-                mobility=MobilityConfig(speed_mps=0.0),
+    for (protocol, gap), spec in zip(cells, specs):
+        result = report.results[spec.key()]
+        short_flow, long_flow = result.flows[0], result.flows[1]
+        out.append(
+            FairnessPoint(
+                protocol=protocol,
+                gap_m=gap,
+                fairness=jain_index(
+                    [short_flow.delivery_ratio, long_flow.delivery_ratio]
+                ),
+                short_pair_pdr=short_flow.delivery_ratio,
+                long_pair_pdr=long_flow.delivery_ratio,
+                throughput_kbps=result.throughput_kbps,
             )
-            net = build_network(
-                cfg,
-                protocol,
-                positions=positions,
-                mobile=False,
-                routing="static",
-                flow_pairs=[(0, 1), (2, 3)],
-            )
-            result = net.run()
-            flows = net.metrics.flows
-            out.append(
-                FairnessPoint(
-                    protocol=protocol,
-                    gap_m=gap,
-                    fairness=jain_index(
-                        [flows[0].delivery_ratio, flows[1].delivery_ratio]
-                    ),
-                    short_pair_pdr=flows[0].delivery_ratio,
-                    long_pair_pdr=flows[1].delivery_ratio,
-                    throughput_kbps=result.throughput_kbps,
-                )
-            )
+        )
     return out

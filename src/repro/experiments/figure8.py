@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Sequence
 
+from repro.campaign.store import ResultStore
 from repro.config import ScenarioConfig
 from repro.experiments.sweep import SweepResult, run_load_sweep
 
@@ -50,9 +51,23 @@ def run_figure8(
     protocols: Sequence[str] = PROTOCOLS,
     seeds: Sequence[int] = (1,),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    resume: bool = True,
 ) -> SweepResult:
-    """Regenerate Figure 8's sweep; returns the full result grid."""
+    """Regenerate Figure 8's sweep; returns the full result grid.
+
+    ``jobs``/``store``/``resume`` are forwarded to the campaign runner:
+    parallel cell execution, on-disk memoisation and resumability.
+    """
     cfg = cfg or ScenarioConfig()
     return run_load_sweep(
-        cfg, protocols, loads_kbps, seeds=seeds, progress=progress
+        cfg,
+        protocols,
+        loads_kbps,
+        seeds=seeds,
+        progress=progress,
+        jobs=jobs,
+        store=store,
+        resume=resume,
     )

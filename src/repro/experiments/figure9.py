@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.campaign.store import ResultStore
 from repro.config import ScenarioConfig
 from repro.experiments.figure8 import FIGURE8_LOADS_KBPS, PROTOCOLS
 from repro.experiments.sweep import SweepResult, run_load_sweep
@@ -36,14 +37,26 @@ def run_figure9(
     protocols: Sequence[str] = PROTOCOLS,
     seeds: Sequence[int] = (1,),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Regenerate Figure 9's sweep.
 
     The underlying runs are identical to Figure 8's (one simulation yields
     both metrics); this exists so each figure has an addressable entry point
-    and CLI/bench target.
+    and CLI/bench target.  With a shared ``store``, regenerating Figure 9
+    after Figure 8 is therefore a pure cache hit — the content-addressed
+    cells coincide.
     """
     cfg = cfg or ScenarioConfig()
     return run_load_sweep(
-        cfg, protocols, loads_kbps, seeds=seeds, progress=progress
+        cfg,
+        protocols,
+        loads_kbps,
+        seeds=seeds,
+        progress=progress,
+        jobs=jobs,
+        store=store,
+        resume=resume,
     )

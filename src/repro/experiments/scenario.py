@@ -45,6 +45,22 @@ MAC_REGISTRY = {
 }
 
 
+@dataclass(frozen=True)
+class FlowSummary:
+    """Per-flow outcome carried inside an :class:`ExperimentResult`.
+
+    Kept as plain numbers (not the live ``FlowStats``) so results survive a
+    JSON round trip through the campaign result store unchanged.
+    """
+
+    flow_id: int
+    sent: int
+    received: int
+    delivery_ratio: float
+    throughput_kbps: float
+    avg_delay_ms: float
+
+
 @dataclass
 class ExperimentResult:
     """Summary of one simulation run."""
@@ -64,6 +80,8 @@ class ExperimentResult:
     events_executed: int
     wallclock_s: float
     seed: int = 0
+    #: Per-flow outcomes, in flow-id order (empty for legacy results).
+    flows: tuple[FlowSummary, ...] = ()
 
     def row(self) -> str:
         """One formatted table row (load, throughput, delay, PDR)."""
@@ -111,6 +129,17 @@ class BuiltNetwork:
             for key, val in node.routing.stats().items():
                 routing_totals[key] = routing_totals.get(key, 0) + val
         per_flow = self.metrics.per_flow_throughput_kbps(window)
+        flow_summaries = tuple(
+            FlowSummary(
+                flow_id=fid,
+                sent=st.sent,
+                received=st.received,
+                delivery_ratio=st.delivery_ratio,
+                throughput_kbps=per_flow[fid],
+                avg_delay_ms=st.avg_delay_s * 1000.0,
+            )
+            for fid, st in sorted(self.metrics.flows.items())
+        )
         return ExperimentResult(
             protocol=self.protocol,
             offered_load_kbps=self.cfg.traffic.offered_load_bps / 1000.0,
@@ -127,6 +156,7 @@ class BuiltNetwork:
             events_executed=self.sim.events_executed,
             wallclock_s=wall,
             seed=self.cfg.seed,
+            flows=flow_summaries,
         )
 
     def node_by_id(self, node_id: int) -> Node:

@@ -6,15 +6,25 @@ plots one curve per MAC protocol.  ``run_load_sweep`` replays that: for each
 across protocols gives common random numbers (same placement, mobility and
 flow endpoints), the standard variance-reduction device for simulation
 comparisons.
+
+Since the campaign subsystem landed, the sweep is a thin façade over
+:mod:`repro.campaign`: the grid expands into content-addressed
+:class:`~repro.campaign.spec.RunSpec` cells, the runner executes them
+(serially or on a worker pool via ``jobs``), and an optional
+:class:`~repro.campaign.store.ResultStore` memoises finished cells so
+repeated or interrupted sweeps skip already-computed work.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.campaign.runner import run_specs
+from repro.campaign.spec import Campaign
+from repro.campaign.store import ResultStore
 from repro.config import ScenarioConfig
-from repro.experiments.scenario import ExperimentResult, build_network
+from repro.experiments.scenario import ExperimentResult
 
 
 @dataclass
@@ -48,6 +58,27 @@ class SweepResult:
         """Figure 9's series: mean end-to-end delay [ms] per protocol."""
         return self.mean_series("avg_delay_ms")
 
+    def all_runs(self) -> list[ExperimentResult]:
+        """Every run, ordered by (protocol, load), seeds in run order."""
+        return [r for key in sorted(self.results) for r in self.results[key]]
+
+
+def sweep_from_campaign(
+    campaign: Campaign, results: dict[str, ExperimentResult]
+) -> SweepResult:
+    """Assemble a :class:`SweepResult` from campaign results keyed by spec."""
+    sweep = SweepResult(
+        protocols=list(campaign.protocols),
+        loads_kbps=list(campaign.loads_kbps),
+        seeds=list(campaign.seeds),
+    )
+    for spec in campaign.specs():
+        cell = sweep.results.setdefault(
+            (spec.protocol, spec.load_kbps), []
+        )
+        cell.append(results[spec.key()])
+    return sweep
+
 
 def run_load_sweep(
     base: ScenarioConfig,
@@ -56,26 +87,19 @@ def run_load_sweep(
     *,
     seeds: Sequence[int] = (1,),
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    resume: bool = True,
 ) -> SweepResult:
-    """Run every (protocol, load, seed) combination of the paper's sweep."""
-    sweep = SweepResult(
-        protocols=list(protocols),
-        loads_kbps=[float(x) for x in loads_kbps],
-        seeds=list(seeds),
+    """Run every (protocol, load, seed) combination of the paper's sweep.
+
+    ``jobs`` > 1 distributes cells over a process pool; each cell carries
+    its own seed, so the results are identical to the serial path.  With a
+    ``store``, finished cells are memoised on disk and later invocations
+    (or a re-run after an interruption) skip them unless ``resume=False``.
+    """
+    campaign = Campaign.build(base, protocols, loads_kbps, seeds)
+    report = run_specs(
+        campaign.specs(), jobs=jobs, store=store, resume=resume, progress=progress
     )
-    for load in sweep.loads_kbps:
-        for proto in sweep.protocols:
-            runs: list[ExperimentResult] = []
-            for seed in sweep.seeds:
-                cfg = replace(
-                    base,
-                    seed=seed,
-                    traffic=replace(base.traffic, offered_load_bps=load * 1000.0),
-                )
-                net = build_network(cfg, proto)
-                result = net.run()
-                runs.append(result)
-                if progress is not None:
-                    progress(result.row() + f"  seed={seed}")
-            sweep.results[(proto, load)] = runs
-    return sweep
+    return sweep_from_campaign(campaign, report.results)

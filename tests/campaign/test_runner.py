@@ -1,0 +1,159 @@
+"""Campaign runner tests: cross-process determinism, caching, resume.
+
+The determinism regression is the load-bearing test: a campaign executed on
+a worker pool must produce results identical (wallclock aside) to the same
+specs run serially in-process — each cell carries its own seed, so fan-out
+must not change any simulated quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.campaign.runner import run_campaign, run_specs
+from repro.campaign.spec import Campaign, RunSpec
+from repro.campaign.store import ResultStore
+from repro.config import ScenarioConfig, TrafficConfig
+
+
+def small_cfg(**overrides) -> ScenarioConfig:
+    defaults = dict(
+        node_count=6,
+        duration_s=3.0,
+        seed=1,
+        traffic=TrafficConfig(flow_count=2, offered_load_bps=80e3),
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def small_campaign() -> Campaign:
+    return Campaign.build(small_cfg(), ["basic", "pcmac"], [50.0, 80.0], [1, 2])
+
+
+def deterministic_fields(result) -> dict:
+    """Every result field except the wallclock measurement."""
+    fields = asdict(result)
+    fields.pop("wallclock_s")
+    return fields
+
+
+class TestDeterminismAcrossProcesses:
+    def test_pool_results_identical_to_serial(self):
+        specs = small_campaign().specs()
+        serial = run_specs(specs, jobs=1)
+        pooled = run_specs(specs, jobs=4)
+        assert serial.executed == pooled.executed == len(specs)
+        assert set(serial.results) == set(pooled.results)
+        for key in serial.results:
+            assert deterministic_fields(serial.results[key]) == (
+                deterministic_fields(pooled.results[key])
+            )
+
+    def test_single_spec_short_circuits_the_pool(self):
+        spec = RunSpec(cfg=small_cfg(), protocol="basic")
+        # jobs > 1 with one pending cell must not pay pool start-up.
+        report = run_specs([spec], jobs=8)
+        assert report.executed == 1
+        assert spec.key() in report.results
+
+
+class TestCachingAndResume:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        campaign = small_campaign()
+        store = ResultStore(tmp_path / "store")
+        first = run_campaign(campaign, jobs=2, store=store)
+        assert first.executed == campaign.size
+        assert first.cached == 0
+
+        second = run_campaign(campaign, jobs=2, store=ResultStore(tmp_path / "store"))
+        assert second.executed == 0
+        assert second.cached == campaign.size
+        for key in first.results:
+            assert deterministic_fields(first.results[key]) == (
+                deterministic_fields(second.results[key])
+            )
+
+    def test_interrupted_campaign_resumes_partial_store(self, tmp_path):
+        campaign = small_campaign()
+        specs = campaign.specs()
+        store = ResultStore(tmp_path / "store")
+        # Simulate an interruption: only half the cells completed.
+        run_specs(specs[: len(specs) // 2], store=store)
+        assert len(store) == len(specs) // 2
+
+        report = run_campaign(campaign, store=ResultStore(tmp_path / "store"))
+        assert report.cached == len(specs) // 2
+        assert report.executed == len(specs) - len(specs) // 2
+        assert set(report.results) == {s.key() for s in specs}
+
+    def test_no_resume_recomputes_everything(self, tmp_path):
+        campaign = small_campaign()
+        store = ResultStore(tmp_path / "store")
+        run_campaign(campaign, store=store)
+        again = run_campaign(campaign, store=store, resume=False)
+        assert again.executed == campaign.size
+        assert again.cached == 0
+
+    def test_duplicate_specs_collapse(self):
+        spec = RunSpec(cfg=small_cfg(), protocol="basic")
+        report = run_specs([spec, spec, spec])
+        assert report.executed == 1
+        assert report.total == 1
+
+    def test_progress_lines_and_report_accounting(self, tmp_path):
+        campaign = small_campaign()
+        store = ResultStore(tmp_path / "store")
+        lines: list[str] = []
+        run_campaign(campaign, store=store, progress=lines.append)
+        assert len(lines) == campaign.size
+        cached_lines: list[str] = []
+        run_campaign(campaign, store=store, progress=cached_lines.append)
+        assert len(cached_lines) == campaign.size
+        assert all(line.startswith("[cached]") for line in cached_lines)
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            run_specs([], jobs=0)
+
+    def test_in_spec_order(self):
+        campaign = small_campaign()
+        specs = campaign.specs()
+        report = run_specs(specs, jobs=2)
+        ordered = report.in_spec_order(specs)
+        assert [r.seed for r in ordered] == [s.seed for s in specs]
+        assert [r.protocol for r in ordered] == [s.protocol for s in specs]
+
+
+class TestSweepFacade:
+    def test_parallel_sweep_matches_serial_sweep(self):
+        from repro.experiments.sweep import run_load_sweep
+
+        kwargs = dict(seeds=(1, 2))
+        serial = run_load_sweep(small_cfg(), ["basic"], [50.0, 80.0], **kwargs)
+        pooled = run_load_sweep(
+            small_cfg(), ["basic"], [50.0, 80.0], jobs=3, **kwargs
+        )
+        assert serial.throughput_series() == pooled.throughput_series()
+        assert serial.delay_series() == pooled.delay_series()
+
+    def test_sweep_through_store_hits_cache(self, tmp_path):
+        from repro.experiments.sweep import run_load_sweep
+
+        store = ResultStore(tmp_path / "store")
+        first = run_load_sweep(
+            small_cfg(), ["basic"], [50.0], seeds=(1,), store=store
+        )
+        lines: list[str] = []
+        second = run_load_sweep(
+            small_cfg(),
+            ["basic"],
+            [50.0],
+            seeds=(1,),
+            store=store,
+            progress=lines.append,
+        )
+        assert all(line.startswith("[cached]") for line in lines)
+        assert first.throughput_series() == second.throughput_series()

@@ -1,0 +1,118 @@
+"""RunSpec / Campaign tests: content addressing and grid expansion."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.campaign.spec import Campaign, RunSpec
+from repro.config import ScenarioConfig, TrafficConfig
+from repro.phy.propagation import LogDistanceShadowing
+
+
+def small_cfg(**overrides) -> ScenarioConfig:
+    defaults = dict(
+        node_count=6,
+        duration_s=4.0,
+        seed=3,
+        traffic=TrafficConfig(flow_count=2, offered_load_bps=80e3),
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestRunSpecKey:
+    def test_key_is_deterministic(self):
+        a = RunSpec(cfg=small_cfg(), protocol="basic")
+        b = RunSpec(cfg=small_cfg(), protocol="basic")
+        assert a.key() == b.key()
+
+    def test_key_is_stable_across_processes(self):
+        # The key must not depend on PYTHONHASHSEED or object identity —
+        # it addresses results persisted by *other* processes.
+        spec = RunSpec(cfg=small_cfg(), protocol="basic")
+        blob = spec.describe()
+        assert isinstance(blob["cfg"], dict)
+        assert spec.key() == RunSpec(cfg=small_cfg(), protocol="basic").key()
+        assert len(spec.key()) == 32
+        assert all(c in "0123456789abcdef" for c in spec.key())
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda s: replace(s, protocol="pcmac"),
+            lambda s: replace(s, cfg=replace(s.cfg, seed=99)),
+            lambda s: replace(s, cfg=replace(s.cfg, duration_s=5.0)),
+            lambda s: replace(
+                s,
+                cfg=replace(
+                    s.cfg, traffic=replace(s.cfg.traffic, offered_load_bps=90e3)
+                ),
+            ),
+            lambda s: replace(s, mobile=False, routing="static"),
+            lambda s: replace(s, flow_pairs=((0, 1),)),
+            lambda s: replace(s, positions=((0.0, 0.0),) * 6),
+            lambda s: replace(s, propagation=LogDistanceShadowing(exponent=3.0)),
+        ],
+    )
+    def test_any_field_change_changes_key(self, mutate):
+        base = RunSpec(cfg=small_cfg(), protocol="basic")
+        assert mutate(base).key() != base.key()
+
+    def test_seed_and_load_accessors(self):
+        spec = RunSpec(cfg=small_cfg(seed=7), protocol="basic")
+        assert spec.seed == 7
+        assert spec.load_kbps == pytest.approx(80.0)
+        assert "basic" in spec.label()
+
+    def test_spec_runs_like_build_network(self):
+        from repro.experiments.scenario import build_network
+
+        spec = RunSpec(cfg=small_cfg(), protocol="basic")
+        direct = build_network(small_cfg(), "basic").run()
+        via_spec = spec.run()
+        assert via_spec.throughput_kbps == direct.throughput_kbps
+        assert via_spec.events_executed == direct.events_executed
+
+
+class TestCampaign:
+    def test_grid_expansion_order_and_size(self):
+        camp = Campaign.build(
+            small_cfg(), ["basic", "pcmac"], [50.0, 100.0], [1, 2]
+        )
+        specs = camp.specs()
+        assert camp.size == len(specs) == 8
+        # Load outermost, then protocol, then seed (the paper's sweep order).
+        cells = [(s.load_kbps, s.protocol, s.seed) for s in specs]
+        assert cells == [
+            (50.0, "basic", 1),
+            (50.0, "basic", 2),
+            (50.0, "pcmac", 1),
+            (50.0, "pcmac", 2),
+            (100.0, "basic", 1),
+            (100.0, "basic", 2),
+            (100.0, "pcmac", 1),
+            (100.0, "pcmac", 2),
+        ]
+
+    def test_specs_embed_load_and_seed_in_config(self):
+        camp = Campaign.build(small_cfg(), ["basic"], [50.0], [9])
+        (spec,) = camp.specs()
+        assert spec.cfg.seed == 9
+        assert spec.cfg.traffic.offered_load_bps == pytest.approx(50e3)
+
+    def test_all_keys_distinct(self):
+        camp = Campaign.build(
+            small_cfg(), ["basic", "pcmac"], [50.0, 100.0], [1, 2]
+        )
+        keys = [s.key() for s in camp.specs()]
+        assert len(set(keys)) == len(keys)
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            Campaign.build(small_cfg(), ["tdma"], [50.0], [1])
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError):
+            Campaign.build(small_cfg(), [], [50.0], [1])

@@ -17,6 +17,8 @@ import pytest
 from repro import ScenarioConfig, TrafficConfig, build_network
 from repro.config import MobilityConfig
 
+pytestmark = pytest.mark.slow
+
 POSITIONS = [(0.0, 0.0), (100.0, 0.0), (310.0, 0.0), (550.0, 0.0)]
 FLOWS = [(0, 1), (2, 3)]
 LOAD_BPS = 1200e3

@@ -12,11 +12,15 @@ invariants must hold for *every* combination:
 
 from __future__ import annotations
 
+import pytest
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.config import MobilityConfig, ScenarioConfig, TrafficConfig
 from repro.experiments.scenario import build_network
+
+pytestmark = pytest.mark.slow
 
 PROTOCOLS = ("basic", "scheme1", "scheme2", "pcmac")
 

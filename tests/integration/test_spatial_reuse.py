@@ -12,6 +12,8 @@ import pytest
 from repro import ScenarioConfig, TrafficConfig, build_network
 from repro.config import MobilityConfig
 
+pytestmark = pytest.mark.slow
+
 POSITIONS = [(0.0, 0.0), (100.0, 0.0), (400.0, 0.0), (500.0, 0.0)]
 FLOWS = [(0, 1), (2, 3)]
 

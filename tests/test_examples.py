@@ -35,6 +35,7 @@ class TestExamplesExist:
 
 
 class TestExamplesRun:
+    @pytest.mark.slow
     def test_asymmetric_link_runs(self, capsys):
         mod = load_example("asymmetric_link")
         # Shorten the scenario: patch the runner's duration via run().
@@ -43,6 +44,7 @@ class TestExamplesRun:
         _, flows_pc = results["pcmac"]
         assert flows_pc[0].delivery_ratio > flows_s2[0].delivery_ratio
 
+    @pytest.mark.slow
     def test_spatial_reuse_runs(self):
         mod = load_example("spatial_reuse")
         basic = mod.run("basic")

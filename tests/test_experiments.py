@@ -108,7 +108,14 @@ class TestRunResult:
         assert "thr=" in row
 
 
+@pytest.mark.slow
 class TestSweep:
+    """Full protocol × load × seed sweeps — the slowest scenario tests here.
+
+    Deselected from the tier-1 default; the campaign runner tests cover the
+    grid expansion and result assembly with smaller simulations.
+    """
+
     def test_grid_is_complete(self):
         sweep = run_load_sweep(
             small_cfg(duration_s=4.0),

@@ -85,6 +85,66 @@ class TestRandomWaypoint:
             assert moved <= 5.0 * 0.5 + 1e-9
             prev = cur
 
+    # ------------------------------------------------- pause/boundary edges
+
+    def test_initial_pause_boundary_is_exact(self):
+        """The node is pinned at the start until exactly ``pause_s``."""
+        m = RandomWaypoint(np.random.default_rng(8), self.cfg(), (50.0, 60.0))
+        assert m.position_at(3.0 - 1e-9) == (50.0, 60.0)
+        # At the boundary itself the move leg has fraction 0 — still there.
+        assert m.position_at(3.0) == (50.0, 60.0)
+        # Strictly inside the move leg the node has left the start.
+        assert m.position_at(3.5) != (50.0, 60.0)
+
+    def test_pause_holds_position_at_waypoint(self):
+        """During a pause leg the position equals the reached waypoint."""
+        m = RandomWaypoint(np.random.default_rng(9), self.cfg(), (500.0, 500.0))
+        # Advance into the first move leg, then read its schedule.
+        m.position_at(3.1)
+        assert not m._paused
+        arrival, dest = m._t1, m._p1
+        # Throughout the following pause the node sits exactly at dest.
+        for dt in (0.0, 1.0, 2.999):
+            assert m.position_at(arrival + dt) == dest
+
+    def test_zero_pause_chains_move_legs(self):
+        m = RandomWaypoint(
+            np.random.default_rng(10), self.cfg(pause_s=0.0), (500.0, 500.0)
+        )
+        # With pause_s = 0 the initial pause is empty; the node is moving
+        # from t = 0 and its trajectory stays inside the field.
+        for step in range(2000):
+            x, y = m.position_at(step * 0.5)
+            assert 0.0 <= x <= 1000.0
+            assert 0.0 <= y <= 1000.0
+
+    def test_waypoints_respect_rectangular_field(self):
+        """A non-square field bounds each axis independently."""
+        cfg = self.cfg(field_width_m=800.0, field_height_m=50.0)
+        m = RandomWaypoint(np.random.default_rng(11), cfg, (400.0, 25.0))
+        for step in range(3000):
+            x, y = m.position_at(step * 1.0)
+            assert 0.0 <= x <= 800.0
+            assert 0.0 <= y <= 50.0
+
+    def test_query_before_current_leg_clamps_to_leg_start(self):
+        """Lazy legs cannot rewind: an earlier query pins to the leg start."""
+        m = RandomWaypoint(np.random.default_rng(12), self.cfg(), (0.0, 0.0))
+        m.position_at(100.0)  # advance well past several legs
+        leg_start = m._p0
+        assert m.position_at(0.0) == leg_start
+
+    def test_long_horizon_containment_many_seeds(self):
+        """Trajectories never escape the field over hours of model time."""
+        for seed in range(5):
+            m = RandomWaypoint(
+                np.random.default_rng(seed), self.cfg(), (500.0, 500.0)
+            )
+            for t in range(0, 7200, 60):
+                x, y = m.position_at(float(t))
+                assert 0.0 <= x <= 1000.0
+                assert 0.0 <= y <= 1000.0
+
 
 class TestPlacement:
     def test_uniform_positions_in_field(self):

@@ -100,3 +100,67 @@ class TestPoissonSource:
         with pytest.raises(ValueError):
             PoissonSource(node, 0, dst=1, mean_interval_s=0.0, size_bytes=64,
                           start_s=0.0, rng=np.random.default_rng(1))
+
+    def test_rejects_self_destination(self, sim):
+        node = StubNode(sim, node_id=3)
+        with pytest.raises(ValueError):
+            PoissonSource(node, 0, dst=3, mean_interval_s=0.1, size_bytes=64,
+                          start_s=0.0, rng=np.random.default_rng(1))
+
+    def test_start_time_delays_first_packet(self, sim):
+        node = StubNode(sim)
+        PoissonSource(node, 0, dst=1, mean_interval_s=0.01, size_bytes=64,
+                      start_s=2.0, rng=np.random.default_rng(5))
+        sim.run_until(1.99)
+        assert node.sent == []
+        sim.run_until(3.0)
+        assert node.sent
+        assert node.sent[0][0] == pytest.approx(2.0)
+
+    def test_stop_time_honoured(self, sim):
+        node = StubNode(sim)
+        src = PoissonSource(node, 0, dst=1, mean_interval_s=0.05, size_bytes=64,
+                            start_s=0.0, stop_s=1.0,
+                            rng=np.random.default_rng(6))
+        sim.run_until(30.0)
+        assert all(t < 1.0 for t, _ in node.sent)
+        assert src.sent == len(node.sent)
+
+    def test_packet_fields_and_sequence(self, sim):
+        node = StubNode(sim, node_id=2)
+        PoissonSource(node, 9, dst=5, mean_interval_s=0.1, size_bytes=256,
+                      start_s=0.0, rng=np.random.default_rng(7))
+        sim.run_until(2.0)
+        packets = [p for _, p in node.sent]
+        assert [p.seq for p in packets] == list(range(1, len(packets) + 1))
+        assert all(p.flow_id == 9 for p in packets)
+        assert all(p.src == 2 and p.dst == 5 for p in packets)
+        assert all(p.size_bytes == 256 and p.kind == "data" for p in packets)
+        assert [p.created_at for p in packets] == [t for t, _ in node.sent]
+
+    def test_deterministic_given_rng_seed(self):
+        times = []
+        for _ in range(2):
+            sim = Simulator()
+            node = StubNode(sim)
+            PoissonSource(node, 0, dst=1, mean_interval_s=0.1, size_bytes=64,
+                          start_s=0.0, rng=np.random.default_rng(11))
+            sim.run_until(5.0)
+            times.append([t for t, _ in node.sent])
+        assert times[0] == times[1]
+
+    def test_gap_distribution_matches_exponential(self, sim):
+        """Mean and coefficient of variation of the gaps match exp(λ).
+
+        An exponential has CV = 1; CBR has CV = 0.  This pins down that the
+        source draws genuinely exponential gaps, not merely jittered ones.
+        """
+        node = StubNode(sim)
+        PoissonSource(node, 0, dst=1, mean_interval_s=0.02, size_bytes=64,
+                      start_s=0.0, rng=np.random.default_rng(12))
+        sim.run_until(200.0)
+        times = np.array([t for t, _ in node.sent])
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(0.02, rel=0.05)
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, rel=0.1)

@@ -1,15 +1,31 @@
 #!/usr/bin/env python3
-"""Generate the measured-results tables of EXPERIMENTS.md from the
-full-scale sweep output (``fullscale_results.json``).
+"""Generate the measured-results tables of EXPERIMENTS.md.
 
-Usage:  python tools/make_experiments_md.py
+Two input modes:
+
+* default — the legacy ``fullscale_results.json`` snapshot next to the repo
+  root (``{"<protocol>@<load>": {"thr": ..., "dly": ...}}``);
+* ``--store DIR`` — a campaign result store produced by e.g.::
+
+      python -m repro campaign \
+          --protocols basic,pcmac,scheme1,scheme2 \
+          --loads 300,400,500,600,700,800,900,1000 --seeds 1,2,3 \
+          --nodes 50 --duration 40 --jobs 8 --store DIR
+
+  Stores are content-addressed and resumable: re-running the same command
+  against the same ``DIR`` only simulates missing cells, so the tables can
+  be regenerated incrementally as seeds are added.
+
+Usage:  python tools/make_experiments_md.py [--store DIR]
 Prints the markdown tables to stdout; EXPERIMENTS.md embeds them.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
+from collections import defaultdict
 
 from repro.analysis.report import markdown_table
 from repro.analysis.stats import compare_series
@@ -19,7 +35,8 @@ from repro.experiments.figure9 import PAPER_FIG9_MS
 PROTOCOLS = ("basic", "pcmac", "scheme1", "scheme2")
 
 
-def main() -> None:
+def load_legacy_json() -> tuple[list[int], dict, dict, str]:
+    """Series from the committed ``fullscale_results.json`` snapshot."""
     path = pathlib.Path(__file__).resolve().parent.parent / "fullscale_results.json"
     data = json.loads(path.read_text())
     loads = sorted({int(k.split("@")[1]) for k in data})
@@ -29,58 +46,136 @@ def main() -> None:
             p: [data[f"{p}@{ld}"][metric] for ld in loads] for p in PROTOCOLS
         }
 
-    thr = series("thr")
-    dly = series("dly")
+    return loads, series("thr"), series("dly"), f"snapshot {path.name}"
 
-    print("### Figure 8 — measured (50 nodes, 40 s, seeds {1,2} mean)\n")
+
+def load_campaign_store(root: str) -> tuple[list[int], dict, dict, str]:
+    """Seed-averaged series from a campaign result store directory.
+
+    Only protocols present in the store appear in the tables, and only
+    loads covered by *every* one of them (a shared store may hold cells
+    from several differently-shaped campaigns).
+    """
+    from repro.analysis.export import load_store_results
+
+    results = load_store_results(root)
+    if not results:
+        raise SystemExit(f"campaign store {root!r} holds no results")
+    cells: dict[tuple[str, int], list] = defaultdict(list)
+    seeds: set[int] = set()
+    for r in results:
+        cells[(r.protocol, int(round(r.offered_load_kbps)))].append(r)
+        seeds.add(r.seed)
+    protos = [p for p in PROTOCOLS if any(p == cp for cp, _ in cells)]
+    loads = sorted(
+        ld
+        for ld in {load for _, load in cells}
+        if all((p, ld) in cells for p in protos)
+    )
+    if not loads:
+        raise SystemExit(
+            f"campaign store {root!r} has no load covered by every protocol"
+        )
+
+    def mean(metric: str, proto: str, load: int) -> float:
+        runs = cells[(proto, load)]
+        return sum(getattr(r, metric) for r in runs) / len(runs)
+
+    thr = {p: [mean("throughput_kbps", p, ld) for ld in loads] for p in protos}
+    dly = {p: [mean("avg_delay_ms", p, ld) for ld in loads] for p in protos}
+    provenance = (
+        f"campaign store {root} ({len(results)} runs, "
+        f"seeds {{{', '.join(str(s) for s in sorted(seeds))}}} mean)"
+    )
+    return loads, thr, dly, provenance
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--store",
+        default="",
+        help="campaign result store directory (default: fullscale_results.json)",
+    )
+    args = parser.parse_args()
+
+    if args.store:
+        loads, thr, dly, provenance = load_campaign_store(args.store)
+    else:
+        loads, thr, dly, provenance = load_legacy_json()
+
+    protos = list(thr)
+
+    print(f"### Figure 8 — measured ({provenance})\n")
     rows = []
     for i, ld in enumerate(loads):
         rows.append(
             [ld]
-            + [round(thr[p][i], 1) for p in PROTOCOLS]
+            + [round(thr[p][i], 1) for p in protos]
         )
-    print(markdown_table(["load [kbps]", *PROTOCOLS], rows))
+    print(markdown_table(["load [kbps]", *protos], rows))
 
     print("\n### Figure 9 — measured (same runs)\n")
     rows = []
     for i, ld in enumerate(loads):
-        rows.append([ld] + [round(dly[p][i], 1) for p in PROTOCOLS])
-    print(markdown_table(["load [kbps]", *PROTOCOLS], rows))
+        rows.append([ld] + [round(dly[p][i], 1) for p in protos])
+    print(markdown_table(["load [kbps]", *protos], rows))
 
-    print("\n### Shape agreement vs the digitised paper curves\n")
-    rows = []
-    for p in PROTOCOLS:
-        c8 = compare_series(thr[p], [
-            PAPER_FIG8_KBPS[p][FIGURE8_LOADS_KBPS.index(ld)] for ld in loads
-        ])
-        c9 = compare_series(dly[p], [
-            PAPER_FIG9_MS[p][FIGURE8_LOADS_KBPS.index(ld)] for ld in loads
-        ])
-        rows.append([
-            p,
-            round(c8.rank_correlation, 2),
-            round(c8.final_ratio, 2),
-            round(c9.rank_correlation, 2),
-            round(c9.final_ratio, 2),
-        ])
-    print(
-        markdown_table(
-            ["protocol", "Fig8 rank-ρ", "Fig8 final ratio",
-             "Fig9 rank-ρ", "Fig9 final ratio"],
-            rows,
+    # Shape agreement is only defined at the paper's x-axis points.
+    paper_loads = [ld for ld in loads if ld in FIGURE8_LOADS_KBPS]
+    if paper_loads:
+        idx = [loads.index(ld) for ld in paper_loads]
+        print("\n### Shape agreement vs the digitised paper curves\n")
+        rows = []
+        for p in protos:
+            c8 = compare_series([thr[p][i] for i in idx], [
+                PAPER_FIG8_KBPS[p][FIGURE8_LOADS_KBPS.index(ld)]
+                for ld in paper_loads
+            ])
+            c9 = compare_series([dly[p][i] for i in idx], [
+                PAPER_FIG9_MS[p][FIGURE8_LOADS_KBPS.index(ld)]
+                for ld in paper_loads
+            ])
+            rows.append([
+                p,
+                round(c8.rank_correlation, 2),
+                round(c8.final_ratio, 2),
+                round(c9.rank_correlation, 2),
+                round(c9.final_ratio, 2),
+            ])
+        print(
+            markdown_table(
+                ["protocol", "Fig8 rank-ρ", "Fig8 final ratio",
+                 "Fig9 rank-ρ", "Fig9 final ratio"],
+                rows,
+            )
         )
-    )
 
     print("\n### Key quantities\n")
-    peak = {p: max(thr[p]) for p in PROTOCOLS}
+    peak = {p: max(thr[p]) for p in protos}
     print(f"- peak throughput: " + ", ".join(
-        f"{p} {peak[p]:.0f} kbps" for p in PROTOCOLS))
-    gain = (peak["pcmac"] / peak["basic"] - 1) * 100
-    print(f"- PCMAC peak-capacity gain over basic 802.11: {gain:+.1f}% "
-          f"(paper: +8–10%)")
-    mean_dly = {p: sum(dly[p]) / len(dly[p]) for p in PROTOCOLS}
+        f"{p} {peak[p]:.0f} kbps" for p in protos))
+    if "pcmac" in peak and "basic" in peak:
+        gain = (peak["pcmac"] / peak["basic"] - 1) * 100
+        print(f"- PCMAC peak-capacity gain over basic 802.11: {gain:+.1f}% "
+              f"(paper: +8–10%)")
+    mean_dly = {p: sum(dly[p]) / len(dly[p]) for p in protos}
     print(f"- mean delay across the sweep: " + ", ".join(
-        f"{p} {mean_dly[p]:.0f} ms" for p in PROTOCOLS))
+        f"{p} {mean_dly[p]:.0f} ms" for p in protos))
+
+    print(
+        "\n### Reproducing these tables\n\n"
+        "```\n"
+        "python -m repro campaign "
+        f"--protocols {','.join(protos)} \\\n"
+        f"    --loads {','.join(str(ld) for ld in loads)} --seeds 1,2,3 \\\n"
+        "    --nodes 50 --duration 40 --jobs 8 --store results/fullscale\n"
+        "python tools/make_experiments_md.py --store results/fullscale\n"
+        "```\n\n"
+        "The store is content-addressed (cells keyed by a hash of the full\n"
+        "run specification), so interrupted campaigns resume and repeated\n"
+        "invocations are pure cache hits."
+    )
 
 
 if __name__ == "__main__":
