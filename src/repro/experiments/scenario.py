@@ -195,6 +195,7 @@ def build_network(
     flow_pairs: Sequence[tuple[int, int]] | None = None,
     tracer: Tracer | None = None,
     propagation=None,
+    spatial_index: bool = True,
 ) -> BuiltNetwork:
     """Wire a complete network for one protocol under one scenario config.
 
@@ -213,6 +214,11 @@ def build_network(
             Robustness studies swap in e.g. ``LogDistanceShadowing``; note
             that the decode/sense threshold *ranges* then differ from the
             paper's 250 m / 550 m geometry.
+        spatial_index: use the channels' uniform-grid fan-out (default).
+            Set False for the brute-force all-radios scan — the two produce
+            bit-identical event schedules (enforced by the PHY equivalence
+            suite), so this flag only trades build/lookup overhead against
+            per-frame fan-out cost.
     """
     if protocol not in MAC_REGISTRY:
         raise ValueError(
@@ -230,22 +236,18 @@ def build_network(
         propagation = model_from_config(cfg.phy)
     noise = ConstantNoise(cfg.phy.noise_floor_w)
 
-    data_channel = Channel(
-        sim,
-        propagation,
+    moving = mobile and cfg.mobility.speed_mps > 0
+    channel_kwargs = dict(
         interference_floor_w=cfg.phy.interference_floor_w,
         model_propagation_delay=cfg.phy.model_propagation_delay,
-        name="data",
+        spatial_index=spatial_index,
+        max_tx_power_w=cfg.phy.max_power_w,
+        max_speed_mps=cfg.mobility.speed_mps if moving else 0.0,
     )
+    data_channel = Channel(sim, propagation, name="data", **channel_kwargs)
     control_channel: Channel | None = None
     if protocol == "pcmac":
-        control_channel = Channel(
-            sim,
-            propagation,
-            interference_floor_w=cfg.phy.interference_floor_w,
-            model_propagation_delay=cfg.phy.model_propagation_delay,
-            name="control",
-        )
+        control_channel = Channel(sim, propagation, name="control", **channel_kwargs)
 
     if positions is None:
         positions = uniform_positions(
@@ -272,20 +274,17 @@ def build_network(
     mac_cls = MAC_REGISTRY[protocol]
 
     for i in range(cfg.node_count):
-        if mobile and cfg.mobility.speed_mps > 0:
+        if moving:
             mobility = RandomWaypoint(
                 rngs.stream(f"mobility.{i}"), cfg.mobility, positions[i]
             )
         else:
             mobility = StaticMobility(positions[i])
 
-        def position_fn(m=mobility, s=sim):
-            return m.position_at(s.now)
-
         radio = Radio(
             sim,
             i,
-            position_fn,
+            mobility=mobility,
             rx_threshold_w=cfg.phy.rx_threshold_w,
             cs_threshold_w=cfg.phy.cs_threshold_w,
             capture_threshold=cfg.phy.capture_threshold,
@@ -300,7 +299,7 @@ def build_network(
             control_radio = Radio(
                 sim,
                 i,
-                position_fn,
+                mobility=mobility,
                 rx_threshold_w=cfg.phy.rx_threshold_w,
                 cs_threshold_w=cfg.phy.cs_threshold_w,
                 capture_threshold=cfg.phy.capture_threshold,

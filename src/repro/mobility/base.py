@@ -11,8 +11,48 @@ class MobilityModel:
     ``position_at`` may assume monotonically non-decreasing query times (the
     simulator clock only moves forward), which lets implementations advance
     internal state lazily.
+
+    Movement epochs
+    ---------------
+    Models additionally expose a monotonically non-decreasing **epoch**
+    counter that bumps whenever a position sample returns a *different*
+    position than the previous sample.  Immobile models never bump, so a
+    consumer that cached a derived quantity (e.g. a link gain in
+    :class:`~repro.phy.channel.Channel`) can validate its cache with one
+    integer comparison instead of resampling and recomputing.  The epoch
+    only advances when the position is actually *sampled* — callers that
+    need the epoch at the current time must call :meth:`poll` (which samples
+    and reports atomically) rather than reading :attr:`epoch` alone.
     """
 
     def position_at(self, t: float) -> Position:
         """The node's (x, y) position [m] at simulation time ``t``."""
         raise NotImplementedError
+
+    @property
+    def epoch(self) -> int:
+        """Movement epoch as of the most recent position sample.
+
+        The base implementation is pinned at 0 — correct for any model whose
+        ``position_at`` is constant.  Mobile models override it.
+        """
+        return 0
+
+    def poll(self, t: float) -> tuple[Position, int]:
+        """Sample the position at ``t`` and return ``(position, epoch)``.
+
+        Equal epochs across two polls guarantee the returned positions were
+        equal, so any pure function of the position may be reused.
+        """
+        pos = self.position_at(t)
+        return pos, self.epoch
+
+    def max_speed_mps(self) -> float:
+        """Upper bound on the node's speed [m/s] (0 for immobile models).
+
+        Consumers that keep spatial data structures approximately fresh
+        (e.g. the channel's grid index) use this to bound how far a node can
+        drift between refreshes.  Models with unbounded speed should return
+        ``math.inf``; the base implementation does, as the safe default.
+        """
+        return float("inf")

@@ -29,6 +29,8 @@ class RandomWaypoint(MobilityModel):
         "_p0",
         "_p1",
         "_paused",
+        "_epoch",
+        "_last_pos",
     )
 
     def __init__(
@@ -48,6 +50,8 @@ class RandomWaypoint(MobilityModel):
         # Begin with a pause leg, like the CMU generator.
         self._t1 = cfg.pause_s
         self._paused = True
+        self._epoch = 0
+        self._last_pos = self._p0
 
     def _draw_speed(self) -> float:
         if self._speed_range is not None:
@@ -81,15 +85,36 @@ class RandomWaypoint(MobilityModel):
             self._t1 = self._t0 + self._cfg.pause_s
             self._paused = True
 
+    @property
+    def epoch(self) -> int:
+        """Movement epoch: bumps on every sample that returns a new position.
+
+        Pause legs (3 s in the paper) therefore hold the epoch steady, as do
+        repeated samples at the same instant, so per-link caches keyed on the
+        epoch hit exactly when the node genuinely has not moved.
+        """
+        return self._epoch
+
+    def max_speed_mps(self) -> float:
+        if self._speed_range is not None:
+            return float(self._speed_range[1])
+        return self._cfg.speed_mps
+
     def position_at(self, t: float) -> Position:
         while t >= self._t1:
             self._next_leg()
         if self._paused or self._t1 == self._t0:
-            return self._p0
-        frac = (t - self._t0) / (self._t1 - self._t0)
-        if frac <= 0.0:
-            return self._p0
-        return (
-            self._p0[0] + (self._p1[0] - self._p0[0]) * frac,
-            self._p0[1] + (self._p1[1] - self._p0[1]) * frac,
-        )
+            pos = self._p0
+        else:
+            frac = (t - self._t0) / (self._t1 - self._t0)
+            if frac <= 0.0:
+                pos = self._p0
+            else:
+                pos = (
+                    self._p0[0] + (self._p1[0] - self._p0[0]) * frac,
+                    self._p0[1] + (self._p1[1] - self._p0[1]) * frac,
+                )
+        if pos != self._last_pos:
+            self._epoch += 1
+            self._last_pos = pos
+        return pos

@@ -12,12 +12,24 @@ The paper (and NS-2) use :class:`TwoRayGround`: Friis free-space attenuation
 the paper's ten power levels span both regimes: the 40–80 m levels resolve by
 the Friis branch and the 90–250 m levels by the two-ray branch (reproduced by
 ``benchmarks/test_power_level_table.py``).
+
+Performance: ``gain_at`` sits on the channel fan-out hot path (once per
+candidate receiver per frame), so every derived quantity — wavelength,
+crossover distance, numerator products, the embedded Friis model — is
+precomputed in ``__post_init__`` rather than rebuilt per call.  The extra
+attributes are set with ``object.__setattr__`` so the dataclasses stay
+frozen, hashable and comparable on their declared fields only, and the
+arithmetic keeps the exact expression shapes of the naive formulas so gains
+are bit-identical to the pre-cached implementation.  ``gain_at_many`` is the
+numpy bulk counterpart for vectorised callers (benchmarks, analysis).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.units import wavelength
 
@@ -27,6 +39,10 @@ Position = tuple[float, float]
 #: closer than near-field scale; clamping avoids a 1/0 for co-located test
 #: radios and keeps gains finite.
 MIN_DISTANCE_M = 0.01
+
+#: Precomputed 4π (multiplying π by 4 is exact in binary floating point, so
+#: ``_FOUR_PI * d`` is bit-identical to ``4.0 * math.pi * d``).
+_FOUR_PI = 4.0 * math.pi
 
 
 def distance(a: Position, b: Position) -> float:
@@ -45,11 +61,27 @@ class PropagationModel:
         """Linear gain at a given distance [m]."""
         raise NotImplementedError
 
+    def gain_at_many(self, distances_m) -> np.ndarray:
+        """Vectorised :meth:`gain_at` over an array of distances [m].
+
+        The base implementation loops; models override it with closed-form
+        numpy expressions.  Bulk results match the scalar path to within
+        1 ulp (not necessarily bit-exact: ``**`` routes through CPython's
+        libm in the scalar path but numpy's pow in the bulk path).  The
+        channel fan-out only ever uses the scalar :meth:`gain_at`.
+        """
+        d = np.asarray(distances_m, dtype=float)
+        out = np.fromiter(
+            (self.gain_at(float(x)) for x in d.ravel()), dtype=float, count=d.size
+        )
+        return out.reshape(d.shape)
+
     def range_for(self, tx_power_w: float, threshold_w: float) -> float:
         """Largest distance at which received power still meets ``threshold_w``.
 
         Solved analytically by each model; used to reproduce the paper's
-        power-level ↔ range table and to size scenarios.
+        power-level ↔ range table, to size scenarios, and to derive the
+        spatial-index cell size in :class:`~repro.phy.channel.Channel`.
         """
         raise NotImplementedError
 
@@ -63,17 +95,23 @@ class FreeSpace(PropagationModel):
     gain_rx: float = 1.0
     system_loss: float = 1.0
 
+    def __post_init__(self) -> None:
+        lam = wavelength(self.frequency_hz)
+        object.__setattr__(self, "_wavelength_m", lam)
+        object.__setattr__(self, "_numerator", self.gain_tx * self.gain_rx * lam * lam)
+
     @property
     def wavelength_m(self) -> float:
-        """Carrier wavelength [m]."""
-        return wavelength(self.frequency_hz)
+        """Carrier wavelength [m] (precomputed)."""
+        return self._wavelength_m
 
     def gain_at(self, dist_m: float) -> float:
-        d = max(dist_m, MIN_DISTANCE_M)
-        lam = self.wavelength_m
-        return (self.gain_tx * self.gain_rx * lam * lam) / (
-            (4.0 * math.pi * d) ** 2 * self.system_loss
-        )
+        d = dist_m if dist_m > MIN_DISTANCE_M else MIN_DISTANCE_M
+        return self._numerator / ((_FOUR_PI * d) ** 2 * self.system_loss)
+
+    def gain_at_many(self, distances_m) -> np.ndarray:
+        d = np.maximum(np.asarray(distances_m, dtype=float), MIN_DISTANCE_M)
+        return self._numerator / ((_FOUR_PI * d) ** 2 * self.system_loss)
 
     def gain(self, tx_pos: Position, rx_pos: Position) -> float:
         return self.gain_at(distance(tx_pos, rx_pos))
@@ -81,9 +119,8 @@ class FreeSpace(PropagationModel):
     def range_for(self, tx_power_w: float, threshold_w: float) -> float:
         if tx_power_w <= 0 or threshold_w <= 0:
             raise ValueError("powers must be positive")
-        lam = self.wavelength_m
-        num = tx_power_w * self.gain_tx * self.gain_rx * lam * lam
-        den = (4.0 * math.pi) ** 2 * self.system_loss * threshold_w
+        num = tx_power_w * self._numerator
+        den = _FOUR_PI**2 * self.system_loss * threshold_w
         return math.sqrt(num / den)
 
 
@@ -102,31 +139,49 @@ class TwoRayGround(PropagationModel):
     height_rx_m: float = 1.5
     system_loss: float = 1.0
 
+    def __post_init__(self) -> None:
+        lam = wavelength(self.frequency_hz)
+        ht, hr = self.height_tx_m, self.height_rx_m
+        object.__setattr__(self, "_wavelength_m", lam)
+        object.__setattr__(
+            self, "_crossover_m", 4.0 * math.pi * ht * hr / lam
+        )
+        object.__setattr__(
+            self,
+            "_friis",
+            FreeSpace(
+                frequency_hz=self.frequency_hz,
+                gain_tx=self.gain_tx,
+                gain_rx=self.gain_rx,
+                system_loss=self.system_loss,
+            ),
+        )
+        object.__setattr__(
+            self, "_numerator", self.gain_tx * self.gain_rx * ht * ht * hr * hr
+        )
+
     @property
     def wavelength_m(self) -> float:
-        """Carrier wavelength [m]."""
-        return wavelength(self.frequency_hz)
+        """Carrier wavelength [m] (precomputed)."""
+        return self._wavelength_m
 
     @property
     def crossover_m(self) -> float:
         """Distance where the Friis and ground-reflection branches meet."""
-        return 4.0 * math.pi * self.height_tx_m * self.height_rx_m / self.wavelength_m
-
-    def _friis(self) -> FreeSpace:
-        return FreeSpace(
-            frequency_hz=self.frequency_hz,
-            gain_tx=self.gain_tx,
-            gain_rx=self.gain_rx,
-            system_loss=self.system_loss,
-        )
+        return self._crossover_m
 
     def gain_at(self, dist_m: float) -> float:
-        d = max(dist_m, MIN_DISTANCE_M)
-        if d < self.crossover_m:
-            return self._friis().gain_at(d)
-        ht, hr = self.height_tx_m, self.height_rx_m
-        return (self.gain_tx * self.gain_rx * ht * ht * hr * hr) / (
-            d**4 * self.system_loss
+        d = dist_m if dist_m > MIN_DISTANCE_M else MIN_DISTANCE_M
+        if d < self._crossover_m:
+            return self._friis.gain_at(d)
+        return self._numerator / (d**4 * self.system_loss)
+
+    def gain_at_many(self, distances_m) -> np.ndarray:
+        d = np.maximum(np.asarray(distances_m, dtype=float), MIN_DISTANCE_M)
+        return np.where(
+            d < self._crossover_m,
+            self._friis.gain_at_many(d),
+            self._numerator / (d**4 * self.system_loss),
         )
 
     def gain(self, tx_pos: Position, rx_pos: Position) -> float:
@@ -137,11 +192,10 @@ class TwoRayGround(PropagationModel):
             raise ValueError("powers must be positive")
         # Try the Friis branch first; if its solution lands beyond the
         # crossover the answer lies on the 1/d^4 branch instead.
-        d_friis = self._friis().range_for(tx_power_w, threshold_w)
-        if d_friis < self.crossover_m:
+        d_friis = self._friis.range_for(tx_power_w, threshold_w)
+        if d_friis < self._crossover_m:
             return d_friis
-        ht, hr = self.height_tx_m, self.height_rx_m
-        num = tx_power_w * self.gain_tx * self.gain_rx * ht * ht * hr * hr
+        num = tx_power_w * self._numerator
         return (num / (self.system_loss * threshold_w)) ** 0.25
 
 
@@ -164,19 +218,30 @@ class LogDistanceShadowing(PropagationModel):
     gain_rx: float = 1.0
     system_loss: float = 1.0
 
-    def _reference_gain(self) -> float:
-        return FreeSpace(
+    def __post_init__(self) -> None:
+        g0 = FreeSpace(
             frequency_hz=self.frequency_hz,
             gain_tx=self.gain_tx,
             gain_rx=self.gain_rx,
             system_loss=self.system_loss,
         ).gain_at(self.reference_m)
+        object.__setattr__(self, "_reference_gain_val", g0)
+        object.__setattr__(self, "_shadow_factor", 10.0 ** (self.shadowing_db / 10.0))
 
     def gain_at(self, dist_m: float) -> float:
-        d = max(dist_m, MIN_DISTANCE_M)
-        g0 = self._reference_gain()
-        return g0 * (self.reference_m / d) ** self.exponent * 10.0 ** (
-            self.shadowing_db / 10.0
+        d = dist_m if dist_m > MIN_DISTANCE_M else MIN_DISTANCE_M
+        return (
+            self._reference_gain_val
+            * (self.reference_m / d) ** self.exponent
+            * self._shadow_factor
+        )
+
+    def gain_at_many(self, distances_m) -> np.ndarray:
+        d = np.maximum(np.asarray(distances_m, dtype=float), MIN_DISTANCE_M)
+        return (
+            self._reference_gain_val
+            * (self.reference_m / d) ** self.exponent
+            * self._shadow_factor
         )
 
     def gain(self, tx_pos: Position, rx_pos: Position) -> float:
@@ -185,7 +250,7 @@ class LogDistanceShadowing(PropagationModel):
     def range_for(self, tx_power_w: float, threshold_w: float) -> float:
         if tx_power_w <= 0 or threshold_w <= 0:
             raise ValueError("powers must be positive")
-        g0 = self._reference_gain() * 10.0 ** (self.shadowing_db / 10.0)
+        g0 = self._reference_gain_val * self._shadow_factor
         # Solve Pt * g0 * (d0/d)^n = threshold for d.
         ratio = tx_power_w * g0 / threshold_w
         return self.reference_m * ratio ** (1.0 / self.exponent)

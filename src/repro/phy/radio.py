@@ -31,12 +31,15 @@ cannot decode" per the paper's Section II).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.phy.frame import PhyFrame
 from repro.phy.noise import NoiseModel
 from repro.sim.kernel import Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.mobility.base import MobilityModel
 
 
 class RadioListener(Protocol):
@@ -96,7 +99,12 @@ class Radio:
     Args:
         sim: the simulation kernel.
         node_id: owning node id (for traces).
-        position_fn: callable returning the node's current (x, y) [m].
+        position_fn: callable returning the node's current (x, y) [m];
+            may be omitted when ``mobility`` is given.
+        mobility: optional mobility model.  When set, the radio's position
+            is sampled from it directly, and the channel can use the model's
+            movement-epoch counter to cache per-link gains and keep its
+            spatial index fresh (see :class:`~repro.phy.channel.Channel`).
         rx_threshold_w: minimum power to decode.
         cs_threshold_w: minimum power to sense carrier.
         capture_threshold: required linear SINR for successful decode.
@@ -108,6 +116,7 @@ class Radio:
         "sim",
         "node_id",
         "position_fn",
+        "mobility",
         "rx_threshold_w",
         "cs_threshold_w",
         "capture_threshold",
@@ -131,8 +140,9 @@ class Radio:
         self,
         sim: Simulator,
         node_id: int,
-        position_fn: Callable[[], tuple[float, float]],
+        position_fn: Callable[[], tuple[float, float]] | None = None,
         *,
+        mobility: MobilityModel | None = None,
         rx_threshold_w: float,
         cs_threshold_w: float,
         capture_threshold: float,
@@ -142,9 +152,12 @@ class Radio:
     ) -> None:
         if rx_threshold_w <= cs_threshold_w:
             raise ValueError("rx threshold must exceed cs threshold")
+        if position_fn is None and mobility is None:
+            raise ValueError("radio needs a position_fn or a mobility model")
         self.sim = sim
         self.node_id = node_id
         self.position_fn = position_fn
+        self.mobility = mobility
         self.rx_threshold_w = rx_threshold_w
         self.cs_threshold_w = cs_threshold_w
         self.capture_threshold = capture_threshold
@@ -175,6 +188,8 @@ class Radio:
     @property
     def position(self) -> tuple[float, float]:
         """Current node position [m]."""
+        if self.mobility is not None:
+            return self.mobility.position_at(self.sim.now)
         return self.position_fn()
 
     @property

@@ -7,6 +7,7 @@ import pytest
 
 from repro.config import MacConfig, PhyConfig, PowerControlConfig
 from repro.mac.timing import MacTiming
+from repro.mobility.static import StaticMobility
 from repro.phy.channel import Channel
 from repro.phy.noise import ConstantNoise
 from repro.phy.propagation import TwoRayGround
@@ -83,13 +84,14 @@ def make_radio(
     """A radio pinned at a fixed position with paper thresholds."""
     cfg = phy_cfg or PhyConfig()
     kwargs = dict(
+        mobility=StaticMobility(position),
         rx_threshold_w=cfg.rx_threshold_w,
         cs_threshold_w=cfg.cs_threshold_w,
         capture_threshold=cfg.capture_threshold,
         noise=ConstantNoise(cfg.noise_floor_w),
     )
     kwargs.update(overrides)
-    return Radio(sim, node_id, lambda: position, **kwargs)
+    return Radio(sim, node_id, **kwargs)
 
 
 def make_channel(sim: Simulator, phy_cfg: PhyConfig | None = None, **overrides) -> Channel:

@@ -170,3 +170,65 @@ class TestQueries:
         chan.attach(a)
         chan.detach(a)
         assert a not in chan.radios
+
+
+def _spatial_kwargs(spatial):
+    if not spatial:
+        return {}
+    return {"spatial_index": True, "max_tx_power_w": 0.2818}
+
+
+class TestDetachSemantics:
+    """Documented contract: detach stops future fan-out, not in-flight edges."""
+
+    @pytest.mark.parametrize("spatial", [False, True])
+    def test_detach_mid_frame_still_delivers_inflight_signal(self, sim, spatial):
+        chan = make_channel(sim, **_spatial_kwargs(spatial))
+        tx = make_radio(sim, 0, (0.0, 0.0))
+        rx = make_radio(sim, 1, (100.0, 0.0))
+        lis = Listener()
+        rx.listener = lis
+        chan.attach(tx)
+        chan.attach(rx)
+        f = frame(src=0)
+        chan.transmit(tx, f)
+        # Detach strictly inside the frame's airtime: the already-scheduled
+        # signal_start has fired, the signal_end is still in flight.
+        sim.schedule(f.duration_s / 2.0, lambda: chan.detach(rx))
+        sim.run_until(1.0)
+        assert rx not in chan.radios
+        ends = lis.of("rx_end")
+        assert len(ends) == 1 and ends[0][2] is True
+        # The trailing edge arrived, so the radio's interference bookkeeping
+        # is balanced (no stuck arrival energy).
+        assert rx.total_power_w == 0.0
+
+    @pytest.mark.parametrize("spatial", [False, True])
+    def test_detached_radio_misses_subsequent_frames(self, sim, spatial):
+        chan = make_channel(sim, **_spatial_kwargs(spatial))
+        tx = make_radio(sim, 0, (0.0, 0.0))
+        rx = make_radio(sim, 1, (100.0, 0.0))
+        lis = Listener()
+        rx.listener = lis
+        chan.attach(tx)
+        chan.attach(rx)
+        chan.detach(rx)
+        chan.transmit(tx, frame(src=0))
+        sim.run_until(1.0)
+        assert lis.events == []
+
+    @pytest.mark.parametrize("spatial", [False, True])
+    def test_detach_before_leading_edge_still_delivers(self, sim, spatial):
+        """Even the leading edge is 'in flight' once transmit() returned."""
+        chan = make_channel(sim, **_spatial_kwargs(spatial))
+        tx = make_radio(sim, 0, (0.0, 0.0))
+        rx = make_radio(sim, 1, (100.0, 0.0))
+        lis = Listener()
+        rx.listener = lis
+        chan.attach(tx)
+        chan.attach(rx)
+        chan.transmit(tx, frame(src=0))
+        chan.detach(rx)  # same instant, before the propagation delay elapses
+        sim.run_until(1.0)
+        ends = lis.of("rx_end")
+        assert len(ends) == 1 and ends[0][2] is True

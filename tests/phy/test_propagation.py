@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import pickle
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -154,3 +157,89 @@ class TestModelFromConfig:
         assert isinstance(m, TwoRayGround)
         assert m.frequency_hz == cfg.frequency_hz
         assert m.height_tx_m == cfg.antenna_height_tx_m
+
+
+class TestPrecomputedFields:
+    """Hoisted constants must not change dataclass semantics or results."""
+
+    MODELS = (
+        FreeSpace(),
+        TwoRayGround(),
+        LogDistanceShadowing(shadowing_db=4.0),
+        TwoRayGround(frequency_hz=2.4e9, height_tx_m=2.0, system_loss=1.2),
+    )
+
+    def test_frozen_hashable_equal(self):
+        for m in self.MODELS:
+            clone = type(m)(**{f.name: getattr(m, f.name)
+                               for f in dataclasses.fields(m)})
+            assert clone == m
+            assert hash(clone) == hash(m)
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                m.frequency_hz = 1.0
+
+    def test_replace_recomputes_derived_constants(self):
+        m = dataclasses.replace(TwoRayGround(), frequency_hz=2.4e9)
+        assert m.wavelength_m == pytest.approx(3e8 / 2.4e9, rel=1e-3)
+        assert m.crossover_m == pytest.approx(
+            4.0 * math.pi * 1.5 * 1.5 / m.wavelength_m
+        )
+
+    def test_pickle_round_trip(self):
+        for m in self.MODELS:
+            clone = pickle.loads(pickle.dumps(m))
+            assert clone == m
+            for d in (1.0, 50.0, 100.0, 400.0):
+                assert clone.gain_at(d) == m.gain_at(d)
+
+    def test_wavelength_and_crossover_match_direct_formulas(self):
+        m = TwoRayGround()
+        lam = 299792458.0 / 914e6
+        assert m.wavelength_m == pytest.approx(lam)
+        assert m.crossover_m == pytest.approx(4.0 * math.pi * 1.5 * 1.5 / lam)
+
+
+class TestGainAtMany:
+    """The numpy bulk path matches the scalar path to within 1 ulp.
+
+    (Bit-exactness is not guaranteed: ``d**4`` and ``x**2.7`` go through
+    CPython's libm pow in the scalar path but numpy's pow in the bulk path.
+    The channel hot path only ever uses the scalar ``gain_at``.)
+    """
+
+    DISTANCES = [0.0, 0.005, MIN_DISTANCE_M, 1.0, 40.0, 86.0, 86.2, 100.0,
+                 250.0, 550.0, 5000.0]
+
+    @pytest.mark.parametrize(
+        "model",
+        [FreeSpace(), TwoRayGround(), LogDistanceShadowing(shadowing_db=-3.0)],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_matches_scalar_within_ulp(self, model):
+        bulk = model.gain_at_many(self.DISTANCES)
+        scalar = [model.gain_at(d) for d in self.DISTANCES]
+        assert bulk.shape == (len(self.DISTANCES),)
+        np.testing.assert_allclose(bulk, scalar, rtol=5e-16, atol=0.0)
+
+    def test_preserves_shape(self):
+        d = np.array([[10.0, 100.0], [250.0, 1000.0]])
+        out = TwoRayGround().gain_at_many(d)
+        assert out.shape == (2, 2)
+        assert out[0, 1] == TwoRayGround().gain_at(100.0)
+
+    def test_straddles_crossover_branches(self):
+        m = TwoRayGround()
+        d = np.array([m.crossover_m * 0.5, m.crossover_m * 2.0])
+        out = m.gain_at_many(d)
+        # Below the crossover: Friis; above: ground reflection.
+        assert out[0] == m._friis.gain_at(d[0])
+        assert out[1] == pytest.approx(
+            m.gain_tx * m.gain_rx * 1.5**4 / d[1] ** 4
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1e5, allow_nan=False))
+    def test_property_scalar_bulk_agree(self, d):
+        m = TwoRayGround()
+        np.testing.assert_allclose(
+            m.gain_at_many([d])[0], m.gain_at(d), rtol=5e-16, atol=0.0
+        )

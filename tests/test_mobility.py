@@ -181,3 +181,71 @@ class TestPlacement:
     @given(st.integers(min_value=1, max_value=60))
     def test_property_grid_count_exact(self, n):
         assert len(grid_positions(n, 100.0, 100.0)) == n
+
+
+class TestMovementEpochs:
+    """Epoch counters: bump exactly when a sample returns a new position."""
+
+    def cfg(self, **overrides) -> MobilityConfig:
+        kwargs = dict(speed_mps=3.0, pause_s=3.0, field_width_m=1000.0,
+                      field_height_m=1000.0)
+        kwargs.update(overrides)
+        return MobilityConfig(**kwargs)
+
+    def test_static_epoch_pinned_at_zero(self):
+        m = StaticMobility((3.0, 4.0))
+        assert m.epoch == 0
+        m.position_at(100.0)
+        pos, epoch = m.poll(1e6)
+        assert (pos, epoch) == ((3.0, 4.0), 0)
+        assert m.max_speed_mps() == 0.0
+
+    def test_waypoint_epoch_steady_during_pause(self):
+        m = RandomWaypoint(np.random.default_rng(1), self.cfg(), (10.0, 20.0))
+        assert m.poll(0.0) == ((10.0, 20.0), 0)
+        assert m.poll(2.9) == ((10.0, 20.0), 0)
+
+    def test_waypoint_epoch_bumps_per_sampled_move(self):
+        m = RandomWaypoint(np.random.default_rng(1), self.cfg(), (10.0, 20.0))
+        _, e0 = m.poll(0.0)
+        p1, e1 = m.poll(10.0)   # moving leg
+        assert e1 == e0 + 1 and p1 != (10.0, 20.0)
+        p2, e2 = m.poll(10.0)   # same instant: same position, same epoch
+        assert (p2, e2) == (p1, e1)
+        p3, e3 = m.poll(11.0)   # later sample on the leg: new position
+        assert e3 == e1 + 1 and p3 != p1
+
+    def test_waypoint_epoch_monotone_over_many_samples(self):
+        m = RandomWaypoint(np.random.default_rng(7), self.cfg(pause_s=0.5),
+                           (0.0, 0.0))
+        last = -1
+        for t in range(0, 200):
+            _, e = m.poll(t * 0.5)
+            assert e >= last
+            last = e
+        assert last > 0  # it did actually move at some point
+
+    def test_degenerate_zero_speed_never_bumps(self):
+        m = RandomWaypoint(np.random.default_rng(3), self.cfg(speed_mps=0.0),
+                           (5.0, 5.0))
+        for t in (0.0, 10.0, 1000.0):
+            assert m.poll(t) == ((5.0, 5.0), 0)
+
+    def test_max_speed_reported(self):
+        m = RandomWaypoint(np.random.default_rng(1), self.cfg(speed_mps=3.0),
+                           (0.0, 0.0))
+        assert m.max_speed_mps() == 3.0
+        r = RandomWaypoint(np.random.default_rng(1), self.cfg(),
+                           (0.0, 0.0), speed_range=(1.0, 9.0))
+        assert r.max_speed_mps() == 9.0
+
+    def test_epoch_equality_implies_position_equality(self):
+        """The cache contract, stated as a property over a trajectory."""
+        m = RandomWaypoint(np.random.default_rng(11), self.cfg(pause_s=1.0),
+                           (100.0, 100.0))
+        seen: dict[int, tuple[float, float]] = {}
+        for t in range(0, 300):
+            pos, epoch = m.poll(t * 0.25)
+            if epoch in seen:
+                assert seen[epoch] == pos
+            seen[epoch] = pos

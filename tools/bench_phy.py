@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Measure PHY channel fan-out performance and dump ``BENCH_phy.json``.
+
+Times ``Channel.transmit`` (fan-out + signal-edge dispatch) for the
+brute-force scan and the spatial index across the same N × placement grid
+as ``benchmarks/test_channel_fanout.py`` (whose world builders this script
+reuses), then writes a machine-readable summary to the repo root so the
+perf trajectory is tracked across PRs:
+
+    PYTHONPATH=src python tools/bench_phy.py            # writes BENCH_phy.json
+    PYTHONPATH=src python tools/bench_phy.py --rounds 50 --out /tmp/b.json
+
+Each cell reports the best-of-``--repeat`` mean microseconds per transmit
+(best-of damps scheduler noise; the mean is over ``--rounds`` rounds of
+``TX_SAMPLE`` transmissions each).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from test_channel_fanout import (  # noqa: E402 - path set up above
+    DENSITIES,
+    SIZES,
+    TX_SAMPLE,
+    build_fanout_world,
+    fanout_round,
+    make_frame,
+)
+
+
+def time_mode(n: int, density: float, spatial: bool, rounds: int, repeat: int) -> float:
+    """Best-of-``repeat`` mean microseconds per transmit."""
+    best = float("inf")
+    for _ in range(repeat):
+        sim, chan, radios = build_fanout_world(n, density, spatial)
+        srcs = radios[:TX_SAMPLE]
+        frame = make_frame()
+        fanout_round(sim, chan, srcs, frame)  # warm-up: caches, grid, heap
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            fanout_round(sim, chan, srcs, frame)
+        dt = time.perf_counter() - t0
+        best = min(best, dt / (rounds * TX_SAMPLE) * 1e6)
+    return best
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(ROOT / "BENCH_phy.json"))
+    ap.add_argument("--rounds", type=int, default=30, help="rounds per repeat")
+    ap.add_argument("--repeat", type=int, default=3, help="best-of repeats")
+    args = ap.parse_args(argv)
+
+    results = []
+    for placement, density in sorted(DENSITIES.items()):
+        for n in SIZES:
+            brute = time_mode(n, density, False, args.rounds, args.repeat)
+            indexed = time_mode(n, density, True, args.rounds, args.repeat)
+            row = {
+                "n": n,
+                "placement": placement,
+                "brute_us_per_tx": round(brute, 2),
+                "indexed_us_per_tx": round(indexed, 2),
+                "speedup": round(brute / indexed, 2),
+            }
+            results.append(row)
+            print(
+                f"{placement:>6} n={n:<4d} brute {brute:8.1f} us/tx   "
+                f"indexed {indexed:8.1f} us/tx   speedup {brute / indexed:5.1f}x"
+            )
+
+    payload = {
+        "benchmark": "phy_channel_fanout",
+        "schema": 1,
+        "generated_by": "tools/bench_phy.py",
+        "config": {
+            "tx_per_round": TX_SAMPLE,
+            "rounds": args.rounds,
+            "repeat": args.repeat,
+            "unit": "microseconds per transmit (fan-out + edge dispatch)",
+        },
+        "results": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
