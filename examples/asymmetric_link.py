@@ -21,11 +21,11 @@ Run:  python examples/asymmetric_link.py
 
 from __future__ import annotations
 
-from repro import ScenarioConfig, TrafficConfig, build_network
+from repro import ComponentSpec, ScenarioConfig, ScenarioSpec, TrafficConfig
 from repro.config import MobilityConfig
 
-POSITIONS = [(0.0, 0.0), (100.0, 0.0), (310.0, 0.0), (550.0, 0.0)]
-FLOWS = [(0, 1), (2, 3)]  # A→B and C→D
+POSITIONS = ((0.0, 0.0), (100.0, 0.0), (310.0, 0.0), (550.0, 0.0))
+FLOWS = ((0, 1), (2, 3))  # A→B and C→D
 
 
 def run(protocol: str):
@@ -39,14 +39,14 @@ def run(protocol: str):
         traffic=TrafficConfig(flow_count=2, offered_load_bps=1200e3),
         mobility=MobilityConfig(speed_mps=0.0),
     )
-    net = build_network(
-        cfg,
-        protocol,
-        positions=POSITIONS,
-        mobile=False,
+    net = ScenarioSpec(
+        cfg=cfg,
+        mac=protocol,
+        placement=ComponentSpec("explicit", positions=POSITIONS),
+        mobility="static",
         routing="static",
         flow_pairs=FLOWS,
-    )
+    ).build()
     result = net.run()
     per_flow = net.metrics.flows
     return result, per_flow

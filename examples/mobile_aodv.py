@@ -14,19 +14,21 @@ from __future__ import annotations
 
 import sys
 
-from repro import ScenarioConfig, TrafficConfig, build_network
+from repro import ScenarioConfig, ScenarioSpec, TrafficConfig
 from repro.config import MobilityConfig
-from repro.experiments.scenario import MAC_REGISTRY
+from repro.registry import registry
 
 
 def main() -> None:
     protocols = (
         [sys.argv[1]] if len(sys.argv) > 1 else ["basic", "pcmac"]
     )
+    macs = registry("mac")
     for protocol in protocols:
-        if protocol not in MAC_REGISTRY:
+        if protocol not in macs:
             raise SystemExit(
-                f"unknown protocol {protocol!r}; choose from {sorted(MAC_REGISTRY)}"
+                f"unknown protocol {protocol!r}; "
+                f"choose from {', '.join(macs.names())}"
             )
 
     cfg = ScenarioConfig(
@@ -38,8 +40,7 @@ def main() -> None:
         mobility=MobilityConfig(field_width_m=775.0, field_height_m=775.0),
     )
     for protocol in protocols:
-        net = build_network(cfg, protocol)
-        result = net.run()
+        result = ScenarioSpec(cfg=cfg, mac=protocol).run()
         print(f"=== {protocol}")
         print(f"  throughput : {result.throughput_kbps:8.1f} kbps")
         print(f"  delay      : {result.avg_delay_ms:8.1f} ms")

@@ -7,13 +7,18 @@ each protocol on identical placement / mobility / traffic (common random
 numbers), and prints the two metrics the paper evaluates: aggregate
 throughput and mean end-to-end delay.
 
+Scenarios are data: a :class:`~repro.scenariospec.ScenarioSpec` names one
+registered component per slot (``repro list`` shows what is available) and
+the only thing varied below is the ``mac`` slot.
+
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import ScenarioConfig, TrafficConfig, build_network
+from repro import ScenarioConfig, ScenarioSpec, TrafficConfig
 from repro.config import MobilityConfig
+from repro.registry import registry
 
 
 def main() -> None:
@@ -32,8 +37,8 @@ def main() -> None:
     print(f"{'protocol':<10} {'throughput':>12} {'delay':>10} {'PDR':>7} "
           f"{'fairness':>9}")
 
-    for protocol in ("basic", "pcmac", "scheme1", "scheme2"):
-        result = build_network(cfg, protocol).run()
+    for protocol in registry("mac").names():
+        result = ScenarioSpec(cfg=cfg, mac=protocol).run()
         print(
             f"{protocol:<10} {result.throughput_kbps:>9.1f} kbps "
             f"{result.avg_delay_ms:>7.1f} ms {result.delivery_ratio:>7.3f} "

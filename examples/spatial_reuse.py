@@ -15,11 +15,11 @@ Run:  python examples/spatial_reuse.py
 
 from __future__ import annotations
 
-from repro import ScenarioConfig, TrafficConfig, build_network
+from repro import ComponentSpec, ScenarioConfig, ScenarioSpec, TrafficConfig
 from repro.config import MobilityConfig
 
-POSITIONS = [(0.0, 0.0), (100.0, 0.0), (400.0, 0.0), (500.0, 0.0)]
-FLOWS = [(0, 1), (2, 3)]
+POSITIONS = ((0.0, 0.0), (100.0, 0.0), (400.0, 0.0), (500.0, 0.0))
+FLOWS = ((0, 1), (2, 3))
 
 
 def run(protocol: str):
@@ -30,15 +30,15 @@ def run(protocol: str):
         traffic=TrafficConfig(flow_count=2, offered_load_bps=2400e3),
         mobility=MobilityConfig(speed_mps=0.0),
     )
-    net = build_network(
-        cfg,
-        protocol,
-        positions=POSITIONS,
-        mobile=False,
+    spec = ScenarioSpec(
+        cfg=cfg,
+        mac=protocol,
+        placement=ComponentSpec("explicit", positions=POSITIONS),
+        mobility="static",
         routing="static",
         flow_pairs=FLOWS,
     )
-    return net.run()
+    return spec.run()
 
 
 def main() -> None:

@@ -9,15 +9,25 @@ routing, random waypoint mobility and CBR traffic — plus the experiment
 harness that regenerates the paper's Figures 8 and 9 and the power-level
 range table.
 
+Scenarios are *data*: a :class:`~repro.scenariospec.ScenarioSpec` names one
+registered component per slot (mac / placement / mobility / routing /
+traffic / propagation — see ``python -m repro list``) plus the numeric
+:class:`~repro.config.ScenarioConfig`, and round-trips through JSON with a
+stable content hash.
+
 Quickstart::
 
-    from repro import ScenarioConfig, build_network
+    from repro import ScenarioConfig, ScenarioSpec
 
-    cfg = ScenarioConfig(node_count=20, duration_s=30.0)
-    result = build_network(cfg, "pcmac").run()
-    print(result.row())
+    spec = ScenarioSpec(cfg=ScenarioConfig(node_count=20, duration_s=30.0),
+                        mac="pcmac")
+    print(spec.run().row())
+
+(the historical ``build_network(cfg, "pcmac")`` keyword API still works as
+a compatibility shim over the same builder.)
 """
 
+from repro.builder import NetworkBuilder
 from repro.campaign import Campaign, ResultStore, RunSpec, run_campaign
 from repro.config import (
     AodvConfig,
@@ -37,24 +47,37 @@ from repro.experiments.scenario import (
 )
 from repro.experiments.sweep import SweepResult, run_load_sweep
 
-__version__ = "1.0.0"
+# NOTE: repro.registry's `registry()` accessor is intentionally NOT
+# re-exported here — `from repro.registry import registry` rebinds the
+# package attribute `repro.registry` from the submodule to the function,
+# breaking `import repro.registry as ...` for everyone else.
+from repro.registry import Param, Registry, all_registries
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+__version__ = "1.1.0"
 
 __all__ = [
     "AodvConfig",
     "BuiltNetwork",
     "Campaign",
+    "ComponentSpec",
     "ExperimentResult",
     "MAC_REGISTRY",
     "MacConfig",
     "MobilityConfig",
+    "NetworkBuilder",
+    "Param",
     "PcmacConfig",
     "PhyConfig",
     "PowerControlConfig",
+    "Registry",
     "ResultStore",
     "RunSpec",
     "ScenarioConfig",
+    "ScenarioSpec",
     "SweepResult",
     "TrafficConfig",
+    "all_registries",
     "build_network",
     "run_campaign",
     "run_load_sweep",

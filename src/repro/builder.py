@@ -1,0 +1,292 @@
+"""Composable network construction from a declarative scenario spec.
+
+:class:`NetworkBuilder` turns a :class:`~repro.scenariospec.ScenarioSpec`
+into a runnable :class:`~repro.experiments.scenario.BuiltNetwork` by
+resolving each scenario slot against its :mod:`repro.registry` registry and
+invoking the component factories in a fixed order.  It replaces the old
+monolithic ``build_network`` body; the legacy function survives as a thin
+compatibility shim over this class.
+
+Per-slot factory contracts
+--------------------------
+Every factory receives the shared :class:`BuildContext` first, then its
+validated params as keyword arguments.  What each slot must return:
+
+``propagation``
+    a :class:`~repro.phy.propagation.PropagationModel`.  Context available:
+    ``cfg`` only (called first).
+``mobility``
+    a :class:`MobilityPlan` — the channel-level speed bound plus a per-node
+    ``make(node_id, position) -> MobilityModel``.  Context: ``cfg``, ``rngs``.
+``placement``
+    a list of ``(x, y)`` positions, one per node.  Context adds
+    ``data_channel`` / ``control_channel``.
+``routing``
+    a per-node ``make(node_id) -> routing protocol`` callable.  Context adds
+    ``positions`` (so table-driven routing can precompute).
+``mac``
+    a per-node ``make(node_id, mobility, data_radio) -> MAC`` callable.
+    Entries with ``meta={"control_channel": True}`` get a second channel
+    wired before any node exists.  Context helper: :meth:`BuildContext.make_radio`.
+``traffic``
+    called once as ``factory(ctx, nodes, pairs, **params)``; returns the
+    list of application sources (already scheduled on the simulator).
+
+The call order (and the named RNG streams each builtin consumes) reproduces
+the historical ``build_network`` exactly, which is what keeps the
+compatibility shim bit-identical — verified by
+``tests/test_builder_compat.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.config import ScenarioConfig
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.base import MobilityModel, Position
+from repro.phy.channel import Channel
+from repro.phy.noise import ConstantNoise
+from repro.phy.radio import Radio
+from repro.registry import ComponentEntry, registry
+from repro.scenariospec import ScenarioSpec
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.scenario import BuiltNetwork
+    from repro.net.node import Node
+    from repro.phy.propagation import PropagationModel
+
+
+@dataclass(frozen=True)
+class MobilityPlan:
+    """What a mobility component returns: a speed bound + per-node factory."""
+
+    #: Upper bound on any node's speed [m/s]; sizes the channels' spatial
+    #: index drift pad (0 pins the index, matching immobile scenarios).
+    max_speed_mps: float
+    #: ``make(node_id, initial_position) -> MobilityModel``.
+    make: Callable[[int, Position], MobilityModel]
+
+
+@dataclass
+class BuildContext:
+    """Shared state handed to every component factory.
+
+    Populated progressively in build order — a factory may rely on every
+    field the contract table in the module docstring lists for its slot.
+    """
+
+    spec: ScenarioSpec
+    cfg: ScenarioConfig
+    sim: Simulator
+    rngs: RngRegistry
+    tracer: Tracer
+    noise: ConstantNoise
+    propagation: "PropagationModel | None" = None
+    mobility_plan: MobilityPlan | None = None
+    data_channel: Channel | None = None
+    control_channel: Channel | None = None
+    positions: list[Position] = field(default_factory=list)
+
+    def make_radio(
+        self, node_id: int, mobility: MobilityModel, channel_name: str
+    ) -> Radio:
+        """A radio with the scenario's PHY thresholds on ``channel_name``."""
+        return Radio(
+            self.sim,
+            node_id,
+            mobility=mobility,
+            rx_threshold_w=self.cfg.phy.rx_threshold_w,
+            cs_threshold_w=self.cfg.phy.cs_threshold_w,
+            capture_threshold=self.cfg.phy.capture_threshold,
+            noise=self.noise,
+            tracer=self.tracer,
+            channel_name=channel_name,
+        )
+
+
+def pick_flow_pairs(
+    rngs: RngRegistry, node_count: int, flow_count: int
+) -> list[tuple[int, int]]:
+    """Random distinct (src, dst) pairs, src ≠ dst, no repeated pair.
+
+    Draws from the ``"flows"`` stream — the same consumption as every
+    historical scenario, so seeds reproduce identical endpoints.
+    """
+    rng = rngs.stream("flows")
+    pairs: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    guard = 0
+    while len(pairs) < flow_count:
+        src = int(rng.integers(0, node_count))
+        dst = int(rng.integers(0, node_count))
+        guard += 1
+        if guard > 100 * flow_count:
+            raise RuntimeError("could not find enough distinct flow pairs")
+        if src == dst or (src, dst) in seen:
+            continue
+        seen.add((src, dst))
+        pairs.append((src, dst))
+    return pairs
+
+
+class NetworkBuilder:
+    """Wire a complete network for one :class:`ScenarioSpec`.
+
+    Runtime-only knobs (they do not change what is simulated, so they are
+    deliberately *not* part of the spec's content hash):
+
+    Args:
+        spec: the declarative scenario.
+        tracer: optional tracer shared by every layer.
+        spatial_index: use the channels' uniform-grid fan-out (default).
+            The brute-force scan is event-schedule bit-identical (enforced
+            by the PHY equivalence suite); the flag only trades build/lookup
+            overhead against per-frame fan-out cost.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        tracer: Tracer | None = None,
+        spatial_index: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.tracer = tracer or NULL_TRACER
+        self.spatial_index = spatial_index
+
+    # ------------------------------------------------------------------ util
+
+    def _resolve(self) -> dict[str, tuple[ComponentEntry, dict[str, Any]]]:
+        """Look up every slot's component and validate its params up front.
+
+        Unknown names raise :class:`~repro.registry.UnknownComponentError`
+        (listing what is registered); bad params raise
+        :class:`~repro.registry.ParamError` naming the offending key —
+        before any expensive construction happens.
+        """
+        resolved: dict[str, tuple[ComponentEntry, dict[str, Any]]] = {}
+        for slot, comp in self.spec.components().items():
+            entry = registry(slot).get(comp.name)
+            resolved[slot] = (entry, entry.validate(comp.params_dict))
+        return resolved
+
+    # ----------------------------------------------------------------- build
+
+    def build(self) -> "BuiltNetwork":
+        """Construct the network (see the module docstring for the order)."""
+        from repro.experiments.scenario import BuiltNetwork
+
+        spec = self.spec
+        cfg = spec.cfg
+        resolved = self._resolve()
+        mac_entry, mac_params = resolved["mac"]
+        mobility_entry, mobility_params = resolved["mobility"]
+        routing_entry, routing_params = resolved["routing"]
+
+        if routing_entry.meta.get("requires_immobile") and not mobility_entry.meta.get(
+            "immobile"
+        ):
+            raise ValueError(
+                f"routing {routing_entry.name!r} requires immobile nodes; "
+                f"use mobility 'static' (got {mobility_entry.name!r})"
+            )
+
+        ctx = BuildContext(
+            spec=spec,
+            cfg=cfg,
+            sim=Simulator(),
+            rngs=RngRegistry(cfg.seed),
+            tracer=self.tracer,
+            noise=ConstantNoise(cfg.phy.noise_floor_w),
+        )
+
+        prop_entry, prop_params = resolved["propagation"]
+        ctx.propagation = prop_entry.factory(ctx, **prop_params)
+
+        ctx.mobility_plan = mobility_entry.factory(ctx, **mobility_params)
+        channel_kwargs = dict(
+            interference_floor_w=cfg.phy.interference_floor_w,
+            model_propagation_delay=cfg.phy.model_propagation_delay,
+            spatial_index=self.spatial_index,
+            max_tx_power_w=cfg.phy.max_power_w,
+            max_speed_mps=ctx.mobility_plan.max_speed_mps,
+        )
+        ctx.data_channel = Channel(
+            ctx.sim, ctx.propagation, name="data", **channel_kwargs
+        )
+        if mac_entry.meta.get("control_channel"):
+            ctx.control_channel = Channel(
+                ctx.sim, ctx.propagation, name="control", **channel_kwargs
+            )
+
+        placement_entry, placement_params = resolved["placement"]
+        ctx.positions = list(placement_entry.factory(ctx, **placement_params))
+        if len(ctx.positions) != cfg.node_count:
+            raise ValueError(
+                f"placement {placement_entry.name!r} produced "
+                f"{len(ctx.positions)} positions for {cfg.node_count} nodes"
+            )
+
+        make_router = routing_entry.factory(ctx, **routing_params)
+        make_mac = mac_entry.factory(ctx, **mac_params)
+
+        metrics = MetricsCollector()
+        metrics.measure_start_s = cfg.traffic.start_time_s
+
+        from repro.net.node import Node
+
+        nodes: list[Node] = []
+        for i in range(cfg.node_count):
+            mobility = ctx.mobility_plan.make(i, ctx.positions[i])
+            radio = ctx.make_radio(i, mobility, "data")
+            ctx.data_channel.attach(radio)
+            mac = make_mac(i, mobility, radio)
+            router = make_router(i)
+            nodes.append(
+                Node(
+                    ctx.sim,
+                    i,
+                    mobility=mobility,
+                    mac=mac,
+                    routing=router,
+                    metrics=metrics,
+                    rngs=ctx.rngs,
+                    tracer=ctx.tracer,
+                )
+            )
+
+        if spec.flow_pairs is not None:
+            for src, dst in spec.flow_pairs:
+                if not (0 <= src < cfg.node_count and 0 <= dst < cfg.node_count):
+                    raise ValueError(
+                        f"flow pair ({src}, {dst}) out of range for "
+                        f"{cfg.node_count} nodes"
+                    )
+            pairs = [tuple(p) for p in spec.flow_pairs]
+        else:
+            pairs = pick_flow_pairs(
+                ctx.rngs, cfg.node_count, cfg.traffic.flow_count
+            )
+        traffic_entry, traffic_params = resolved["traffic"]
+        sources = traffic_entry.factory(ctx, nodes, pairs, **traffic_params)
+
+        return BuiltNetwork(
+            sim=ctx.sim,
+            cfg=cfg,
+            protocol=spec.mac.name,
+            nodes=nodes,
+            metrics=metrics,
+            sources=list(sources),
+            flow_pairs=pairs,
+            tracer=ctx.tracer,
+            data_channel=ctx.data_channel,
+            control_channel=ctx.control_channel,
+            rngs=ctx.rngs,
+            spec=spec,
+        )

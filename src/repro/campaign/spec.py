@@ -1,14 +1,22 @@
 """Run specifications: frozen, content-addressed descriptions of one run.
 
-A :class:`RunSpec` captures everything :func:`~repro.experiments.scenario.build_network`
-needs — the :class:`~repro.config.ScenarioConfig` (which embeds the seed and
-offered load) plus the builder overrides the controlled experiments use
-(explicit positions, static routing, named flow pairs, alternative
-propagation).  Because every field is an immutable value type, a spec can be
+A :class:`RunSpec` wraps the declarative
+:class:`~repro.scenariospec.ScenarioSpec` — the single input to
+:class:`~repro.builder.NetworkBuilder` — and is what the campaign runner
+executes and the result store addresses.  Because the spec is an immutable
+value type it can be
 
-* hashed into a stable content key (:meth:`RunSpec.key`) for the result store,
+* hashed into a stable content key (:meth:`RunSpec.key`) for the result
+  store — the key is computed over the *serialized scenario*, so cached
+  results stay addressable by **what** ran, not by the Python call-site
+  that ran it (``repro quick --scenario spec.json`` and a campaign cell
+  describing the same scenario share a key),
 * pickled across process boundaries for the worker pool, and
 * re-expanded into an identical simulation anywhere, any time.
+
+The historical constructor ``RunSpec(cfg, protocol, positions=..., ...)``
+still works: legacy keywords are translated through
+:meth:`ScenarioSpec.from_legacy` exactly like the ``build_network`` shim.
 
 :class:`Campaign` is the grid counterpart: protocols × loads × seeds over a
 base config, expanded in the same nesting order the paper's serial sweep
@@ -18,109 +26,109 @@ result assembly stay comparable.
 
 from __future__ import annotations
 
-import hashlib
-import json
-from dataclasses import asdict, dataclass, is_dataclass, replace
-from typing import TYPE_CHECKING, Sequence
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.config import ScenarioConfig
-from repro.phy.propagation import PropagationModel
+from repro.registry import registry
+from repro.scenariospec import SCENARIO_SCHEMA_VERSION, ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.scenario import BuiltNetwork, ExperimentResult
 
-#: Bump whenever the spec serialisation or the simulation semantics change
-#: incompatibly — old store entries then stop matching and are recomputed.
-SPEC_SCHEMA_VERSION = 1
+#: The schema governing content keys.  RunSpec.key() delegates to
+#: ScenarioSpec.key(), so this is definitionally the scenario schema —
+#: aliased (not hand-copied) to keep the store's meta.json self-description
+#: from drifting when the scenario serialisation is bumped.
+SPEC_SCHEMA_VERSION = SCENARIO_SCHEMA_VERSION
 
 
-def _canonical(obj):
-    """Recursively convert a spec field into canonical JSON-able form."""
-    if is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            "__kind__": type(obj).__name__,
-            **{k: _canonical(v) for k, v in asdict(obj).items()},
-        }
-    if isinstance(obj, dict):
-        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
-    if isinstance(obj, (list, tuple)):
-        return [_canonical(v) for v in obj]
-    return obj
-
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class RunSpec:
-    """One simulation cell: config + protocol + builder overrides."""
+    """One simulation cell: a content-addressable scenario description."""
 
-    cfg: ScenarioConfig
-    protocol: str
-    #: Explicit initial positions (controlled geometries); None = uniform.
-    positions: tuple[tuple[float, float], ...] | None = None
-    #: Random waypoint motion when True, static nodes when False.
-    mobile: bool = True
-    #: "aodv" (paper) or "static" (requires ``mobile=False``).
-    routing: str = "aodv"
-    #: Explicit (src, dst) flows; None = random distinct pairs.
-    flow_pairs: tuple[tuple[int, int], ...] | None = None
-    #: Propagation model override (a frozen dataclass from
-    #: :mod:`repro.phy.propagation`); None = the paper's two-ray from ``cfg``.
-    propagation: PropagationModel | None = None
+    scenario: ScenarioSpec
+
+    def __init__(
+        self,
+        cfg: ScenarioConfig | None = None,
+        protocol: str | None = None,
+        *,
+        scenario: ScenarioSpec | None = None,
+        positions: Sequence[tuple[float, float]] | None = None,
+        mobile: bool = True,
+        routing: str = "aodv",
+        flow_pairs: Sequence[tuple[int, int]] | None = None,
+        propagation: Any = None,
+    ) -> None:
+        if scenario is not None:
+            if cfg is not None or protocol is not None:
+                raise ValueError(
+                    "pass either scenario= or the legacy (cfg, protocol, ...) "
+                    "arguments, not both"
+                )
+        else:
+            if cfg is None or protocol is None:
+                raise ValueError(
+                    "RunSpec needs scenario= or the legacy (cfg, protocol) pair"
+                )
+            scenario = ScenarioSpec.from_legacy(
+                cfg,
+                protocol,
+                positions=positions,
+                mobile=mobile,
+                routing=routing,
+                flow_pairs=flow_pairs,
+                propagation=propagation,
+            )
+        object.__setattr__(self, "scenario", scenario)
+
+    # -------------------------------------------------------------- accessors
+
+    @property
+    def cfg(self) -> ScenarioConfig:
+        """The cell's numeric configuration."""
+        return self.scenario.cfg
+
+    @property
+    def protocol(self) -> str:
+        """The cell's MAC component name."""
+        return self.scenario.mac.name
 
     @property
     def seed(self) -> int:
         """The cell's RNG seed (carried by the config)."""
-        return self.cfg.seed
+        return self.scenario.cfg.seed
 
     @property
     def load_kbps(self) -> float:
         """The cell's aggregate offered load [kbps]."""
-        return self.cfg.traffic.offered_load_bps / 1000.0
+        return self.scenario.cfg.traffic.offered_load_bps / 1000.0
+
+    # --------------------------------------------------------------- identity
 
     def describe(self) -> dict:
-        """Canonical JSON-able description (the hash pre-image)."""
-        return {
-            "schema": SPEC_SCHEMA_VERSION,
-            "cfg": _canonical(self.cfg),
-            "protocol": self.protocol,
-            "positions": _canonical(self.positions),
-            "mobile": self.mobile,
-            "routing": self.routing,
-            "flow_pairs": _canonical(self.flow_pairs),
-            "propagation": _canonical(self.propagation),
-        }
+        """Canonical JSON-able description (the hash pre-image) — the
+        serialized :class:`ScenarioSpec`."""
+        return self.scenario.canonical()
 
     def key(self) -> str:
         """Stable content hash identifying this cell in a result store."""
-        blob = json.dumps(
-            self.describe(), sort_keys=True, separators=(",", ":")
-        ).encode()
-        return hashlib.sha256(blob).hexdigest()[:32]
+        return self.scenario.key()
 
     def label(self) -> str:
         """Short human-readable cell name for progress lines."""
-        return (
-            f"{self.protocol}@{self.load_kbps:g}kbps/seed{self.seed}"
-        )
+        return self.scenario.label()
+
+    # -------------------------------------------------------------- execution
 
     def build(self) -> "BuiltNetwork":
         """Wire the network this spec describes."""
-        from repro.experiments.scenario import build_network
-
-        return build_network(
-            self.cfg,
-            self.protocol,
-            positions=list(self.positions) if self.positions is not None else None,
-            mobile=self.mobile,
-            routing=self.routing,
-            flow_pairs=(
-                list(self.flow_pairs) if self.flow_pairs is not None else None
-            ),
-            propagation=self.propagation,
-        )
+        return self.scenario.build()
 
     def run(self) -> "ExperimentResult":
         """Build and execute the cell, returning its summary."""
-        return self.build().run()
+        return self.scenario.run()
 
 
 @dataclass(frozen=True)
@@ -133,12 +141,12 @@ class Campaign:
     seeds: tuple[int, ...]
 
     def __post_init__(self) -> None:
-        from repro.experiments.scenario import MAC_REGISTRY
-
+        mac_registry = registry("mac")
         for proto in self.protocols:
-            if proto not in MAC_REGISTRY:
+            if proto not in mac_registry:
                 raise ValueError(
-                    f"unknown protocol {proto!r}; choose from {sorted(MAC_REGISTRY)}"
+                    f"unknown protocol {proto!r}; "
+                    f"choose from {', '.join(mac_registry.names())}"
                 )
         if not (self.protocols and self.loads_kbps and self.seeds):
             raise ValueError("protocols, loads_kbps and seeds must be non-empty")
@@ -177,5 +185,7 @@ class Campaign:
                             self.base.traffic, offered_load_bps=load * 1000.0
                         ),
                     )
-                    out.append(RunSpec(cfg=cfg, protocol=proto))
+                    out.append(
+                        RunSpec(scenario=ScenarioSpec(cfg=cfg, mac=proto))
+                    )
         return out

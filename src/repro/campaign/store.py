@@ -7,8 +7,10 @@ Layout of a store directory::
         meta.json         # store format version + spec schema version
 
 Each ``results.jsonl`` line is ``{"key", "spec", "result"}`` where ``spec``
-is a human-readable cell summary (protocol / load / seed — for auditing, not
-for addressing) and ``result`` the serialised
+is an audit record (protocol / load / seed plus the full serialized
+:class:`~repro.scenariospec.ScenarioSpec` under ``"scenario"`` — re-runnable
+via ``ScenarioSpec.from_dict``, though addressing is always by ``key``) and
+``result`` the serialised
 :class:`~repro.experiments.scenario.ExperimentResult`.  Appending after every
 finished run makes interruption safe: a killed campaign keeps every completed
 cell, and the next invocation against the same store resumes from there.  A
@@ -74,18 +76,20 @@ class ResultStore:
 
     def _write_meta(self) -> None:
         meta_path = self.root / META_FILE
+        meta = {
+            "store_format": STORE_FORMAT_VERSION,
+            "spec_schema": SPEC_SCHEMA_VERSION,
+        }
         if meta_path.exists():
-            return
-        meta_path.write_text(
-            json.dumps(
-                {
-                    "store_format": STORE_FORMAT_VERSION,
-                    "spec_schema": SPEC_SCHEMA_VERSION,
-                },
-                indent=2,
-            )
-            + "\n"
-        )
+            try:
+                if json.loads(meta_path.read_text()) == meta:
+                    return
+            except (OSError, json.JSONDecodeError):
+                pass
+            # Stale or unreadable meta (e.g. a store created under an older
+            # spec schema, whose keys no longer match anyway): refresh so the
+            # store's self-description matches what gets appended from now on.
+        meta_path.write_text(json.dumps(meta, indent=2) + "\n")
 
     def _load(self) -> None:
         if not self.path.exists():
@@ -140,8 +144,10 @@ class ResultStore:
                 "seed": spec.seed,
                 "node_count": spec.cfg.node_count,
                 "duration_s": spec.cfg.duration_s,
-                "routing": spec.routing,
-                "mobile": spec.mobile,
+                # The full serialized scenario (the hash pre-image), so a
+                # store entry is auditable and re-runnable by *what* ran:
+                # feed it back through ScenarioSpec.from_dict.
+                "scenario": spec.scenario.to_dict(),
             },
             "result": result_to_dict(result),
         }

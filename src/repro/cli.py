@@ -5,7 +5,11 @@ Experiments:
 * ``figure8`` — aggregate throughput vs offered load (paper Figure 8)
 * ``figure9`` — mean end-to-end delay vs offered load (paper Figure 9)
 * ``ranges``  — the power-level ↔ decode-range table (Section IV)
-* ``quickrun`` — one scenario, one protocol, printed summary
+* ``list``    — every registered scenario component, per slot, with its
+  param schema (the building blocks a ``spec.json`` can name)
+* ``quickrun`` (alias ``quick``) — one scenario, one protocol, printed
+  summary; ``--scenario spec.json`` runs a scenario defined purely as data
+  through the declarative builder and prints its content key
 * ``campaign`` — a protocol × load × seed grid through the parallel
   campaign runner, with an optional content-addressed result store
 
@@ -41,8 +45,10 @@ from repro.experiments.figure8 import (
 )
 from repro.experiments.figure9 import PAPER_FIG9_MS
 from repro.experiments.ranges import max_power_ranges, power_level_table
-from repro.experiments.scenario import MAC_REGISTRY, build_network
+from repro.experiments.scenario import build_network
 from repro.experiments.sweep import sweep_from_campaign
+from repro.registry import all_registries, registry
+from repro.scenariospec import ScenarioSpec
 
 
 def _add_campaign_flags(p: argparse.ArgumentParser) -> None:
@@ -75,8 +81,18 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
 
     sub.add_parser("ranges", help="power level vs range table")
 
-    q = sub.add_parser("quickrun", help="single scenario run")
-    q.add_argument("--protocol", choices=sorted(MAC_REGISTRY), default="pcmac")
+    sub.add_parser(
+        "list", help="registered scenario components, per slot, with params"
+    )
+
+    q = sub.add_parser(
+        "quickrun", aliases=["quick"], help="single scenario run"
+    )
+    q.add_argument("--scenario", type=str, default="",
+                   help="run a declarative ScenarioSpec from this JSON file "
+                        "(overrides every other flag)")
+    q.add_argument("--protocol", choices=registry("mac").names(),
+                   default="pcmac")
     q.add_argument("--nodes", type=int, default=20)
     q.add_argument("--duration", type=float, default=30.0)
     q.add_argument("--load-kbps", type=float, default=400.0)
@@ -187,16 +203,42 @@ def _run_ranges() -> int:
     return 0
 
 
+def _run_list() -> int:
+    """Enumerate every registered component, slot by slot."""
+    for slot, reg in all_registries().items():
+        print(f"{slot}:")
+        for entry in reg.entries():
+            sig = entry.signature()
+            line = f"  {entry.name:<14}{entry.doc}"
+            print(line.rstrip())
+            if sig:
+                print(f"  {'':<14}params: {sig}")
+    return 0
+
+
 def _run_quick(args: argparse.Namespace) -> int:
-    cfg = ScenarioConfig(
-        node_count=args.nodes,
-        duration_s=args.duration,
-        seed=args.seed,
-    )
-    cfg = replace(
-        cfg, traffic=replace(cfg.traffic, offered_load_bps=args.load_kbps * 1000.0)
-    )
-    net = build_network(cfg, args.protocol)
+    if args.scenario:
+        spec = ScenarioSpec.load(args.scenario)
+        print(f"scenario: {args.scenario}")
+        print(
+            "  components: "
+            + ", ".join(
+                f"{slot}={comp}" for slot, comp in spec.components().items()
+            )
+        )
+        print(f"  key: {spec.key()}")
+        net = spec.build()
+    else:
+        cfg = ScenarioConfig(
+            node_count=args.nodes,
+            duration_s=args.duration,
+            seed=args.seed,
+        )
+        cfg = replace(
+            cfg,
+            traffic=replace(cfg.traffic, offered_load_bps=args.load_kbps * 1000.0),
+        )
+        net = build_network(cfg, args.protocol)
     result = net.run()
     print(result.row())
     print(f"  fairness (Jain): {result.fairness:.3f}")
@@ -262,7 +304,9 @@ def main(argv: list[str] | None = None) -> int:
         return _run_figure(args, delay=True)
     if args.experiment == "ranges":
         return _run_ranges()
-    if args.experiment == "quickrun":
+    if args.experiment == "list":
+        return _run_list()
+    if args.experiment in ("quickrun", "quick"):
         return _run_quick(args)
     if args.experiment == "campaign":
         return _run_campaign(args)

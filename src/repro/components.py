@@ -1,0 +1,382 @@
+"""Built-in scenario components, registered into :mod:`repro.registry`.
+
+One ``@registry(slot).register(...)`` block per component; this module is
+imported lazily on first registry access.  The paper's Section IV
+environment is exactly the all-defaults pick — ``uniform`` placement,
+``waypoint`` mobility, ``aodv`` routing, ``cbr`` traffic, ``two_ray``
+propagation, one of the four ``mac`` protocols — and everything else here
+(grid/cluster/line placement, static mobility/routing, poisson traffic,
+alternative propagation) opens the evaluation to non-paper workloads with
+zero builder changes.
+
+The builtin factories follow the slot contracts documented in
+:mod:`repro.builder` and consume the same named RNG streams the historical
+``build_network`` did (``placement``, ``mobility.<i>``, ``mac.<i>``,
+``flows``), preserving bit-identical results for legacy scenarios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.builder import BuildContext, MobilityPlan
+from repro.core.pcmac import PcmacMac
+from repro.mac.basic import Basic80211Mac
+from repro.mac.scheme1 import Scheme1Mac
+from repro.mac.scheme2 import Scheme2Mac
+from repro.mobility.placement import grid_positions, line_positions, uniform_positions
+from repro.mobility.static import StaticMobility
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net.aodv.protocol import AodvProtocol
+from repro.net.static_routing import StaticRouting
+from repro.phy.propagation import (
+    FreeSpace,
+    LogDistanceShadowing,
+    model_from_config,
+)
+from repro.registry import REQUIRED, Param, registry
+from repro.traffic.cbr import CbrSource
+from repro.traffic.poisson import PoissonSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+
+_mac = registry("mac")
+_placement = registry("placement")
+_mobility = registry("mobility")
+_routing = registry("routing")
+_traffic = registry("traffic")
+_propagation = registry("propagation")
+
+
+# ---------------------------------------------------------------------------
+# MAC
+# ---------------------------------------------------------------------------
+
+
+def _single_channel_mac(cls):
+    """Factory-of-factories for the three single-channel MAC protocols."""
+
+    def factory(ctx: BuildContext):
+        def make(node_id: int, mobility, radio):
+            return cls(
+                ctx.sim,
+                node_id,
+                radio,
+                ctx.data_channel,
+                mac_cfg=ctx.cfg.mac,
+                phy_cfg=ctx.cfg.phy,
+                power_cfg=ctx.cfg.power,
+                rng=ctx.rngs.stream(f"mac.{node_id}"),
+                tracer=ctx.tracer,
+            )
+
+        return make
+
+    return factory
+
+
+_mac.register(
+    "basic",
+    doc="IEEE 802.11 DCF at maximum power (the paper's baseline)",
+    meta={"cls": Basic80211Mac},
+)(_single_channel_mac(Basic80211Mac))
+
+_mac.register(
+    "scheme1",
+    doc="RTS/CTS at maximum power, DATA/ACK at minimum needed power",
+    meta={"cls": Scheme1Mac},
+)(_single_channel_mac(Scheme1Mac))
+
+_mac.register(
+    "scheme2",
+    doc="every frame at minimum needed power (asymmetric-link prone)",
+    meta={"cls": Scheme2Mac},
+)(_single_channel_mac(Scheme2Mac))
+
+
+@_mac.register(
+    "pcmac",
+    doc="the paper's PCMAC: power control channel + three-way handshake",
+    meta={"cls": PcmacMac, "control_channel": True},
+)
+def _pcmac(ctx: BuildContext):
+    def make(node_id: int, mobility, radio):
+        assert ctx.control_channel is not None
+        control_radio = ctx.make_radio(node_id, mobility, "control")
+        ctx.control_channel.attach(control_radio)
+        return PcmacMac(
+            ctx.sim,
+            node_id,
+            radio,
+            ctx.data_channel,
+            control_radio=control_radio,
+            control_channel=ctx.control_channel,
+            mac_cfg=ctx.cfg.mac,
+            phy_cfg=ctx.cfg.phy,
+            power_cfg=ctx.cfg.power,
+            pcmac_cfg=ctx.cfg.pcmac,
+            rng=ctx.rngs.stream(f"mac.{node_id}"),
+            tracer=ctx.tracer,
+        )
+
+    return make
+
+
+# ---------------------------------------------------------------------------
+# Placement
+# ---------------------------------------------------------------------------
+
+
+@_placement.register(
+    "uniform", doc="uniform random over the field (paper Section IV)"
+)
+def _uniform(ctx: BuildContext):
+    return uniform_positions(
+        ctx.rngs.stream("placement"),
+        ctx.cfg.node_count,
+        ctx.cfg.mobility.field_width_m,
+        ctx.cfg.mobility.field_height_m,
+    )
+
+
+@_placement.register("grid", doc="near-square grid covering the field")
+def _grid(ctx: BuildContext):
+    return grid_positions(
+        ctx.cfg.node_count,
+        ctx.cfg.mobility.field_width_m,
+        ctx.cfg.mobility.field_height_m,
+    )
+
+
+@_placement.register(
+    "line",
+    params=(Param("spacing_m", float, 200.0), Param("y_m", float, 0.0)),
+    doc="horizontal chain with fixed spacing (paper Figure 1 geometry)",
+)
+def _line(ctx: BuildContext, spacing_m: float, y_m: float):
+    return line_positions(ctx.cfg.node_count, spacing_m, y_m)
+
+
+@_placement.register(
+    "cluster",
+    params=(Param("clusters", int, 4), Param("spread_m", float, 80.0)),
+    doc="gaussian blobs around uniformly drawn cluster centres",
+)
+def _cluster(ctx: BuildContext, clusters: int, spread_m: float):
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters!r}")
+    if spread_m < 0:
+        raise ValueError(f"spread_m must be non-negative, got {spread_m!r}")
+    rng = ctx.rngs.stream("placement")
+    width = ctx.cfg.mobility.field_width_m
+    height = ctx.cfg.mobility.field_height_m
+    centres = [
+        (float(rng.uniform(0.0, width)), float(rng.uniform(0.0, height)))
+        for _ in range(clusters)
+    ]
+    positions = []
+    for i in range(ctx.cfg.node_count):
+        cx, cy = centres[i % clusters]
+        x = min(max(cx + float(rng.normal(0.0, spread_m)), 0.0), width)
+        y = min(max(cy + float(rng.normal(0.0, spread_m)), 0.0), height)
+        positions.append((x, y))
+    return positions
+
+
+@_placement.register(
+    "explicit",
+    params=(Param("positions", (list, tuple), REQUIRED),),
+    doc="caller-specified (x, y) positions (controlled geometries)",
+)
+def _explicit(ctx: BuildContext, positions):
+    if len(positions) != ctx.cfg.node_count:
+        raise ValueError(
+            f"got {len(positions)} positions for {ctx.cfg.node_count} nodes"
+        )
+    return [(float(x), float(y)) for x, y in positions]
+
+
+# ---------------------------------------------------------------------------
+# Mobility
+# ---------------------------------------------------------------------------
+
+
+@_mobility.register(
+    "waypoint",
+    doc="random waypoint from cfg.mobility (static when speed is 0)",
+    meta={"immobile": False},
+)
+def _waypoint(ctx: BuildContext):
+    cfg = ctx.cfg
+    if cfg.mobility.speed_mps <= 0:
+        # Degenerate speed: identical to static nodes (and lets the channel
+        # pin its spatial index), matching the historical builder.
+        return MobilityPlan(0.0, lambda i, pos: StaticMobility(pos))
+    return MobilityPlan(
+        cfg.mobility.speed_mps,
+        lambda i, pos: RandomWaypoint(
+            ctx.rngs.stream(f"mobility.{i}"), cfg.mobility, pos
+        ),
+    )
+
+
+@_mobility.register(
+    "static", doc="immobile nodes (controlled MAC-level topologies)",
+    meta={"immobile": True},
+)
+def _static(ctx: BuildContext):
+    return MobilityPlan(0.0, lambda i, pos: StaticMobility(pos))
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+
+@_routing.register("aodv", doc="AODV route discovery (paper Section IV)")
+def _aodv(ctx: BuildContext):
+    return lambda node_id: AodvProtocol(ctx.cfg.aodv)
+
+
+@_routing.register(
+    "static",
+    doc="precomputed shortest paths over max-power links (immobile only)",
+    meta={"requires_immobile": True},
+)
+def _static_routing(ctx: BuildContext):
+    comm_range = ctx.propagation.range_for(
+        ctx.cfg.phy.max_power_w, ctx.cfg.phy.rx_threshold_w
+    )
+    table = StaticRouting.from_positions(
+        dict(enumerate(ctx.positions)), comm_range
+    )
+    return lambda node_id: table.view()
+
+
+# ---------------------------------------------------------------------------
+# Traffic
+# ---------------------------------------------------------------------------
+
+
+@_traffic.register(
+    "cbr", doc="constant-bit-rate UDP flows (paper: 512 B packets)"
+)
+def _cbr(ctx: BuildContext, nodes: "list[Node]", pairs):
+    cfg = ctx.cfg
+    interval = cfg.traffic.packet_size_bytes * 8.0 / (
+        cfg.traffic.offered_load_bps / len(pairs)
+    )
+    return [
+        CbrSource(
+            nodes[src],
+            flow_id=k,
+            dst=dst,
+            interval_s=interval,
+            size_bytes=cfg.traffic.packet_size_bytes,
+            start_s=cfg.traffic.start_time_s + k * cfg.traffic.start_stagger_s,
+        )
+        for k, (src, dst) in enumerate(pairs)
+    ]
+
+
+@_traffic.register(
+    "poisson",
+    doc="exponential inter-arrivals at the same mean rate as cbr",
+)
+def _poisson(ctx: BuildContext, nodes: "list[Node]", pairs):
+    cfg = ctx.cfg
+    mean_interval = cfg.traffic.packet_size_bytes * 8.0 / (
+        cfg.traffic.offered_load_bps / len(pairs)
+    )
+    return [
+        PoissonSource(
+            nodes[src],
+            flow_id=k,
+            dst=dst,
+            mean_interval_s=mean_interval,
+            size_bytes=cfg.traffic.packet_size_bytes,
+            start_s=cfg.traffic.start_time_s + k * cfg.traffic.start_stagger_s,
+            rng=ctx.rngs.stream(f"traffic.{k}"),
+        )
+        for k, (src, dst) in enumerate(pairs)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Propagation
+# ---------------------------------------------------------------------------
+
+_PROP_OVERRIDES = (
+    Param("frequency_hz", float, None),
+    Param("gain_tx", float, None),
+    Param("gain_rx", float, None),
+    Param("system_loss", float, None),
+)
+
+
+def _phy_default(value, fallback):
+    return fallback if value is None else value
+
+
+@_propagation.register(
+    "two_ray",
+    params=_PROP_OVERRIDES
+    + (Param("height_tx_m", float, None), Param("height_rx_m", float, None)),
+    doc="NS-2 two-ray ground (paper); unset params come from cfg.phy",
+)
+def _two_ray(ctx: BuildContext, **overrides):
+    # Reuse the canonical PhyConfig → TwoRayGround mapping; the component's
+    # param names deliberately equal the model's field names, so explicit
+    # params drop onto the paper model with dataclasses.replace.
+    given = {k: v for k, v in overrides.items() if v is not None}
+    model = model_from_config(ctx.cfg.phy)
+    return dataclasses.replace(model, **given) if given else model
+
+
+@_propagation.register(
+    "free_space",
+    params=_PROP_OVERRIDES,
+    doc="Friis free-space (1/d²); unset params come from cfg.phy",
+)
+def _free_space(ctx: BuildContext, frequency_hz, gain_tx, gain_rx, system_loss):
+    phy = ctx.cfg.phy
+    return FreeSpace(
+        frequency_hz=_phy_default(frequency_hz, phy.frequency_hz),
+        gain_tx=_phy_default(gain_tx, phy.antenna_gain_tx),
+        gain_rx=_phy_default(gain_rx, phy.antenna_gain_rx),
+        system_loss=_phy_default(system_loss, phy.system_loss),
+    )
+
+
+@_propagation.register(
+    "log_distance",
+    params=_PROP_OVERRIDES
+    + (
+        Param("exponent", float, 2.7),
+        Param("reference_m", float, 1.0),
+        Param("shadowing_db", float, 0.0),
+    ),
+    doc="log-distance path loss for robustness studies (exponent, shadowing)",
+)
+def _log_distance(
+    ctx: BuildContext,
+    frequency_hz,
+    gain_tx,
+    gain_rx,
+    system_loss,
+    exponent,
+    reference_m,
+    shadowing_db,
+):
+    phy = ctx.cfg.phy
+    return LogDistanceShadowing(
+        frequency_hz=_phy_default(frequency_hz, phy.frequency_hz),
+        exponent=exponent,
+        reference_m=reference_m,
+        shadowing_db=shadowing_db,
+        gain_tx=_phy_default(gain_tx, phy.antenna_gain_tx),
+        gain_rx=_phy_default(gain_rx, phy.antenna_gain_rx),
+        system_loss=_phy_default(system_loss, phy.system_loss),
+    )

@@ -1,6 +1,9 @@
 """Experiment harness: scenario construction, sweeps and figure replication.
 
-``build_network`` assembles the full stack for one scenario; ``run_load_sweep``
+Scenario construction is declarative — a
+:class:`~repro.scenariospec.ScenarioSpec` built by
+:class:`~repro.builder.NetworkBuilder`; the historical ``build_network``
+keyword API remains as a compatibility shim.  ``run_load_sweep``
 replicates the paper's offered-load sweep over the four MAC protocols;
 :mod:`repro.experiments.figure8` / :mod:`repro.experiments.figure9` regenerate
 the paper's two evaluation figures; :mod:`repro.experiments.ranges`

@@ -27,6 +27,7 @@ from repro.campaign.spec import RunSpec
 from repro.campaign.store import ResultStore
 from repro.config import ScenarioConfig
 from repro.experiments.scenario import ExperimentResult
+from repro.scenariospec import ComponentSpec, ScenarioSpec
 
 
 def _run_keyed(
@@ -52,10 +53,12 @@ def run_margin_ablation(
         (
             coeff,
             RunSpec(
-                cfg=replace(
-                    base, pcmac=replace(base.pcmac, margin_coefficient=coeff)
-                ),
-                protocol="pcmac",
+                scenario=ScenarioSpec(
+                    cfg=replace(
+                        base, pcmac=replace(base.pcmac, margin_coefficient=coeff)
+                    ),
+                    mac="pcmac",
+                )
             ),
         )
         for coeff in coefficients
@@ -75,11 +78,13 @@ def run_control_rate_ablation(
         (
             rate,
             RunSpec(
-                cfg=replace(
-                    base,
-                    pcmac=replace(base.pcmac, control_rate_bps=rate * 1000.0),
-                ),
-                protocol="pcmac",
+                scenario=ScenarioSpec(
+                    cfg=replace(
+                        base,
+                        pcmac=replace(base.pcmac, control_rate_bps=rate * 1000.0),
+                    ),
+                    mac="pcmac",
+                )
             ),
         )
         for rate in rates_kbps
@@ -95,14 +100,16 @@ def run_handshake_ablation(
 ) -> dict[str, ExperimentResult]:
     """PCMAC with three-way vs four-way DATA handshake."""
     keyed = [
-        ("three_way", RunSpec(cfg=base, protocol="pcmac")),
+        ("three_way", RunSpec(scenario=ScenarioSpec(cfg=base, mac="pcmac"))),
         (
             "four_way",
             RunSpec(
-                cfg=replace(
-                    base, pcmac=replace(base.pcmac, three_way_data=False)
-                ),
-                protocol="pcmac",
+                scenario=ScenarioSpec(
+                    cfg=replace(
+                        base, pcmac=replace(base.pcmac, three_way_data=False)
+                    ),
+                    mac="pcmac",
+                )
             ),
         ),
     ]
@@ -125,18 +132,20 @@ def run_propagation_ablation(
     (thresholds are unchanged), so absolute throughput drops with the
     exponent; the claim under test is only the protocol *ordering*.
     """
-    from repro.phy.propagation import LogDistanceShadowing
-
     keyed = []
     for exponent in exponents:
-        model = LogDistanceShadowing(
-            frequency_hz=base.phy.frequency_hz, exponent=exponent
+        model = ComponentSpec(
+            "log_distance", frequency_hz=base.phy.frequency_hz, exponent=exponent
         )
         for protocol in protocols:
             keyed.append(
                 (
                     (protocol, exponent),
-                    RunSpec(cfg=base, protocol=protocol, propagation=model),
+                    RunSpec(
+                        scenario=ScenarioSpec(
+                            cfg=base, mac=protocol, propagation=model
+                        )
+                    ),
                 )
             )
     return _run_keyed(keyed, jobs=jobs, store=store)
@@ -154,10 +163,12 @@ def run_history_expiry_ablation(
         (
             expiry,
             RunSpec(
-                cfg=replace(
-                    base, power=replace(base.power, history_expiry_s=expiry)
-                ),
-                protocol="pcmac",
+                scenario=ScenarioSpec(
+                    cfg=replace(
+                        base, power=replace(base.power, history_expiry_s=expiry)
+                    ),
+                    mac="pcmac",
+                )
             ),
         )
         for expiry in expiries_s

@@ -25,6 +25,7 @@ from repro.campaign.spec import RunSpec
 from repro.campaign.store import ResultStore
 from repro.config import MobilityConfig, ScenarioConfig, TrafficConfig
 from repro.metrics.fairness import jain_index
+from repro.scenariospec import ComponentSpec, ScenarioSpec
 
 #: A→B link length [m]; ~15 mW, sensing radius ≈ 264 m.
 SHORT_LINK_M = 100.0
@@ -67,12 +68,14 @@ def fairness_spec(
         mobility=MobilityConfig(speed_mps=0.0),
     )
     return RunSpec(
-        cfg=cfg,
-        protocol=protocol,
-        positions=positions,
-        mobile=False,
-        routing="static",
-        flow_pairs=((0, 1), (2, 3)),
+        scenario=ScenarioSpec(
+            cfg=cfg,
+            mac=protocol,
+            placement=ComponentSpec("explicit", positions=positions),
+            mobility="static",
+            routing="static",
+            flow_pairs=((0, 1), (2, 3)),
+        )
     )
 
 

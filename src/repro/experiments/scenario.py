@@ -1,48 +1,75 @@
-"""Scenario construction: from a :class:`~repro.config.ScenarioConfig` to a
-runnable network, and from a finished run to an :class:`ExperimentResult`.
+"""Experiment results and the legacy scenario-construction surface.
 
-The builder reproduces the paper's Section IV environment: 50 nodes placed
-uniformly in 1000 m × 1000 m, random waypoint mobility (3 m/s, 3 s pause),
-AODV routing, 10 CBR flows of 512-byte packets, one of four MAC protocols.
-Controlled experiments can override placement (explicit positions), freeze
-mobility, use static routing and/or name explicit flow pairs.
+Scenario *construction* now lives in :class:`~repro.builder.NetworkBuilder`,
+driven by a declarative :class:`~repro.scenariospec.ScenarioSpec` whose
+slots (mac / placement / mobility / routing / traffic / propagation) resolve
+against :mod:`repro.registry`.  This module keeps:
+
+* :class:`ExperimentResult` / :class:`FlowSummary` — the summary of one run;
+* :class:`BuiltNetwork` — a fully wired scenario, ready to run;
+* :func:`build_network` — the historical keyword API, now a thin
+  compatibility shim that translates its arguments into a ``ScenarioSpec``
+  and delegates to the builder (bit-identical results, enforced by
+  ``tests/test_builder_compat.py``);
+* :data:`MAC_REGISTRY` — the historical name → MAC-class mapping, derived
+  from the ``mac`` component registry.
+
+Migration: replace ``build_network(cfg, protocol, positions=..., ...)`` with
+``ScenarioSpec(cfg=cfg, mac=protocol, placement=ComponentSpec("explicit",
+positions=...), ...).build()`` — see the README's Architecture section.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.config import ScenarioConfig
-from repro.core.pcmac import PcmacMac
-from repro.mac.basic import Basic80211Mac
-from repro.mac.scheme1 import Scheme1Mac
-from repro.mac.scheme2 import Scheme2Mac
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.fairness import jain_index
-from repro.mobility.placement import uniform_positions
-from repro.mobility.static import StaticMobility
-from repro.mobility.waypoint import RandomWaypoint
-from repro.net.aodv.protocol import AodvProtocol
 from repro.net.node import Node
-from repro.net.static_routing import StaticRouting
 from repro.phy.channel import Channel
-from repro.phy.noise import ConstantNoise
-from repro.phy.propagation import model_from_config
-from repro.phy.radio import Radio
+from repro.registry import registry
+from repro.scenariospec import ScenarioSpec
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import NULL_TRACER, Tracer
-from repro.traffic.cbr import CbrSource
+from repro.sim.trace import Tracer
 
-#: MAC protocol name → class, in the order the paper's figures list them.
-MAC_REGISTRY = {
-    "basic": Basic80211Mac,
-    "pcmac": PcmacMac,
-    "scheme1": Scheme1Mac,
-    "scheme2": Scheme2Mac,
-}
+
+class _MacRegistryView(Mapping):
+    """Live name → MAC-class mapping over the ``mac`` component registry.
+
+    Reads the registry on every access (not a snapshot), so protocols
+    registered after import genuinely appear here.  Entries without a
+    ``cls`` meta key (MACs built by composition rather than one class)
+    are omitted.
+    """
+
+    def _table(self) -> dict[str, type]:
+        return {
+            entry.name: entry.meta["cls"]
+            for entry in registry("mac").entries()
+            if "cls" in entry.meta
+        }
+
+    def __getitem__(self, name: str) -> type:
+        return self._table()[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._table())
+
+    def __len__(self) -> int:
+        return len(self._table())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"MAC_REGISTRY({self._table()!r})"
+
+
+#: MAC protocol name → class (compatibility view; the ``mac`` component
+#: registry is the source of truth — new protocols registered there appear
+#: here automatically).
+MAC_REGISTRY: Mapping = _MacRegistryView()
 
 
 @dataclass(frozen=True)
@@ -101,13 +128,16 @@ class BuiltNetwork:
     protocol: str
     nodes: list[Node]
     metrics: MetricsCollector
-    sources: list[CbrSource]
+    sources: list
     flow_pairs: list[tuple[int, int]]
     tracer: Tracer
     data_channel: Channel
     control_channel: Channel | None
     rngs: RngRegistry
     extras: dict = field(default_factory=dict)
+    #: The declarative spec this network was built from (None only for
+    #: callers that assemble a BuiltNetwork by hand).
+    spec: ScenarioSpec | None = None
 
     def run(self, *, measure_from: float | None = None) -> ExperimentResult:
         """Execute to ``cfg.duration_s`` and summarise.
@@ -164,27 +194,6 @@ class BuiltNetwork:
         return self.nodes[node_id]
 
 
-def _pick_flow_pairs(
-    rngs: RngRegistry, node_count: int, flow_count: int
-) -> list[tuple[int, int]]:
-    """Random distinct (src, dst) pairs, src ≠ dst, no repeated pair."""
-    rng = rngs.stream("flows")
-    pairs: list[tuple[int, int]] = []
-    seen: set[tuple[int, int]] = set()
-    guard = 0
-    while len(pairs) < flow_count:
-        src = int(rng.integers(0, node_count))
-        dst = int(rng.integers(0, node_count))
-        guard += 1
-        if guard > 100 * flow_count:
-            raise RuntimeError("could not find enough distinct flow pairs")
-        if src == dst or (src, dst) in seen:
-            continue
-        seen.add((src, dst))
-        pairs.append((src, dst))
-    return pairs
-
-
 def build_network(
     cfg: ScenarioConfig,
     protocol: str,
@@ -199,190 +208,38 @@ def build_network(
 ) -> BuiltNetwork:
     """Wire a complete network for one protocol under one scenario config.
 
+    Compatibility shim: the keyword surface maps onto a
+    :class:`~repro.scenariospec.ScenarioSpec`
+    (via :meth:`ScenarioSpec.from_legacy`) which a
+    :class:`~repro.builder.NetworkBuilder` then wires — new code should
+    construct the spec directly.
+
     Args:
         cfg: scenario parameters (defaults = the paper's Section IV).
-        protocol: one of :data:`MAC_REGISTRY` — "basic", "pcmac",
+        protocol: a registered ``mac`` component — "basic", "pcmac",
             "scheme1", "scheme2".
-        positions: explicit initial positions; default uniform random.
+        positions: explicit initial positions (the ``explicit`` placement
+            component); default uniform random.
         mobile: random waypoint motion when True, static nodes when False.
         routing: "aodv" (paper) or "static" (precomputed shortest paths;
             requires ``mobile=False``).
         flow_pairs: explicit (src, dst) flows; default random distinct pairs.
         tracer: optional tracer shared by every layer.
         propagation: optional :class:`~repro.phy.propagation.PropagationModel`
-            override (default: the paper's two-ray ground from ``cfg.phy``).
-            Robustness studies swap in e.g. ``LogDistanceShadowing``; note
-            that the decode/sense threshold *ranges* then differ from the
-            paper's 250 m / 550 m geometry.
-        spatial_index: use the channels' uniform-grid fan-out (default).
-            Set False for the brute-force all-radios scan — the two produce
-            bit-identical event schedules (enforced by the PHY equivalence
-            suite), so this flag only trades build/lookup overhead against
-            per-frame fan-out cost.
+            instance override (mapped onto the matching ``propagation``
+            component; default: the paper's two-ray ground from ``cfg.phy``).
+        spatial_index: use the channels' uniform-grid fan-out (default);
+            runtime-only knob, not part of the scenario's content hash.
     """
-    if protocol not in MAC_REGISTRY:
-        raise ValueError(
-            f"unknown protocol {protocol!r}; choose from {sorted(MAC_REGISTRY)}"
-        )
-    if routing not in ("aodv", "static"):
-        raise ValueError(f"unknown routing {routing!r}")
-    if routing == "static" and mobile:
-        raise ValueError("static routing requires mobile=False")
+    from repro.builder import NetworkBuilder
 
-    tracer = tracer or NULL_TRACER
-    sim = Simulator()
-    rngs = RngRegistry(cfg.seed)
-    if propagation is None:
-        propagation = model_from_config(cfg.phy)
-    noise = ConstantNoise(cfg.phy.noise_floor_w)
-
-    moving = mobile and cfg.mobility.speed_mps > 0
-    channel_kwargs = dict(
-        interference_floor_w=cfg.phy.interference_floor_w,
-        model_propagation_delay=cfg.phy.model_propagation_delay,
-        spatial_index=spatial_index,
-        max_tx_power_w=cfg.phy.max_power_w,
-        max_speed_mps=cfg.mobility.speed_mps if moving else 0.0,
+    spec = ScenarioSpec.from_legacy(
+        cfg,
+        protocol,
+        positions=positions,
+        mobile=mobile,
+        routing=routing,
+        flow_pairs=flow_pairs,
+        propagation=propagation,
     )
-    data_channel = Channel(sim, propagation, name="data", **channel_kwargs)
-    control_channel: Channel | None = None
-    if protocol == "pcmac":
-        control_channel = Channel(sim, propagation, name="control", **channel_kwargs)
-
-    if positions is None:
-        positions = uniform_positions(
-            rngs.stream("placement"),
-            cfg.node_count,
-            cfg.mobility.field_width_m,
-            cfg.mobility.field_height_m,
-        )
-    elif len(positions) != cfg.node_count:
-        raise ValueError(
-            f"got {len(positions)} positions for {cfg.node_count} nodes"
-        )
-
-    static_router: StaticRouting | None = None
-    if routing == "static":
-        comm_range = propagation.range_for(cfg.phy.max_power_w, cfg.phy.rx_threshold_w)
-        static_router = StaticRouting.from_positions(
-            dict(enumerate(positions)), comm_range
-        )
-
-    metrics = MetricsCollector()
-    metrics.measure_start_s = cfg.traffic.start_time_s
-    nodes: list[Node] = []
-    mac_cls = MAC_REGISTRY[protocol]
-
-    for i in range(cfg.node_count):
-        if moving:
-            mobility = RandomWaypoint(
-                rngs.stream(f"mobility.{i}"), cfg.mobility, positions[i]
-            )
-        else:
-            mobility = StaticMobility(positions[i])
-
-        radio = Radio(
-            sim,
-            i,
-            mobility=mobility,
-            rx_threshold_w=cfg.phy.rx_threshold_w,
-            cs_threshold_w=cfg.phy.cs_threshold_w,
-            capture_threshold=cfg.phy.capture_threshold,
-            noise=noise,
-            tracer=tracer,
-            channel_name="data",
-        )
-        data_channel.attach(radio)
-
-        if protocol == "pcmac":
-            assert control_channel is not None
-            control_radio = Radio(
-                sim,
-                i,
-                mobility=mobility,
-                rx_threshold_w=cfg.phy.rx_threshold_w,
-                cs_threshold_w=cfg.phy.cs_threshold_w,
-                capture_threshold=cfg.phy.capture_threshold,
-                noise=noise,
-                tracer=tracer,
-                channel_name="control",
-            )
-            control_channel.attach(control_radio)
-            mac = PcmacMac(
-                sim,
-                i,
-                radio,
-                data_channel,
-                control_radio=control_radio,
-                control_channel=control_channel,
-                mac_cfg=cfg.mac,
-                phy_cfg=cfg.phy,
-                power_cfg=cfg.power,
-                pcmac_cfg=cfg.pcmac,
-                rng=rngs.stream(f"mac.{i}"),
-                tracer=tracer,
-            )
-        else:
-            mac = mac_cls(
-                sim,
-                i,
-                radio,
-                data_channel,
-                mac_cfg=cfg.mac,
-                phy_cfg=cfg.phy,
-                power_cfg=cfg.power,
-                rng=rngs.stream(f"mac.{i}"),
-                tracer=tracer,
-            )
-
-        if routing == "aodv":
-            router = AodvProtocol(cfg.aodv)
-        else:
-            assert static_router is not None
-            router = static_router.view()
-        node = Node(
-            sim,
-            i,
-            mobility=mobility,
-            mac=mac,
-            routing=router,
-            metrics=metrics,
-            rngs=rngs,
-            tracer=tracer,
-        )
-        nodes.append(node)
-
-    pairs = (
-        list(flow_pairs)
-        if flow_pairs is not None
-        else _pick_flow_pairs(rngs, cfg.node_count, cfg.traffic.flow_count)
-    )
-    sources: list[CbrSource] = []
-    interval = cfg.traffic.packet_size_bytes * 8.0 / (
-        cfg.traffic.offered_load_bps / len(pairs)
-    )
-    for k, (src, dst) in enumerate(pairs):
-        sources.append(
-            CbrSource(
-                nodes[src],
-                flow_id=k,
-                dst=dst,
-                interval_s=interval,
-                size_bytes=cfg.traffic.packet_size_bytes,
-                start_s=cfg.traffic.start_time_s + k * cfg.traffic.start_stagger_s,
-            )
-        )
-
-    return BuiltNetwork(
-        sim=sim,
-        cfg=cfg,
-        protocol=protocol,
-        nodes=nodes,
-        metrics=metrics,
-        sources=sources,
-        flow_pairs=pairs,
-        tracer=tracer,
-        data_channel=data_channel,
-        control_channel=control_channel,
-        rngs=rngs,
-    )
+    return NetworkBuilder(spec, tracer=tracer, spatial_index=spatial_index).build()

@@ -8,7 +8,7 @@ import pytest
 
 from repro.campaign.spec import Campaign, RunSpec
 from repro.config import ScenarioConfig, TrafficConfig
-from repro.phy.propagation import LogDistanceShadowing
+from repro.scenariospec import ComponentSpec, ScenarioSpec
 
 
 def small_cfg(**overrides) -> ScenarioConfig:
@@ -38,10 +38,21 @@ class TestRunSpecKey:
         assert len(spec.key()) == 32
         assert all(c in "0123456789abcdef" for c in spec.key())
 
+    def test_key_is_the_scenario_key(self):
+        # RunSpec content-hashes the serialized ScenarioSpec: the same
+        # scenario reached through the legacy keywords and through the
+        # declarative API addresses the same stored result.
+        legacy = RunSpec(cfg=small_cfg(), protocol="pcmac")
+        declarative = RunSpec(
+            scenario=ScenarioSpec(cfg=small_cfg(), mac="pcmac")
+        )
+        assert legacy.key() == declarative.key()
+        assert legacy.key() == legacy.scenario.key()
+
     @pytest.mark.parametrize(
         "mutate",
         [
-            lambda s: replace(s, protocol="pcmac"),
+            lambda s: replace(s, mac=ComponentSpec("pcmac")),
             lambda s: replace(s, cfg=replace(s.cfg, seed=99)),
             lambda s: replace(s, cfg=replace(s.cfg, duration_s=5.0)),
             lambda s: replace(
@@ -50,21 +61,51 @@ class TestRunSpecKey:
                     s.cfg, traffic=replace(s.cfg.traffic, offered_load_bps=90e3)
                 ),
             ),
-            lambda s: replace(s, mobile=False, routing="static"),
+            lambda s: replace(
+                s, mobility=ComponentSpec("static"), routing=ComponentSpec("static")
+            ),
             lambda s: replace(s, flow_pairs=((0, 1),)),
-            lambda s: replace(s, positions=((0.0, 0.0),) * 6),
-            lambda s: replace(s, propagation=LogDistanceShadowing(exponent=3.0)),
+            lambda s: replace(
+                s,
+                placement=ComponentSpec("explicit", positions=((0.0, 0.0),) * 6),
+            ),
+            lambda s: replace(
+                s, propagation=ComponentSpec("log_distance", exponent=3.0)
+            ),
+            lambda s: replace(s, placement=ComponentSpec("grid")),
+            lambda s: replace(s, traffic=ComponentSpec("poisson")),
         ],
     )
     def test_any_field_change_changes_key(self, mutate):
-        base = RunSpec(cfg=small_cfg(), protocol="basic")
-        assert mutate(base).key() != base.key()
+        base = ScenarioSpec(cfg=small_cfg(), mac="basic")
+        assert RunSpec(scenario=mutate(base)).key() != RunSpec(scenario=base).key()
+
+    def test_component_param_change_changes_key(self):
+        a = ScenarioSpec(
+            cfg=small_cfg(), placement=ComponentSpec("cluster", clusters=2)
+        )
+        b = ScenarioSpec(
+            cfg=small_cfg(), placement=ComponentSpec("cluster", clusters=3)
+        )
+        assert a.key() != b.key()
+
+    def test_rejects_mixed_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            RunSpec(
+                cfg=small_cfg(),
+                protocol="basic",
+                scenario=ScenarioSpec(cfg=small_cfg()),
+            )
+        with pytest.raises(ValueError):
+            RunSpec(cfg=small_cfg())  # legacy form needs a protocol too
 
     def test_seed_and_load_accessors(self):
         spec = RunSpec(cfg=small_cfg(seed=7), protocol="basic")
         assert spec.seed == 7
         assert spec.load_kbps == pytest.approx(80.0)
         assert "basic" in spec.label()
+        assert spec.protocol == "basic"
+        assert spec.cfg == small_cfg(seed=7)
 
     def test_spec_runs_like_build_network(self):
         from repro.experiments.scenario import build_network

@@ -82,6 +82,21 @@ class TestResultStore:
         assert second.get(spec.key()) == result
         assert second.spec_summary(spec.key())["protocol"] == "basic"
 
+    def test_audit_record_carries_rerunnable_scenario(self, tmp_path):
+        """The stored spec summary embeds the full serialized ScenarioSpec,
+        so a store entry can be re-expanded into the exact cell that ran."""
+        from repro.scenariospec import ScenarioSpec
+
+        store = ResultStore(tmp_path / "store")
+        spec, result = make_spec(), make_result()
+        key = store.put(spec, result)
+
+        reloaded = ResultStore(tmp_path / "store")
+        scenario_dict = reloaded.spec_summary(key)["scenario"]
+        rebuilt = ScenarioSpec.from_dict(scenario_dict)
+        assert rebuilt == spec.scenario
+        assert rebuilt.key() == key
+
     def test_missing_key_returns_none(self, tmp_path):
         store = ResultStore(tmp_path / "store")
         assert store.get("deadbeef") is None

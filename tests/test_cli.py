@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
 
 from repro.cli import main
+
+EXAMPLE_SPEC = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "examples"
+    / "grid_poisson.spec.json"
+)
 
 
 class TestCli:
@@ -41,3 +49,70 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+#: Golden registry contents: ``repro list`` must show exactly these
+#: components per slot.  A failure here means a component was added
+#: (extend the table) or silently disappeared (a regression).
+GOLDEN_COMPONENTS = {
+    "mac": ["basic", "pcmac", "scheme1", "scheme2"],
+    "placement": ["cluster", "explicit", "grid", "line", "uniform"],
+    "mobility": ["static", "waypoint"],
+    "routing": ["aodv", "static"],
+    "traffic": ["cbr", "poisson"],
+    "propagation": ["free_space", "log_distance", "two_ray"],
+}
+
+
+class TestListCommand:
+    def parse(self, out: str) -> dict[str, list[str]]:
+        slots: dict[str, list[str]] = {}
+        current = None
+        for line in out.splitlines():
+            if line.endswith(":") and not line.startswith(" "):
+                current = line[:-1]
+                slots[current] = []
+            elif line.startswith("  ") and current and "params:" not in line:
+                slots[current].append(line.split()[0])
+        return slots
+
+    def test_golden_registry_listing(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert self.parse(out) == GOLDEN_COMPONENTS
+
+    def test_param_schemas_shown(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "clusters:int=4" in out
+        assert "exponent:float=2.7" in out
+
+
+class TestScenarioFile:
+    def test_quick_runs_checked_in_spec(self, capsys):
+        """A scenario defined purely as data runs end-to-end from a file."""
+        assert main(["quick", "--scenario", str(EXAMPLE_SPEC)]) == 0
+        out = capsys.readouterr().out
+        assert "placement=grid" in out
+        assert "traffic=poisson" in out
+        assert "key: " in out
+        assert "thr=" in out
+
+    def test_quickrun_alias_still_works(self, capsys):
+        code = main([
+            "quickrun", "--protocol", "basic", "--nodes", "6",
+            "--duration", "3", "--load-kbps", "80",
+        ])
+        assert code == 0
+        assert "thr=" in capsys.readouterr().out
+
+    def test_scenario_key_matches_campaign_addressing(self, capsys, tmp_path):
+        """quick --scenario and a RunSpec of the same spec share a key."""
+        from repro.campaign.spec import RunSpec
+        from repro.scenariospec import ScenarioSpec
+
+        spec = ScenarioSpec.load(EXAMPLE_SPEC)
+        main(["quick", "--scenario", str(EXAMPLE_SPEC)])
+        out = capsys.readouterr().out
+        (key_line,) = [ln for ln in out.splitlines() if "key: " in ln]
+        assert key_line.split("key: ")[1].strip() == RunSpec(scenario=spec).key()

@@ -1,0 +1,244 @@
+"""ScenarioSpec tests: JSON round trip, content hashing, legacy mapping."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.config import PhyConfig, ScenarioConfig, TrafficConfig
+from repro.phy.propagation import LogDistanceShadowing, TwoRayGround
+from repro.scenariospec import (
+    ComponentSpec,
+    ScenarioSpec,
+    config_from_dict,
+    config_to_dict,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def sample_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        cfg=ScenarioConfig(
+            node_count=9,
+            duration_s=6.0,
+            seed=5,
+            traffic=TrafficConfig(flow_count=3, offered_load_bps=120e3),
+        ),
+        mac="pcmac",
+        placement=ComponentSpec("cluster", clusters=3, spread_m=60.0),
+        mobility="static",
+        traffic=ComponentSpec("poisson"),
+        flow_pairs=((0, 4), (2, 7), (8, 1)),
+    )
+
+
+class TestComponentSpec:
+    def test_params_sorted_and_frozen(self):
+        a = ComponentSpec("cluster", spread_m=60.0, clusters=3)
+        b = ComponentSpec("cluster", clusters=3, spread_m=60.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.params == (("clusters", 3), ("spread_m", 60.0))
+
+    def test_sequences_become_tuples(self):
+        spec = ComponentSpec("explicit", positions=[[0.0, 1.0], [2.0, 3.0]])
+        assert spec.params_dict["positions"] == ((0.0, 1.0), (2.0, 3.0))
+        assert hash(spec)  # fully hashable
+
+    def test_dict_params_rejected(self):
+        with pytest.raises(TypeError):
+            ComponentSpec("bad", table={"a": 1})
+
+    def test_bare_string_from_dict(self):
+        assert ComponentSpec.from_dict("grid") == ComponentSpec("grid")
+
+    def test_str_rendering(self):
+        assert str(ComponentSpec("grid")) == "grid"
+        assert str(ComponentSpec("cluster", clusters=2)) == "cluster(clusters=2)"
+
+
+class TestConfigRoundTrip:
+    def test_full_round_trip(self):
+        cfg = ScenarioConfig(
+            node_count=12,
+            phy=PhyConfig(capture_threshold=12.0),
+            traffic=TrafficConfig(flow_count=4),
+        )
+        assert config_from_dict(ScenarioConfig, config_to_dict(cfg)) == cfg
+
+    def test_sparse_dict_keeps_defaults(self):
+        cfg = config_from_dict(
+            ScenarioConfig, {"node_count": 7, "traffic": {"flow_count": 2}}
+        )
+        assert cfg.node_count == 7
+        assert cfg.traffic.flow_count == 2
+        assert cfg.duration_s == ScenarioConfig().duration_s
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="node_countz"):
+            config_from_dict(ScenarioConfig, {"node_countz": 7})
+
+    def test_json_lists_become_declared_tuples(self):
+        data = config_to_dict(ScenarioConfig())
+        assert isinstance(data["phy"]["power_levels_w"], list)  # JSON-ready
+        cfg = config_from_dict(ScenarioConfig, data)
+        assert isinstance(cfg.phy.power_levels_w, tuple)
+
+
+class TestScenarioSpecRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = sample_spec()
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_round_trip_through_file(self, tmp_path):
+        spec = sample_spec()
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ScenarioSpec.load(path).key() == spec.key()
+
+    def test_sparse_spec_dict(self):
+        spec = ScenarioSpec.from_dict(
+            {"cfg": {"node_count": 5}, "components": {"placement": "grid"}}
+        )
+        assert spec.cfg.node_count == 5
+        assert spec.placement == ComponentSpec("grid")
+        assert spec.mac == ComponentSpec("basic")  # default slot
+
+    def test_unknown_slot_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            ScenarioSpec.from_dict({"components": {"transport": "udp"}})
+
+    def test_unknown_top_level_field_rejected(self):
+        with pytest.raises(ValueError, match="wibble"):
+            ScenarioSpec.from_dict({"wibble": 1})
+
+    def test_future_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            ScenarioSpec.from_dict({"schema": 99})
+
+    def test_string_slots_coerce(self):
+        spec = ScenarioSpec(mac="pcmac", placement="grid")
+        assert spec.mac == ComponentSpec("pcmac")
+        assert spec.placement == ComponentSpec("grid")
+
+    def test_spec_is_hashable_and_picklable(self):
+        import pickle
+
+        spec = sample_spec()
+        assert hash(spec) == hash(sample_spec())
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_key_stable_across_processes(self):
+        """The content hash must be process-independent (store addressing)."""
+        spec = sample_spec()
+        code = (
+            "import sys, json\n"
+            "from repro.scenariospec import ScenarioSpec\n"
+            "spec = ScenarioSpec.from_json(sys.stdin.read())\n"
+            "print(spec.key())\n"
+        )
+        keys = set()
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                input=spec.to_json(),
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            keys.add(proc.stdout.strip())
+        assert keys == {spec.key()}
+
+    def test_int_and_float_spellings_hash_identically(self):
+        """A hand-written int in spec.json must address the same cached
+        cell as the float-typed spec a Campaign generates."""
+        as_int = ScenarioSpec.from_dict(
+            {"cfg": {"traffic": {"offered_load_bps": 300000}}}
+        )
+        as_float = ScenarioSpec.from_dict(
+            {"cfg": {"traffic": {"offered_load_bps": 300000.0}}}
+        )
+        assert as_int.key() == as_float.key()
+        # Component params too.
+        a = ScenarioSpec(placement=ComponentSpec("line", spacing_m=50))
+        b = ScenarioSpec(placement=ComponentSpec("line", spacing_m=50.0))
+        assert a.key() == b.key()
+
+    def test_to_dict_preserves_exact_numeric_types(self):
+        spec = ScenarioSpec.from_dict({"cfg": {"node_count": 7}})
+        assert spec.to_dict()["cfg"]["node_count"] == 7
+        assert isinstance(spec.to_dict()["cfg"]["node_count"], int)
+        # node_count must stay an int through a round trip (range() etc.).
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert isinstance(again.cfg.node_count, int)
+
+    def test_component_dict_missing_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            ComponentSpec.from_dict({"params": {}})
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec.from_dict({"components": {"mac": {"params": {}}}})
+
+    def test_component_dict_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="parms"):
+            ComponentSpec.from_dict({"name": "cluster", "parms": {"clusters": 8}})
+
+    def test_checked_in_example_spec_parses_and_hashes(self):
+        path = EXAMPLES_DIR / "grid_poisson.spec.json"
+        spec = ScenarioSpec.load(path)
+        # Non-paper placement + traffic, defined purely as data.
+        assert spec.placement.name == "grid"
+        assert spec.traffic.name == "poisson"
+        assert ScenarioSpec.from_json(spec.to_json()).key() == spec.key()
+
+
+class TestLegacyMapping:
+    def test_defaults_map_to_paper_components(self):
+        spec = ScenarioSpec.from_legacy(ScenarioConfig(), "basic")
+        assert spec.mac.name == "basic"
+        assert spec.placement.name == "uniform"
+        assert spec.mobility.name == "waypoint"
+        assert spec.routing.name == "aodv"
+        assert spec.traffic.name == "cbr"
+        assert spec.propagation.name == "two_ray"
+        assert spec.flow_pairs is None
+
+    def test_overrides_map_to_components(self):
+        spec = ScenarioSpec.from_legacy(
+            ScenarioConfig(node_count=2),
+            "pcmac",
+            positions=[(0, 0), (10, 0)],
+            mobile=False,
+            routing="static",
+            flow_pairs=[(0, 1)],
+            propagation=LogDistanceShadowing(exponent=3.0),
+        )
+        assert spec.placement.name == "explicit"
+        assert spec.placement.params_dict["positions"] == ((0.0, 0.0), (10.0, 0.0))
+        assert spec.mobility.name == "static"
+        assert spec.routing.name == "static"
+        assert spec.flow_pairs == ((0, 1),)
+        assert spec.propagation.name == "log_distance"
+        assert spec.propagation.params_dict["exponent"] == 3.0
+
+    def test_propagation_instance_fully_captured(self):
+        model = TwoRayGround(height_tx_m=2.0)
+        spec = ScenarioSpec.from_legacy(ScenarioConfig(), "basic", propagation=model)
+        assert spec.propagation.name == "two_ray"
+        assert spec.propagation.params_dict["height_tx_m"] == 2.0
+
+    def test_unregistered_propagation_type_rejected(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError, match="Weird"):
+            ScenarioSpec.from_legacy(
+                ScenarioConfig(), "basic", propagation=Weird()
+            )
