@@ -2,7 +2,28 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
+
+
+def trace_truncation_note(tracer: Any) -> str | None:
+    """A visible warning block when the tracer dropped records at its cap.
+
+    Returns None for a complete trace.  Callers assembling reports from
+    stored trace records should prepend this so truncated runs can never
+    masquerade as complete ones (counters remain exact either way — only
+    stored records, and analyses over them, are affected).
+    """
+    dropped = getattr(tracer, "dropped", 0)
+    if not dropped:
+        return None
+    cap = getattr(tracer, "max_records", "?")
+    return (
+        f"> **Warning — trace truncated:** {dropped} record"
+        f"{'s' if dropped != 1 else ''} beyond the "
+        f"`max_records={cap}` cap were dropped.  Counters are "
+        "exact, but stored records (and any analysis derived from them, e.g. "
+        "exchange reconstruction) cover only the first part of the run."
+    )
 
 
 def markdown_table(

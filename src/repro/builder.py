@@ -147,6 +147,10 @@ class NetworkBuilder:
             The brute-force scan is event-schedule bit-identical (enforced
             by the PHY equivalence suite); the flag only trades build/lookup
             overhead against per-frame fan-out cost.
+        fused_kernel: use the kernel's fused single-traversal hot loop
+            (default).  ``False`` selects the reference peek-then-pop loop —
+            dispatch is bit-identical (enforced by the kernel equivalence
+            suite); the flag only selects the loop implementation.
     """
 
     def __init__(
@@ -155,10 +159,12 @@ class NetworkBuilder:
         *,
         tracer: Tracer | None = None,
         spatial_index: bool = True,
+        fused_kernel: bool = True,
     ) -> None:
         self.spec = spec
         self.tracer = tracer or NULL_TRACER
         self.spatial_index = spatial_index
+        self.fused_kernel = fused_kernel
 
     # ------------------------------------------------------------------ util
 
@@ -200,7 +206,7 @@ class NetworkBuilder:
         ctx = BuildContext(
             spec=spec,
             cfg=cfg,
-            sim=Simulator(),
+            sim=Simulator(fused=self.fused_kernel),
             rngs=RngRegistry(cfg.seed),
             tracer=self.tracer,
             noise=ConstantNoise(cfg.phy.noise_floor_w),

@@ -55,6 +55,7 @@ class ControlChannelAgent:
         self.pcmac_cfg = pcmac_cfg
         self.phy_cfg = phy_cfg
         self.tracer = tracer
+        self._tr_pcn = tracer.handle("pcmac.pcn")
         self.registry = ActiveReceiverRegistry()
         self.stats = {"pcn_sent": 0, "pcn_heard": 0, "pcn_lost": 0, "pcn_skipped": 0}
         radio.listener = self
@@ -114,13 +115,12 @@ class ControlChannelAgent:
             src=self.node_id,
         )
         self.stats["pcn_sent"] += 1
-        self.tracer.emit(
-            self.sim.now,
-            "pcmac.pcn",
-            self.node_id,
-            tolerance_w=quantised,
-            until=reception_end,
-        )
+        tr = self._tr_pcn
+        tr.count += 1
+        if tr.store:
+            tr.record(
+                self.sim.now, self.node_id, tolerance_w=quantised, until=reception_end
+            )
         self.channel.transmit(self.radio, phy)
 
     # ------------------------------------------------------------- receive

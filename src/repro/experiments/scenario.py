@@ -22,6 +22,7 @@ positions=...), ...).build()`` — see the README's Architecture section.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
@@ -148,6 +149,15 @@ class BuiltNetwork:
         t0 = time.perf_counter()
         self.sim.run_until(self.cfg.duration_s)
         wall = time.perf_counter() - t0
+        if self.tracer.dropped:
+            warnings.warn(
+                f"trace truncated: {self.tracer.dropped} records beyond "
+                f"max_records={self.tracer.max_records} were dropped — "
+                "counters are exact but stored records are incomplete "
+                "(raise Tracer(max_records=...) or enable fewer categories)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         start = self.cfg.traffic.start_time_s if measure_from is None else measure_from
         window = self.cfg.duration_s - start
         mac_totals: dict[str, float] = {}

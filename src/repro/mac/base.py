@@ -55,6 +55,73 @@ from repro.sim.trace import NULL_TRACER, Tracer
 _SLOT_EPS = 1e-9
 
 
+class _MacTimer:
+    """A reusable one-shot timer owned by one MAC.
+
+    Every MAC frame sets and usually cancels a timeout; doing that with a
+    fresh closure per frame allocates a function object, a cell and a bound
+    method each time.  A ``_MacTimer`` binds its callback once at MAC
+    construction and is re-armed for every frame — the only per-arm
+    allocation left is the kernel's own heap entry.  The optional
+    ``payload`` slot carries the frame a deferred send needs, replacing the
+    historical per-frame ``lambda: self._send_control(cts)`` closures.
+
+    The callback is invoked as ``fn(payload)`` (payload is None for plain
+    timeouts).  Re-arming cancels any pending shot first, exactly like the
+    old cancel-then-schedule sequence, so event sequence numbers — and with
+    them the whole event schedule — are unchanged.
+    """
+
+    __slots__ = ("_sim", "_fn", "_label", "_event", "payload")
+
+    def __init__(self, sim: Simulator, fn: Callable[[Any], None], label: str) -> None:
+        self._sim = sim
+        self._fn = fn
+        self._label = label
+        self._event = None
+        self.payload: Any = None
+
+    @property
+    def armed(self) -> bool:
+        """True while a shot is scheduled and not yet fired/cancelled."""
+        return self._event is not None
+
+    @property
+    def expiry(self) -> float | None:
+        """Absolute fire time of the pending shot, or None."""
+        return self._event.time if self._event is not None else None
+
+    def arm_at(self, time: float, payload: Any = None, *, label: str | None = None) -> None:
+        """(Re)arm to fire at absolute ``time``; cancels any pending shot."""
+        ev = self._event
+        if ev is not None:
+            ev.cancel()
+        self.payload = payload
+        self._event = self._sim.schedule(time, self, label=label or self._label)
+
+    def arm_in(self, delay: float, payload: Any = None, *, label: str | None = None) -> None:
+        """(Re)arm to fire ``delay`` seconds from now."""
+        ev = self._event
+        if ev is not None:
+            ev.cancel()
+        self.payload = payload
+        self._event = self._sim.schedule_in(delay, self, label=label or self._label)
+
+    def cancel(self) -> None:
+        """Disarm without firing; safe when not armed."""
+        ev = self._event
+        if ev is not None:
+            ev.cancel()
+            self._event = None
+            self.payload = None
+
+    def __call__(self) -> None:
+        self._event = None
+        payload = self.payload
+        self.payload = None
+        self._fn(payload)
+
+
 class MacState(enum.Enum):
     """Coarse sender-side state (responder activity tracked separately)."""
 
@@ -149,22 +216,30 @@ class DcfMac:
 
         radio.listener = self
 
-        # Sender-side machine.
+        # Sender-side machine.  Timers are reusable _MacTimer objects —
+        # callbacks bound once here, re-armed per frame with no closures.
         self._state = MacState.IDLE
         self._current: _TxAttempt | None = None
         self._substitute_in_flight = False
         self._use_eifs = False
-        self._access_event = None
+        self._access_timer = _MacTimer(sim, self._access_fire, "mac.access")
         self._access_is_countdown = False
         self._countdown_defer_end = 0.0
-        self._cts_timer = None
-        self._ack_timer = None
-        self._pending_tx_event = None  # SIFS-delayed DATA send
+        self._cts_timer = _MacTimer(sim, self._on_cts_timeout, "mac.cts_to")
+        self._ack_timer = _MacTimer(sim, self._on_ack_timeout, "mac.ack_to")
+        #: SIFS-delayed DATA send (payload: the CTS that granted the medium).
+        self._data_timer = _MacTimer(sim, self._send_data_after_cts, "mac.data")
 
         # Responder-side machine.
         self._responding = False
-        self._resp_event = None  # SIFS-delayed CTS/ACK send
-        self._resp_watchdog = None
+        #: SIFS-delayed CTS/ACK send (payload: the frame to transmit).
+        self._resp_timer = _MacTimer(sim, self._send_control, "mac.resp")
+        self._resp_watchdog = _MacTimer(sim, self._resp_watchdog_fire, "mac.resp_wd")
+
+        # Pre-bound trace handles (exact counters, records only when stored).
+        self._tr_drop = tracer.handle("mac.drop")
+        self._tr_defer = tracer.handle("mac.defer")
+        self._tr_handshake = tracer.handle("mac.handshake")
 
         # Duplicate filtering: last (seq) delivered per source.
         self._last_rx_seq: dict[int, int] = {}
@@ -199,9 +274,10 @@ class DcfMac:
         )
         if not self.ifq.push(entry):
             self.stats.drops_queue_full += 1
-            self.tracer.emit(
-                self.sim.now, "mac.drop", self.node_id, reason="ifq_full"
-            )
+            tr = self._tr_drop
+            tr.count += 1
+            if tr.store:
+                tr.record(self.sim.now, self.node_id, reason="ifq_full")
             return False
         self._try_dequeue()
         return True
@@ -307,44 +383,44 @@ class DcfMac:
         """(Re)arm the defer+backoff countdown if conditions permit."""
         if self._current is None or self._state != MacState.CONTEND:
             return
-        if self._access_event is not None:
+        timer = self._access_timer
+        if timer.armed:
             return
         if self._radio_blocked():
             return  # carrier-idle / responder-done callbacks re-enter
         now = self.sim.now
         if self.nav.busy_at(now):
             self._access_is_countdown = False
-            self._access_event = self.sim.schedule(
-                self.nav.until, self._access_wake, label="mac.nav_wake"
-            )
+            timer.arm_at(self.nav.until, label="mac.nav_wake")
             return
         defer = self.timing.eifs if self._use_eifs else self.timing.difs
         slots = self.backoff.draw()
         self._countdown_defer_end = now + defer
         self._access_is_countdown = True
-        self._access_event = self.sim.schedule(
-            now + defer + slots * self.timing.slot,
-            self._access_complete,
-            label="mac.access",
-        )
+        timer.arm_at(now + defer + slots * self.timing.slot)
+
+    def _access_fire(self, _payload: Any = None) -> None:
+        """Access-timer callback: countdown completion or a plain wake."""
+        if self._access_is_countdown:
+            self._access_complete()
+        else:
+            self._access_wake()
 
     def _access_wake(self) -> None:
-        self._access_event = None
         self._schedule_access()
 
     def _pause_access(self) -> None:
         """Freeze the countdown, banking fully elapsed backoff slots."""
-        if self._access_event is None:
+        timer = self._access_timer
+        if not timer.armed:
             return
-        self.sim.cancel(self._access_event)
-        self._access_event = None
+        timer.cancel()
         if self._access_is_countdown:
             elapsed = self.sim.now - self._countdown_defer_end
             if elapsed > 0 and self.backoff.pending:
                 self.backoff.consume(int(elapsed / self.timing.slot + _SLOT_EPS))
 
     def _access_complete(self) -> None:
-        self._access_event = None
         self.backoff.finish()
         self._use_eifs = False
         self._transmit_current()
@@ -368,18 +444,15 @@ class DcfMac:
         delay_until = self.admission_delay(rts_power)
         if delay_until is not None:
             self.stats.admission_blocks += 1
-            self.tracer.emit(
-                self.sim.now,
-                "mac.defer",
-                self.node_id,
-                reason="admission",
-                until=delay_until,
-            )
+            tr = self._tr_defer
+            tr.count += 1
+            if tr.store:
+                tr.record(
+                    self.sim.now, self.node_id, reason="admission", until=delay_until
+                )
             self._access_is_countdown = False
-            self._access_event = self.sim.schedule(
-                max(delay_until, self.sim.now),
-                self._access_wake,
-                label="mac.admission_wake",
+            self._access_timer.arm_at(
+                max(delay_until, self.sim.now), label="mac.admission_wake"
             )
             return
 
@@ -431,14 +504,16 @@ class DcfMac:
             self.stats.airtime_data_s += phy.duration_s
         else:
             self.stats.airtime_control_s += phy.duration_s
-        self.tracer.emit(
-            self.sim.now,
-            "mac.handshake",
-            self.node_id,
-            kind=frame.ftype.value,
-            dst=frame.dst,
-            power_w=frame.tx_power_w,
-        )
+        tr = self._tr_handshake
+        tr.count += 1
+        if tr.store:
+            tr.record(
+                self.sim.now,
+                self.node_id,
+                kind=frame.ftype.value,
+                dst=frame.dst,
+                power_w=frame.tx_power_w,
+            )
         self.channel.transmit(self.radio, phy)
 
     def _take_seq(self) -> int:
@@ -464,10 +539,10 @@ class DcfMac:
         """Radio callback: our own transmission finished."""
         frame: MacFrame = phy_frame.payload
         if frame.ftype == FrameType.RTS:
-            self._arm_cts_timer()
+            self._cts_timer.arm_in(self.timing.cts_timeout)
         elif frame.ftype == FrameType.CTS:
-            self._arm_resp_watchdog(self.timing.sifs + self.phy_cfg.plcp_overhead_s
-                                    + 4 * self.mac_cfg.timeout_slack_s)
+            self._resp_watchdog.arm_in(self.timing.sifs + self.phy_cfg.plcp_overhead_s
+                                       + 4 * self.mac_cfg.timeout_slack_s)
         elif frame.ftype == FrameType.DATA:
             if self._substitute_in_flight:
                 # A PCMAC implicit-ACK retransmission finished; the fresh
@@ -476,7 +551,7 @@ class DcfMac:
             elif frame.is_broadcast:
                 self._complete_current(success=True)
             elif frame.needs_ack:
-                self._arm_ack_timer()
+                self._ack_timer.arm_in(self.timing.ack_timeout)
             else:
                 # Three-way handshake: hand-off complete; recovery, if any,
                 # rides on the next CTS (paper Section III).
@@ -487,26 +562,7 @@ class DcfMac:
 
     # --------------------------------------------------------------- timers
 
-    def _arm_cts_timer(self) -> None:
-        self._cancel_event("_cts_timer")
-        self._cts_timer = self.sim.schedule_in(
-            self.timing.cts_timeout, self._on_cts_timeout, label="mac.cts_to"
-        )
-
-    def _arm_ack_timer(self) -> None:
-        self._cancel_event("_ack_timer")
-        self._ack_timer = self.sim.schedule_in(
-            self.timing.ack_timeout, self._on_ack_timeout, label="mac.ack_to"
-        )
-
-    def _cancel_event(self, attr: str) -> None:
-        ev = getattr(self, attr)
-        if ev is not None:
-            self.sim.cancel(ev)
-            setattr(self, attr, None)
-
-    def _on_cts_timeout(self) -> None:
-        self._cts_timer = None
+    def _on_cts_timeout(self, _payload: Any = None) -> None:
         if self._state != MacState.WAIT_CTS or self._current is None:
             return
         self.stats.cts_timeouts += 1
@@ -521,8 +577,7 @@ class DcfMac:
         self._state = MacState.CONTEND
         self._schedule_access()
 
-    def _on_ack_timeout(self) -> None:
-        self._ack_timer = None
+    def _on_ack_timeout(self, _payload: Any = None) -> None:
         if self._state != MacState.WAIT_ACK or self._current is None:
             return
         self.stats.ack_timeouts += 1
@@ -541,20 +596,22 @@ class DcfMac:
     def _complete_current(self, success: bool, reason: str = "") -> None:
         attempt = self._current
         assert attempt is not None
-        self._cancel_event("_cts_timer")
-        self._cancel_event("_ack_timer")
-        self._cancel_event("_pending_tx_event")
+        self._cts_timer.cancel()
+        self._ack_timer.cancel()
+        self._data_timer.cancel()
         self.backoff.on_success()
         self.backoff.draw()
         if not success:
             self.stats.drops_retry_limit += 1
-            self.tracer.emit(
-                self.sim.now,
-                "mac.drop",
-                self.node_id,
-                reason=reason,
-                dst=attempt.entry.next_hop,
-            )
+            tr = self._tr_drop
+            tr.count += 1
+            if tr.store:
+                tr.record(
+                    self.sim.now,
+                    self.node_id,
+                    reason=reason,
+                    dst=attempt.entry.next_hop,
+                )
             self.on_link_failure(attempt.entry.packet, attempt.entry.next_hop)
         self._current = None
         self._state = MacState.IDLE
@@ -643,38 +700,29 @@ class DcfMac:
         )
         self.decorate_cts(cts, rts, rx_power_w)
         self.stats.cts_sent += 1
-        self._resp_event = self.sim.schedule_in(
-            self.timing.sifs, lambda: self._send_control(cts), label="mac.cts"
-        )
+        self._resp_timer.arm_in(self.timing.sifs, cts, label="mac.cts")
 
-    def _arm_resp_watchdog(self, delay: float) -> None:
-        self._cancel_event("_resp_watchdog")
-        self._resp_watchdog = self.sim.schedule_in(
-            delay, self._resp_watchdog_fire, label="mac.resp_wd"
-        )
-
-    def _resp_watchdog_fire(self) -> None:
-        self._resp_watchdog = None
+    def _resp_watchdog_fire(self, _payload: Any = None) -> None:
         if not self._responding:
             return
         busy_until = self.radio.lock_end_time or self.radio.tx_end_time
         if busy_until is not None:
             # The expected DATA (or our own frame) is in flight: sleep until
             # just past its end rather than polling.
-            self._arm_resp_watchdog(
+            self._resp_watchdog.arm_in(
                 max(busy_until - self.sim.now, 0.0) + self.timing.sifs
             )
             return
         self._finish_responding()
 
     def _finish_responding(self) -> None:
-        self._cancel_event("_resp_watchdog")
-        self._cancel_event("_resp_event")
+        self._resp_watchdog.cancel()
+        self._resp_timer.cancel()
         self._responding = False
         self._schedule_access()
 
     def _handle_data(self, data: MacFrame, rx_power_w: float) -> None:
-        self._cancel_event("_resp_watchdog")
+        self._resp_watchdog.cancel()
         duplicate = self.on_data_received(data)
         if duplicate:
             self.stats.duplicates += 1
@@ -689,9 +737,7 @@ class DcfMac:
             )
             self.stats.ack_sent += 1
             self._responding = True
-            self._resp_event = self.sim.schedule_in(
-                self.timing.sifs, lambda: self._send_control(ack), label="mac.ack"
-            )
+            self._resp_timer.arm_in(self.timing.sifs, ack, label="mac.ack")
         else:
             self._finish_responding()
         if not duplicate:
@@ -706,16 +752,13 @@ class DcfMac:
         attempt = self._current
         if cts.src != attempt.entry.next_hop:
             return
-        self._cancel_event("_cts_timer")
+        self._cts_timer.cancel()
         attempt.short_retries = 0
         self.on_cts_feedback(cts)
         self._state = MacState.SEND_DATA
-        self._pending_tx_event = self.sim.schedule_in(
-            self.timing.sifs, lambda: self._send_data_after_cts(cts), label="mac.data"
-        )
+        self._data_timer.arm_in(self.timing.sifs, cts)
 
     def _send_data_after_cts(self, cts: MacFrame) -> None:
-        self._pending_tx_event = None
         attempt = self._current
         if attempt is None or self._state != MacState.SEND_DATA:
             return
@@ -731,10 +774,8 @@ class DcfMac:
             self._state = MacState.CONTEND
             self.backoff.draw()
             self._access_is_countdown = False
-            self._access_event = self.sim.schedule(
-                max(delay_until, self.sim.now),
-                self._access_wake,
-                label="mac.admission_wake",
+            self._access_timer.arm_at(
+                max(delay_until, self.sim.now), label="mac.admission_wake"
             )
             return
 

@@ -46,6 +46,11 @@ class Node:
         self.metrics = metrics
         self.rngs = rngs
         self.tracer = tracer
+        # Pre-bound trace handles (see repro.sim.trace: exact counters, the
+        # detail dict is only allocated for stored categories).
+        self._tr_app_tx = tracer.handle("app.tx")
+        self._tr_app_rx = tracer.handle("app.rx")
+        self._tr_net_drop = tracer.handle("net.drop")
         mac.deliver_up = self._on_mac_deliver
         mac.on_link_failure = self._on_mac_failure
         routing.attach(self)
@@ -62,9 +67,10 @@ class Node:
     def app_send(self, packet: Packet) -> None:
         """An application on this node emits ``packet``."""
         self.metrics.on_app_send(packet)
-        self.tracer.emit(
-            self.sim.now, "app.tx", self.node_id, flow=packet.flow_id, seq=packet.seq
-        )
+        tr = self._tr_app_tx
+        tr.count += 1
+        if tr.store:
+            tr.record(self.sim.now, self.node_id, flow=packet.flow_id, seq=packet.seq)
         self.routing.route_packet(packet)
 
     # ------------------------------------------------------------------ MAC API
@@ -84,13 +90,12 @@ class Node:
             return
         packet.hops += 1  # one more MAC hop traversed
         if packet.dst == self.node_id:
-            self.tracer.emit(
-                self.sim.now,
-                "app.rx",
-                self.node_id,
-                flow=packet.flow_id,
-                seq=packet.seq,
-            )
+            tr = self._tr_app_rx
+            tr.count += 1
+            if tr.store:
+                tr.record(
+                    self.sim.now, self.node_id, flow=packet.flow_id, seq=packet.seq
+                )
             self.metrics.on_app_receive(packet, self.sim.now)
             return
         if packet.dst == BROADCAST:
@@ -110,9 +115,10 @@ class Node:
     def metrics_drop(self, packet: Packet, reason: str) -> None:
         """Attribute a packet loss."""
         self.metrics.on_drop(packet, reason)
-        self.tracer.emit(
-            self.sim.now, "net.drop", self.node_id, reason=reason, flow=packet.flow_id
-        )
+        tr = self._tr_net_drop
+        tr.count += 1
+        if tr.store:
+            tr.record(self.sim.now, self.node_id, reason=reason, flow=packet.flow_id)
 
     def rng_uniform(self, stream: str, low: float, high: float) -> float:
         """One uniform draw from this node's named RNG stream."""

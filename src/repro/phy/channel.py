@@ -34,9 +34,22 @@ fan-out sub-linear, enabled by ``spatial_index=True``:
   position sample actually moves.  Per-link ``(gain, distance)`` pairs are
   cached keyed on both endpoints' epochs: static scenarios compute each link
   gain exactly once, and mobile scenarios get hits during pause legs and
-  repeated same-instant samples.
+  repeated same-instant samples.  Radios whose mobility bound is 0 m/s are
+  flagged static at attach and skip position polling entirely.
+* **Batched gain evaluation with conservative culling.**  When a transmit
+  finds many cache-missed candidates (a mobile source after movement, or a
+  first transmit), their gains are evaluated in one
+  :meth:`~repro.phy.propagation.PropagationModel.gain_at_many` numpy call.
+  Bulk gains match the scalar path only to ~1 ulp, so they are used
+  **solely to cull** candidates whose received power falls below the
+  interference floor by a safety margin; every candidate that might cross
+  the floor gets the exact scalar ``gain_at`` value, and *only* exact
+  gains ever reach a scheduled event or a reusable cache entry (approximate
+  entries are cached with an ``exact=False`` flag and upgraded on demand).
+  Scheduling happens in a second pass, strictly in attach order, so event
+  sequence numbers — and with them same-time tie-breaking — are untouched.
 
-Both paths produce bit-identical event schedules (same times, powers and
+All paths produce bit-identical event schedules (same times, powers and
 tie-breaking order — candidates are visited in attach order); the
 brute-force scan remains the default and serves as the oracle in
 ``tests/phy/test_channel_equivalence.py``.  The spatial index requires that
@@ -54,11 +67,32 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.phy.frame import PhyFrame
 from repro.phy.propagation import PropagationModel, distance
 from repro.phy.radio import Radio
 from repro.sim.kernel import Simulator
 from repro.units import SPEED_OF_LIGHT
+
+
+#: Minimum cache-missed candidates before gains are evaluated in one numpy
+#: batch; below this the scalar loop wins (numpy call overhead dominates —
+#: measured crossover on CPython 3.11 sits around two dozen links).
+_BATCH_MIN_MISSES = 24
+
+#: Adaptive gate for the batch path: after this many bulk-evaluated links,
+#: batching is abandoned for the run unless at least ``_BATCH_MIN_CULL_NUM /
+#: _BATCH_MIN_CULL_DEN`` of them were culled.  Bulk gains can only *cull*
+#: (scheduled powers always come from the scalar path), so in dense fields
+#: where every candidate is above the interference floor the batch is pure
+#: extra work — the gate caps that waste at a fixed, trivial amount while
+#: keeping the win in sparse fields where most of a 3×3 block is out of
+#: range.  The decision depends only on simulated data, never on wall time,
+#: and the event schedule is identical either way.
+_BATCH_PROBE_LINKS = 4096
+_BATCH_MIN_CULL_NUM = 1
+_BATCH_MIN_CULL_DEN = 4
 
 
 class _RadioEntry:
@@ -69,16 +103,27 @@ class _RadioEntry:
     the order the brute-force list scan would (the event queue breaks
     same-time ties by insertion order).  Re-attaching assigns a fresh
     ``seq``, matching the list's remove-then-append semantics.
+
+    ``static`` is set when the mobility model's speed bound is 0 m/s — the
+    position (and hence the movement epoch) can never change, so the hot
+    fan-out loop reads the attach-time sample instead of polling.
+    ``poll_mob`` is the mobility model's bound ``poll`` — the fan-out calls
+    it directly, skipping one Python frame per candidate per transmit.
     """
 
-    __slots__ = ("radio", "seq", "mobility", "pos", "epoch", "cell")
+    __slots__ = (
+        "radio", "seq", "mobility", "poll_mob", "pos", "epoch", "cell", "static"
+    )
 
     def __init__(self, radio: Radio, seq: int, now: float) -> None:
         self.radio = radio
         self.seq = seq
         self.mobility = getattr(radio, "mobility", None)
+        self.static = False
         if self.mobility is not None:
-            self.pos, self.epoch = self.mobility.poll(now)
+            self.poll_mob = self.mobility.poll
+            self.pos, self.epoch = self.poll_mob(now)
+            self.static = self.mobility.max_speed_mps() == 0.0
         self.cell: tuple[int, int] | None = None
 
     def poll(self, now: float) -> tuple[tuple[float, float], int]:
@@ -132,6 +177,12 @@ class Channel:
         self.sim = sim
         self.propagation = propagation
         self.interference_floor_w = interference_floor_w
+        #: Conservative cull threshold for *approximate* (bulk) gains: a
+        #: candidate is skipped without an exact computation only when its
+        #: approximate received power misses the floor by a margin far wider
+        #: than the bulk path's ~1 ulp error, so no reachable radio can be
+        #: culled.  Borderline candidates fall through to the exact gain.
+        self._cull_floor = interference_floor_w * (1.0 - 1e-9)
         self.model_propagation_delay = model_propagation_delay
         self.name = name
         self._radios: list[Radio] = []
@@ -145,13 +196,28 @@ class Channel:
         #: scenarios therefore sort each 3×3 block exactly once.
         self._blocks: dict[tuple[int, int], list[_RadioEntry]] = {}
         #: Per-link gain cache: src_seq → (src_epoch, {rx_seq: (rx_epoch,
-        #: gain, dist)}).  A source's inner dict is dropped wholesale when
-        #: its epoch advances (none of its entries can hit again), and a
+        #: gain, dist, exact)}).  A source's inner dict is dropped wholesale
+        #: when its epoch advances (none of its entries can hit again), and a
         #: receiver's slot is overwritten on epoch mismatch, so memory is
         #: O(pairs currently in range), not O(pairs ever in range) —
-        #: static scenarios still keep every link gain forever.
-        self._gains: dict[int, tuple[int, dict[int, tuple[int, float, float]]]] = {}
+        #: static scenarios still keep every link gain forever.  ``exact``
+        #: marks gains computed by the scalar ``gain_at`` (usable for event
+        #: powers); False marks bulk ``gain_at_many`` values, sound only for
+        #: below-floor culling and upgraded to exact on demand.
+        self._gains: dict[
+            int, tuple[int, dict[int, tuple[int, float, float, bool]]]
+        ] = {}
         self._next_seq = 0
+        #: Batch-gate bookkeeping (see _BATCH_PROBE_LINKS).
+        self._batch_enabled = True
+        self._batch_links = 0
+        self._batch_culled = 0
+        #: All-static fast path: with ``max_speed_mps == 0`` every attached
+        #: radio is pinned (attach enforces the bound), so the fan-out of a
+        #: given (source, tx power) never changes — cache it as a replayable
+        #: ``[(rx, rx_power, delay), ...]`` list (attach order).  Any attach
+        #: or detach invalidates the whole cache.
+        self._static_fanouts: dict[tuple[int, float], list] = {}
         self._max_speed_mps = max_speed_mps
         self._reindex_interval_s = reindex_interval_s
         self._reindex_due_at = math.inf
@@ -215,6 +281,7 @@ class Channel:
             self._next_seq += 1
             self._entries[radio] = entry
             self._move_to_cell(entry, entry.pos)
+            self._static_fanouts.clear()
         self._radios.append(radio)
 
     def detach(self, radio: Radio) -> None:
@@ -237,6 +304,7 @@ class Channel:
             if entry.cell is not None:
                 self._cells[entry.cell].remove(entry)
             self._blocks.clear()
+            self._static_fanouts.clear()
             seq = entry.seq
             self._gains.pop(seq, None)
             for _, links in self._gains.values():
@@ -264,12 +332,95 @@ class Channel:
         Runs inside ``transmit`` (never as a scheduled event, which would
         perturb event sequence numbers) at most once per
         ``reindex_interval_s`` of simulated time, bounding both the grid
-        staleness and the amortised cost.
+        staleness and the amortised cost.  Static radios cannot change cell
+        and are skipped.
         """
         for entry in self._entries.values():
+            if entry.static:
+                continue
             pos, _ = entry.poll(now)
             self._move_to_cell(entry, pos)
         self._reindex_due_at = now + self._reindex_interval_s
+
+    def _block_candidates(self, block_key: tuple[int, int]) -> list[_RadioEntry]:
+        """Memoised, attach-order candidate list for one 3×3 cell block."""
+        candidates = self._blocks.get(block_key)
+        if candidates is None:
+            cx, cy = block_key
+            cells = self._cells
+            candidates = []
+            for ix in (cx - 1, cx, cx + 1):
+                for iy in (cy - 1, cy, cy + 1):
+                    bucket = cells.get((ix, iy))
+                    if bucket:
+                        candidates.extend(bucket)
+            candidates.sort(key=_entry_seq)
+            self._blocks[block_key] = candidates
+        return candidates
+
+    def _build_static_fanout(
+        self, entry: _RadioEntry, tx_power: float
+    ) -> list[tuple[Radio, float, float]]:
+        """Survivor list ``[(rx, rx_power, delay)]`` for one static source.
+
+        Computed exactly as the dynamic scalar path would (same candidate
+        block, same attach-order visit, same cache-consistent ``gain_at``
+        values, same ``tx_power * gain`` products), so replaying it is
+        bit-identical to re-running the loop.  Only valid in an all-static
+        world (``max_speed_mps == 0``); invalidated on attach/detach.
+
+        NOTE: the per-candidate resolve below is deliberately duplicated
+        across this method, the scalar path and batch pass 1 of
+        ``_fanout_indexed`` (a shared helper would cost one Python call per
+        candidate per transmit on the hottest loop).  Any change to the
+        cull/cache rule must be applied to all three in lockstep — the
+        equivalence suite (``tests/phy/test_channel_equivalence.py``, whose
+        static cases run max_speed 0 and therefore exercise this replay
+        path against the brute oracle) is the enforcement.
+        """
+        src_pos = entry.pos
+        src_epoch = entry.epoch
+        cached = self._gains.get(entry.seq)
+        if cached is None or cached[0] != src_epoch:
+            links = {}
+            self._gains[entry.seq] = (src_epoch, links)
+        else:
+            links = cached[1]
+        size = self._cell_size
+        candidates = self._block_candidates(
+            (int(src_pos[0] // size), int(src_pos[1] // size))
+        )
+
+        floor = self.interference_floor_w
+        cull_floor = self._cull_floor
+        gain_at = self.propagation.gain_at
+        model_delay = self.model_propagation_delay
+        src_radio = entry.radio
+        out: list[tuple[Radio, float, float]] = []
+        for cand in candidates:
+            rx = cand.radio
+            if rx is src_radio:
+                continue
+            rx_epoch = cand.epoch
+            hit = links.get(cand.seq)
+            if hit is not None and hit[0] == rx_epoch:
+                gain = hit[1]
+                dist = hit[2]
+                if not hit[3]:
+                    if tx_power * gain < cull_floor:
+                        continue
+                    gain = gain_at(dist)
+                    links[cand.seq] = (rx_epoch, gain, dist, True)
+            else:
+                dist = distance(src_pos, cand.pos)
+                gain = gain_at(dist)
+                links[cand.seq] = (rx_epoch, gain, dist, True)
+            rx_power = tx_power * gain
+            if rx_power < floor:
+                continue
+            delay = dist / SPEED_OF_LIGHT if model_delay else 0.0
+            out.append((rx, rx_power, delay))
+        return out
 
     # ------------------------------------------------------------------ TX
 
@@ -305,25 +456,29 @@ class Channel:
             # frame's end fire before the next frame's start when times tie.
             sim.schedule(
                 now + delay,
-                _SignalStart(rx, frame, rx_power),
+                rx.signal_start,
+                args=(frame, rx_power),
                 priority=1,
                 label="phy.sig_start",
             )
             sim.schedule(
                 now + delay + duration,
-                _SignalEnd(rx, frame.frame_id),
+                rx.signal_end,
+                args=(frame.frame_id,),
                 priority=0,
                 label="phy.sig_end",
             )
 
     def _fanout_indexed(self, src: Radio, frame: PhyFrame) -> None:
-        """Grid-indexed fan-out with epoch-cached gains.
+        """Grid-indexed fan-out with epoch-cached, batch-culled gains.
 
         Produces the exact event schedule of :meth:`_fanout_brute`: the
         candidate set is a superset of every radio above the interference
         floor, gains/distances reuse only values computed from identical
-        positions (validated by movement epochs), and candidates are visited
-        in attach order so same-time ties break identically.
+        positions (validated by movement epochs), bulk-evaluated gains are
+        used only to cull candidates safely below the floor (scheduled
+        powers are always the scalar ``gain_at`` value), and edges are
+        scheduled in attach order so same-time ties break identically.
         """
         if frame.tx_power_w > self._max_tx_power_w:
             raise ValueError(
@@ -333,18 +488,46 @@ class Channel:
             )
         sim = self.sim
         now = sim.now
+        if self._max_speed_mps == 0.0:
+            # All-static world: the survivor set, received powers and delays
+            # for this (source, tx power) can never change — replay the
+            # precomputed fan-out (built through the normal scalar path the
+            # first time, so every float is bit-identical to it).
+            entry = self._entries.get(src)
+            if entry is not None:
+                key = (entry.seq, frame.tx_power_w)
+                hits = self._static_fanouts.get(key)
+                if hits is None:
+                    hits = self._build_static_fanout(entry, frame.tx_power_w)
+                    self._static_fanouts[key] = hits
+                duration = frame.duration_s
+                frame_id = frame.frame_id
+                schedule = sim.schedule
+                for rx, rx_power, delay in hits:
+                    t = now + delay
+                    schedule(
+                        t, rx.signal_start, 1, "phy.sig_start", (frame, rx_power)
+                    )
+                    schedule(
+                        t + duration, rx.signal_end, 0, "phy.sig_end", (frame_id,)
+                    )
+                return
         if now >= self._reindex_due_at:
             self._reindex(now)
         size = self._cell_size
         entry = self._entries.get(src)
         if entry is not None:
-            src_pos, src_epoch = entry.poll(now)
-            self._move_to_cell(entry, src_pos)
+            if entry.static:
+                src_pos = entry.pos
+                src_epoch = entry.epoch
+            else:
+                src_pos, src_epoch = entry.poll(now)
+                self._move_to_cell(entry, src_pos)
             cached = self._gains.get(entry.seq)
             if cached is None or cached[0] != src_epoch:
                 # The source moved: none of its cached links can hit again,
                 # so drop them wholesale (bounds the cache for mobile runs).
-                links = {}
+                links: dict | None = {}
                 self._gains[entry.seq] = (src_epoch, links)
             else:
                 links = cached[1]
@@ -353,55 +536,163 @@ class Channel:
             # there is no entry to key the cache on — compute directly.
             src_pos = src.position
             links = None
-        block_key = (int(src_pos[0] // size), int(src_pos[1] // size))
-        candidates = self._blocks.get(block_key)
-        if candidates is None:
-            cx, cy = block_key
-            cells = self._cells
-            candidates = []
-            for ix in (cx - 1, cx, cx + 1):
-                for iy in (cy - 1, cy, cy + 1):
-                    bucket = cells.get((ix, iy))
-                    if bucket:
-                        candidates.extend(bucket)
-            candidates.sort(key=_entry_seq)
-            self._blocks[block_key] = candidates
+        candidates = self._block_candidates(
+            (int(src_pos[0] // size), int(src_pos[1] // size))
+        )
 
-        duration = frame.duration_s
         tx_power = frame.tx_power_w
         floor = self.interference_floor_w
-        model_delay = self.model_propagation_delay
+        cull_floor = self._cull_floor
         gain_at = self.propagation.gain_at
+        duration = frame.duration_s
+        model_delay = self.model_propagation_delay
+        frame_id = frame.frame_id
+        schedule = sim.schedule
+
+        # Expected cache misses ≈ candidates not yet in the link cache; with
+        # a fully warm cache (static scenarios after the first transmit per
+        # source) this is ~0 and the single-pass scalar loop is optimal.
+        if not (
+            self._batch_enabled
+            and links is not None
+            and len(candidates) - len(links) >= _BATCH_MIN_MISSES
+        ):
+            # Scalar fast path: one pass in attach order, scheduling inline
+            # (identical structure to the historical loop, so dense fields —
+            # where the batch gate has tripped — pay no two-pass overhead).
+            for cand in candidates:
+                rx = cand.radio
+                if rx is src:
+                    continue
+                if cand.static:
+                    rx_pos = cand.pos
+                    rx_epoch = cand.epoch
+                else:
+                    rx_pos, rx_epoch = cand.poll_mob(now)
+                if links is not None:
+                    hit = links.get(cand.seq)
+                    if hit is not None and hit[0] == rx_epoch:
+                        gain = hit[1]
+                        dist = hit[2]
+                        if not hit[3]:
+                            # Approximate (bulk) gain: good for culling only.
+                            # At a higher tx power it may cross — upgrade.
+                            if tx_power * gain < cull_floor:
+                                continue
+                            gain = gain_at(dist)
+                            links[cand.seq] = (rx_epoch, gain, dist, True)
+                    else:
+                        dist = distance(src_pos, rx_pos)
+                        gain = gain_at(dist)
+                        links[cand.seq] = (rx_epoch, gain, dist, True)
+                else:
+                    dist = distance(src_pos, rx_pos)
+                    gain = gain_at(dist)
+                rx_power = tx_power * gain
+                if rx_power < floor:
+                    continue
+                delay = dist / SPEED_OF_LIGHT if model_delay else 0.0
+                schedule(
+                    now + delay,
+                    rx.signal_start,
+                    args=(frame, rx_power),
+                    priority=1,
+                    label="phy.sig_start",
+                )
+                schedule(
+                    now + delay + duration,
+                    rx.signal_end,
+                    args=(frame_id,),
+                    priority=0,
+                    label="phy.sig_end",
+                )
+            return
+
+        # Batch path — pass 1 resolves, in attach order, every candidate to
+        # either an exact (rx, gain, dist) or a sound below-floor cull.
+        # Cache misses are parked (a placeholder keeps their slot in the
+        # order) and bulk-evaluated, then pass 2 schedules strictly in
+        # attach order, so event sequence numbers match the brute scan.
+        resolved: list[tuple[Radio, float, float] | None] = []
+        append = resolved.append
+        misses: list[tuple[int, _RadioEntry, tuple[float, float], int]] = []
         for cand in candidates:
             rx = cand.radio
             if rx is src:
                 continue
-            rx_pos, rx_epoch = cand.poll(now)
-            if links is not None:
-                hit = links.get(cand.seq)
-                if hit is not None and hit[0] == rx_epoch:
-                    gain = hit[1]
-                    dist = hit[2]
-                else:
+            if cand.static:
+                rx_pos = cand.pos
+                rx_epoch = cand.epoch
+            else:
+                rx_pos, rx_epoch = cand.poll_mob(now)
+            hit = links.get(cand.seq)
+            if hit is not None and hit[0] == rx_epoch:
+                gain = hit[1]
+                dist = hit[2]
+                if not hit[3]:
+                    if tx_power * gain < cull_floor:
+                        continue
+                    gain = gain_at(dist)
+                    links[cand.seq] = (rx_epoch, gain, dist, True)
+                if tx_power * gain >= floor:
+                    append((rx, gain, dist))
+                continue
+            misses.append((len(resolved), cand, rx_pos, rx_epoch))
+            append(None)
+
+        if misses:
+            if len(misses) >= _BATCH_MIN_MISSES:
+                # One vectorised gain evaluation for all missed links; the
+                # distances stay scalar (they feed delays and the cache).
+                dists = [distance(src_pos, m[2]) for m in misses]
+                bulk = self.propagation.gain_at_many(np.asarray(dists))
+                culled = 0
+                for (idx, cand, _pos, rx_epoch), dist, approx in zip(
+                    misses, dists, bulk
+                ):
+                    approx = float(approx)
+                    if tx_power * approx < cull_floor:
+                        links[cand.seq] = (rx_epoch, approx, dist, False)
+                        culled += 1
+                        continue
+                    gain = gain_at(dist)
+                    links[cand.seq] = (rx_epoch, gain, dist, True)
+                    if tx_power * gain >= floor:
+                        resolved[idx] = (cand.radio, gain, dist)
+                self._batch_links += len(misses)
+                self._batch_culled += culled
+                if (
+                    self._batch_links >= _BATCH_PROBE_LINKS
+                    and self._batch_culled * _BATCH_MIN_CULL_DEN
+                    < self._batch_links * _BATCH_MIN_CULL_NUM
+                ):
+                    # Dense field: bulk culling is not paying for itself.
+                    self._batch_enabled = False
+            else:
+                for idx, cand, rx_pos, rx_epoch in misses:
                     dist = distance(src_pos, rx_pos)
                     gain = gain_at(dist)
-                    links[cand.seq] = (rx_epoch, gain, dist)
-            else:
-                dist = distance(src_pos, rx_pos)
-                gain = gain_at(dist)
-            rx_power = tx_power * gain
-            if rx_power < floor:
+                    links[cand.seq] = (rx_epoch, gain, dist, True)
+                    if tx_power * gain >= floor:
+                        resolved[idx] = (cand.radio, gain, dist)
+
+        for item in resolved:
+            if item is None:
                 continue
+            rx, gain, dist = item
+            rx_power = tx_power * gain
             delay = dist / SPEED_OF_LIGHT if model_delay else 0.0
-            sim.schedule(
+            schedule(
                 now + delay,
-                _SignalStart(rx, frame, rx_power),
+                rx.signal_start,
+                args=(frame, rx_power),
                 priority=1,
                 label="phy.sig_start",
             )
-            sim.schedule(
+            schedule(
                 now + delay + duration,
-                _SignalEnd(rx, frame.frame_id),
+                rx.signal_end,
+                args=(frame_id,),
                 priority=0,
                 label="phy.sig_end",
             )
@@ -419,30 +710,3 @@ class Channel:
     def rx_power_now(self, src: Radio, dst: Radio, tx_power_w: float) -> float:
         """Received power at ``dst`` if ``src`` transmitted now [W]."""
         return tx_power_w * self.gain_now(src, dst)
-
-
-class _SignalStart:
-    """Callable event: a frame's leading edge reaches a radio."""
-
-    __slots__ = ("radio", "frame", "power")
-
-    def __init__(self, radio: Radio, frame: PhyFrame, power: float) -> None:
-        self.radio = radio
-        self.frame = frame
-        self.power = power
-
-    def __call__(self) -> None:
-        self.radio.signal_start(self.frame, self.power)
-
-
-class _SignalEnd:
-    """Callable event: a frame's trailing edge passes a radio."""
-
-    __slots__ = ("radio", "frame_id")
-
-    def __init__(self, radio: Radio, frame_id: int) -> None:
-        self.radio = radio
-        self.frame_id = frame_id
-
-    def __call__(self) -> None:
-        self.radio.signal_end(self.frame_id)

@@ -29,6 +29,11 @@ class PhyFrame:
             the paper, so receivers can estimate channel gain).
         src: transmitting node id.
         frame_id: unique id for tracing and signal bookkeeping.
+        duration_s: total airtime [s] (PLCP overhead plus payload
+            serialisation), precomputed once — the channel fan-out and every
+            receiving radio read it per signal edge, and the inputs
+            (``size_bytes`` / ``bitrate_bps`` / ``plcp_s``) never change
+            after construction.
     """
 
     payload: Any
@@ -38,6 +43,7 @@ class PhyFrame:
     tx_power_w: float
     src: int
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    duration_s: float = field(init=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -46,8 +52,4 @@ class PhyFrame:
             raise ValueError(f"bitrate must be positive, got {self.bitrate_bps!r}")
         if self.tx_power_w <= 0:
             raise ValueError(f"tx power must be positive, got {self.tx_power_w!r}")
-
-    @property
-    def duration_s(self) -> float:
-        """Total airtime [s]: PLCP overhead plus payload serialisation."""
-        return self.plcp_s + bits(self.size_bytes) / self.bitrate_bps
+        self.duration_s = self.plcp_s + bits(self.size_bytes) / self.bitrate_bps

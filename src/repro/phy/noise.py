@@ -20,6 +20,16 @@ class NoiseModel:
         """Current ambient noise power [W] excluding co-channel interference."""
         raise NotImplementedError
 
+    def constant_w(self) -> float | None:
+        """The noise power if it is time-invariant, else None.
+
+        Consumers on hot paths (the radio's SINR checks run per signal edge)
+        cache a non-None value instead of calling :meth:`noise_w` per query.
+        The base implementation returns None — the safe default for models
+        whose noise varies.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class ConstantNoise(NoiseModel):
@@ -34,6 +44,9 @@ class ConstantNoise(NoiseModel):
     def noise_w(self) -> float:
         return self.floor_w
 
+    def constant_w(self) -> float | None:
+        return self.floor_w
+
 
 @dataclass(frozen=True)
 class ThermalNoise(NoiseModel):
@@ -44,3 +57,7 @@ class ThermalNoise(NoiseModel):
 
     def noise_w(self) -> float:
         return thermal_noise_watts(self.bandwidth_hz, self.noise_figure_db)
+
+    def constant_w(self) -> float | None:
+        # All inputs are frozen fields, so the floor never changes.
+        return self.noise_w()

@@ -134,6 +134,11 @@ class Radio:
         "_busy_saw_foreign",
         "_busy_last_decode",
         "stats",
+        "_tr_tx",
+        "_tr_rx_ok",
+        "_tr_rx_err",
+        "_tr_cs",
+        "_noise_w",
     )
 
     def __init__(
@@ -162,6 +167,9 @@ class Radio:
         self.cs_threshold_w = cs_threshold_w
         self.capture_threshold = capture_threshold
         self.noise = noise
+        #: Cached time-invariant noise floor, or None for varying models —
+        #: the SINR checks below run per signal edge.
+        self._noise_w = noise.constant_w()
         self.tracer = tracer
         self.listener: RadioListener = _NullListener()
         self.channel_name = channel_name
@@ -175,6 +183,12 @@ class Radio:
         self._busy_reported = False
         self._busy_saw_foreign = False
         self._busy_last_decode: bool | None = None  # None = no attempt yet
+        # Pre-bound trace handles: counters bump with one integer add and
+        # the detail kwargs dict is only built for stored categories.
+        self._tr_tx = tracer.handle("phy.tx")
+        self._tr_rx_ok = tracer.handle("phy.rx_ok")
+        self._tr_rx_err = tracer.handle("phy.rx_err")
+        self._tr_cs = tracer.handle("phy.cs")
         self.stats = {
             "tx_frames": 0,
             "rx_ok": 0,
@@ -231,7 +245,10 @@ class Radio:
     def interference_w(self) -> float:
         """Noise floor plus all arrival power not part of the current lock."""
         lock_p = self._lock.power_w if self._lock is not None else 0.0
-        return self.noise.noise_w() + max(self._total_power_w - lock_p, 0.0)
+        noise = self._noise_w
+        if noise is None:
+            noise = self.noise.noise_w()
+        return noise + max(self._total_power_w - lock_p, 0.0)
 
     def sinr_of(self, power_w: float) -> float:
         """SINR a signal of ``power_w`` would see against current arrivals.
@@ -240,7 +257,10 @@ class Radio:
         already among the arrivals (caller passes the arrival's power).
         """
         other = max(self._total_power_w - power_w, 0.0)
-        return power_w / (self.noise.noise_w() + other)
+        noise = self._noise_w
+        if noise is None:
+            noise = self.noise.noise_w()
+        return power_w / (noise + other)
 
     # ------------------------------------------------------------- transmit
 
@@ -264,15 +284,17 @@ class Radio:
         was_busy = self._busy_reported
         self._tx_frame = frame
         self.stats["tx_frames"] += 1
-        self.tracer.emit(
-            self.sim.now,
-            "phy.tx",
-            self.node_id,
-            frame=frame.frame_id,
-            power_w=frame.tx_power_w,
-            dur=frame.duration_s,
-            chan=self.channel_name,
-        )
+        tr = self._tr_tx
+        tr.count += 1
+        if tr.store:
+            tr.record(
+                self.sim.now,
+                self.node_id,
+                frame=frame.frame_id,
+                power_w=frame.tx_power_w,
+                dur=frame.duration_s,
+                chan=self.channel_name,
+            )
         self._tx_end_event = self.sim.schedule_in(
             frame.duration_s, self._finish_tx, label="phy.tx_end"
         )
@@ -299,8 +321,8 @@ class Radio:
         self._busy_saw_foreign = True
 
         if self._tx_frame is not None:
-            # Deaf while transmitting; energy still tracked above.
-            self._update_carrier()
+            # Deaf while transmitting; energy still tracked above.  Already
+            # carrier-busy by the own-TX invariant — no edge can fire here.
             return
 
         if self._lock is None:
@@ -323,7 +345,9 @@ class Radio:
             if rx_power_w >= self.rx_threshold_w:
                 # Arrived while the receiver was occupied: cannot be decoded.
                 self.stats["rx_unlockable"] += 1
-        self._update_carrier()
+        # Power only rose: the sole possible carrier edge is idle -> busy.
+        if not self._busy_reported and self._total_power_w >= self.cs_threshold_w:
+            self._report_busy()
 
     def signal_end(self, frame_id: int) -> None:
         """A signal's trailing edge passed this radio (called by the channel)."""
@@ -342,43 +366,68 @@ class Radio:
             self._busy_last_decode = ok
             if ok:
                 self.stats["rx_ok"] += 1
-                self.tracer.emit(
-                    self.sim.now,
-                    "phy.rx_ok",
-                    self.node_id,
-                    frame=arrival.frame.frame_id,
-                    power_w=arrival.power_w,
-                    chan=self.channel_name,
-                )
+                tr = self._tr_rx_ok
             else:
                 self.stats["rx_corrupted"] += 1
-                self.tracer.emit(
+                tr = self._tr_rx_err
+            tr.count += 1
+            if tr.store:
+                tr.record(
                     self.sim.now,
-                    "phy.rx_err",
                     self.node_id,
                     frame=arrival.frame.frame_id,
                     power_w=arrival.power_w,
                     chan=self.channel_name,
                 )
             self.listener.on_rx_end(arrival.frame, ok, arrival.power_w)
-        self._update_carrier()
+        # Power only fell: the sole possible carrier edge is busy -> idle
+        # (own TX keeps the carrier busy regardless of arrivals).
+        if (
+            self._busy_reported
+            and self._tx_frame is None
+            and self._total_power_w < self.cs_threshold_w
+        ):
+            self._report_idle()
 
     # ---------------------------------------------------------- carrier sense
 
     def _update_carrier(self) -> None:
-        busy_now = self.carrier_busy
-        if busy_now and not self._busy_reported:
-            self._busy_reported = True
-            self._busy_saw_foreign = bool(self._arrivals)
-            self._busy_last_decode = None
-            self.tracer.emit(self.sim.now, "phy.cs", self.node_id, busy=True)
-            self.listener.on_carrier_busy()
-        elif not busy_now and self._busy_reported:
-            self._busy_reported = False
-            failed = self._busy_saw_foreign and self._busy_last_decode is not True
-            self._busy_saw_foreign = False
-            self._busy_last_decode = None
-            self.tracer.emit(
-                self.sim.now, "phy.cs", self.node_id, busy=False, failed=failed
-            )
-            self.listener.on_carrier_idle(failed)
+        """Recompute the carrier state and report a transition, if any.
+
+        ``signal_start`` / ``signal_end`` inline the directional checks
+        (power there moves one way, so only one edge is possible — the
+        common no-change case costs a single comparison); this general
+        recompute serves the remaining callers (TX end).
+        """
+        busy_now = (
+            self._tx_frame is not None
+            or self._total_power_w >= self.cs_threshold_w
+        )
+        if busy_now:
+            if not self._busy_reported:
+                self._report_busy()
+        elif self._busy_reported:
+            self._report_idle()
+
+    def _report_busy(self) -> None:
+        """Transition to carrier-busy: trace the edge, notify the MAC."""
+        self._busy_reported = True
+        self._busy_saw_foreign = bool(self._arrivals)
+        self._busy_last_decode = None
+        tr = self._tr_cs
+        tr.count += 1
+        if tr.store:
+            tr.record(self.sim.now, self.node_id, busy=True)
+        self.listener.on_carrier_busy()
+
+    def _report_idle(self) -> None:
+        """Transition to carrier-idle: trace the edge, notify the MAC."""
+        self._busy_reported = False
+        failed = self._busy_saw_foreign and self._busy_last_decode is not True
+        self._busy_saw_foreign = False
+        self._busy_last_decode = None
+        tr = self._tr_cs
+        tr.count += 1
+        if tr.store:
+            tr.record(self.sim.now, self.node_id, busy=False, failed=failed)
+        self.listener.on_carrier_idle(failed)

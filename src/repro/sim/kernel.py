@@ -8,11 +8,22 @@ MAC / routing layers, which interact with the kernel only through
 That keeps the hot loop (pop event, advance clock, call handler) free of
 indirection, which matters: a full paper-scale run executes tens of millions
 of events.  Profiling (per the optimisation guide: measure first) showed the
-heap operations and handler dispatch dominate; both are already minimal here.
+heap operations and handler dispatch dominate, so the hot loop is *fused*:
+:meth:`~repro.sim.event.EventQueue.pop_next` folds the historical
+``peek_time()`` + ``pop()`` pair into a single heap traversal, and
+:meth:`schedule` / :meth:`schedule_in` inline the queue push (one C-level
+heap operation per event instead of two Python frames).
+
+The pre-fusion loop survives as ``Simulator(fused=False)`` — the reference
+kernel.  Both dispatch the exact same event sequence (same ``(time,
+priority, seq)`` total order, same ``events_executed``); the equivalence
+suite in ``tests/sim/test_kernel_equivalence.py`` runs whole paper scenarios
+through both and compares results field by field.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.sim.event import Event, EventQueue
@@ -25,6 +36,11 @@ class SimulationError(RuntimeError):
 class Simulator:
     """A deterministic discrete-event simulator.
 
+    Args:
+        fused: use the fused single-traversal hot loop (default).  The
+            reference loop (``fused=False``) peeks then pops — bit-identical
+            dispatch, kept as the oracle for equivalence tests.
+
     Example:
         >>> sim = Simulator()
         >>> fired = []
@@ -34,14 +50,15 @@ class Simulator:
         [1.5]
     """
 
-    __slots__ = ("_queue", "_now", "_running", "_events_executed", "_stopped")
+    __slots__ = ("_queue", "_now", "_running", "_events_executed", "_stopped", "_fused")
 
-    def __init__(self) -> None:
+    def __init__(self, *, fused: bool = True) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._fused = fused
 
     # -- clock ---------------------------------------------------------------
 
@@ -60,45 +77,69 @@ class Simulator:
         """Number of live events still scheduled."""
         return len(self._queue)
 
+    @property
+    def fused(self) -> bool:
+        """Whether :meth:`run_until` uses the fused hot loop."""
+        return self._fused
+
     # -- scheduling ----------------------------------------------------------
 
     def schedule(
         self,
         time: float,
-        fn: Callable[[], Any],
-        *,
+        fn: Callable[..., Any],
         priority: int = 0,
         label: str = "",
+        args: tuple | None = None,
     ) -> Event:
         """Schedule ``fn`` at absolute simulation time ``time``.
 
         Scheduling in the past raises :class:`SimulationError`; scheduling at
         exactly ``now`` is allowed and fires after the current handler returns.
+        ``args`` are passed positionally to ``fn`` at fire time — high-rate
+        callers use this instead of allocating a closure per event.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time!r} < now={self._now!r} ({label or fn!r})"
             )
-        return self._queue.push(time, fn, priority=priority, label=label)
+        # Manually inlined EventQueue.push — this is the single hottest
+        # allocation site in a run (every signal edge and timer lands here).
+        q = self._queue
+        seq = q._seq
+        ev = Event(time, priority, seq, fn, label, q, args)
+        heappush(q._heap, (time, priority, seq, ev))
+        q._seq = seq + 1
+        q._live += 1
+        return ev
 
     def schedule_in(
         self,
         delay: float,
-        fn: Callable[[], Any],
-        *,
+        fn: Callable[..., Any],
         priority: int = 0,
         label: str = "",
+        args: tuple | None = None,
     ) -> Event:
         """Schedule ``fn`` after a non-negative relative ``delay``."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r} for {label or fn!r}")
-        return self._queue.push(self._now + delay, fn, priority=priority, label=label)
+        q = self._queue
+        seq = q._seq
+        ev = Event(self._now + delay, priority, seq, fn, label, q, args)
+        heappush(q._heap, (ev.time, priority, seq, ev))
+        q._seq = seq + 1
+        q._live += 1
+        return ev
 
     def cancel(self, event: Event | None) -> None:
-        """Cancel a previously scheduled event (no-op on None / already done)."""
-        if event is not None and not event.cancelled:
+        """Cancel a previously scheduled event (no-op on None / already done).
+
+        Equivalent to ``event.cancel()`` — queue bookkeeping lives on the
+        event itself, so cancelling directly is equally safe.
+        """
+        if event is not None:
             event.cancel()
-            self._queue.note_cancelled()
 
     # -- execution -----------------------------------------------------------
 
@@ -112,27 +153,71 @@ class Simulator:
             raise SimulationError("run_until re-entered — simulator is not reentrant")
         self._running = True
         self._stopped = False
-        queue = self._queue
         try:
-            while True:
-                if self._stopped:
-                    break
-                nxt = queue.peek_time()
-                if nxt is None or nxt > end_time:
-                    break
-                ev = queue.pop()
-                assert ev is not None and ev.fn is not None
-                self._now = ev.time
-                fn = ev.fn
-                ev.fn = None  # mark consumed; cheap guard against re-fire
-                self._events_executed += 1
-                fn()
+            if self._fused:
+                self._run_fused(end_time)
+            else:
+                self._run_reference(end_time)
             if not self._stopped and self._now < end_time:
                 # A drained queue still advances the clock to the horizon; a
                 # stop() leaves it at the stopping event's time.
                 self._now = end_time
         finally:
             self._running = False
+
+    def _run_fused(self, end_time: float) -> None:
+        """Hot loop: the ``pop_next`` traversal inlined over the raw heap.
+
+        Semantically identical to calling :meth:`EventQueue.pop_next` per
+        event; inlining removes one Python frame per event, which profiling
+        showed is measurable at paper scale.  Queue bookkeeping (``_live`` /
+        ``_dead``) is maintained exactly as ``pop_next`` does.
+        """
+        queue = self._queue
+        heap = queue._heap
+        while heap:
+            entry = heap[0]
+            ev = entry[3]
+            if ev.fn is None:
+                heappop(heap)
+                queue._dead -= 1
+                continue
+            if entry[0] > end_time:
+                break
+            heappop(heap)
+            queue._live -= 1
+            self._now = ev.time
+            fn = ev.fn
+            ev.fn = None  # mark consumed; cheap guard against re-fire
+            self._events_executed += 1
+            args = ev.args
+            if args is None:
+                fn()
+            else:
+                fn(*args)
+            if self._stopped:
+                break
+
+    def _run_reference(self, end_time: float) -> None:
+        """The pre-fusion loop (peek, compare, pop) — the dispatch oracle."""
+        queue = self._queue
+        while True:
+            if self._stopped:
+                break
+            nxt = queue.peek_time()
+            if nxt is None or nxt > end_time:
+                break
+            ev = queue.pop()
+            assert ev is not None and ev.fn is not None
+            self._now = ev.time
+            fn = ev.fn
+            ev.fn = None
+            self._events_executed += 1
+            args = ev.args
+            if args is None:
+                fn()
+            else:
+                fn(*args)
 
     def step(self) -> bool:
         """Dispatch exactly one event.  Returns False if the queue is empty."""
@@ -144,7 +229,11 @@ class Simulator:
         fn = ev.fn
         ev.fn = None
         self._events_executed += 1
-        fn()
+        args = ev.args
+        if args is None:
+            fn()
+        else:
+            fn(*args)
         return True
 
     def stop(self) -> None:

@@ -2,8 +2,29 @@
 
 A :class:`Tracer` collects :class:`TraceRecord` tuples and integer counters.
 Tracing is opt-in per category so that paper-scale runs pay nothing for
-categories nobody subscribed to: ``tracer.enabled(cat)`` is a set lookup and
-the record is only constructed when enabled.
+categories nobody subscribed to.
+
+Fast-path contract
+------------------
+Counters are **always exact** (every emission counts, stored or not);
+records are **opt-in** per category and capped by ``max_records`` — once the
+cap is hit further records are dropped *and counted* (``tracer.dropped`` /
+the ``trace.dropped`` counter) so truncated runs are visible in analysis.
+
+Hot emit sites do not call :meth:`Tracer.emit` (whose ``**detail`` kwargs
+dict would be allocated even for disabled categories).  They pre-bind an
+interned per-category :class:`TraceChannel` handle once, at construction::
+
+    h = tracer.handle("phy.tx")      # interned: one handle per category
+    ...
+    h.count += 1                     # hot path: a single integer add
+    if h.store:                      # only now is the detail dict built
+        h.record(now, node, frame=fid, power_w=p)
+
+``h.count`` *is* the category counter (pre-bound, no dict lookup), and the
+guard means the kwargs dict is never allocated when the category is not
+stored.  :meth:`Tracer.emit` remains as the convenient cold-path API and is
+exactly equivalent.
 
 Categories used by the stack:
 
@@ -19,13 +40,14 @@ Categories used by the stack:
 ``pcmac.pcn``         power-control notifications sent/heard
 ``net.route``         routing events (RREQ/RREP/RERR, route add/del)
 ``app.tx/app.rx``     application-layer send/deliver
+``trace.dropped``     records lost to the ``max_records`` cap (counter only)
 ====================  =====================================================
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 
@@ -60,39 +82,159 @@ class TraceRecord:
         return f"{self.time:.6f} {self.category} n{self.node} {kv}"
 
 
-@dataclass
+class TraceChannel:
+    """Interned per-category handle: pre-bound counter + store flag.
+
+    Attributes:
+        category: the category this handle counts.
+        count: exact number of emissions (hot sites increment directly).
+        store: True when records of this category are collected — the
+            call-site guard that keeps disabled categories allocation-free.
+    """
+
+    __slots__ = ("category", "count", "store", "_tracer")
+
+    def __init__(self, tracer: "Tracer", category: str, store: bool) -> None:
+        self.category = category
+        self.count = 0
+        self.store = store
+        self._tracer = tracer
+
+    def record(self, time: float, node: int, **detail: Any) -> None:
+        """Store one record (call only under an ``if handle.store`` guard).
+
+        Does *not* bump :attr:`count` — the caller already did.  Records
+        beyond the tracer's ``max_records`` cap are dropped and counted in
+        ``tracer.dropped`` so truncation is never silent.
+        """
+        tracer = self._tracer
+        records = tracer.records
+        if len(records) < tracer.max_records:
+            records.append(
+                TraceRecord(time, self.category, node, tuple(detail.items()))
+            )
+        else:
+            tracer.dropped += 1
+
+    def emit(self, time: float, node: int, **detail: Any) -> None:
+        """Count, and store a record when :attr:`store` is set."""
+        self.count += 1
+        if self.store:
+            self.record(time, node, **detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "stored" if self.store else "counted"
+        return f"TraceChannel({self.category!r}, n={self.count}, {state})"
+
+
 class Tracer:
     """Collects trace records for enabled categories plus global counters."""
 
-    enabled_categories: set[str] = field(default_factory=set)
-    records: list[TraceRecord] = field(default_factory=list)
-    counters: Counter = field(default_factory=Counter)
-    #: Hard cap on stored records to bound memory in long runs.
-    max_records: int = 2_000_000
+    __slots__ = (
+        "enabled_categories",
+        "records",
+        "max_records",
+        "dropped",
+        "_handles",
+        "_extra",
+    )
+
+    #: Default hard cap on stored records to bound memory in long runs.
+    DEFAULT_MAX_RECORDS = 2_000_000
+
+    def __init__(
+        self,
+        enabled_categories: Iterable[str] | None = None,
+        max_records: int = DEFAULT_MAX_RECORDS,
+    ) -> None:
+        self.enabled_categories: set[str] = set(enabled_categories or ())
+        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        #: Records lost to the ``max_records`` cap (0 = nothing truncated).
+        self.dropped = 0
+        self._handles: dict[str, TraceChannel] = {}
+        self._extra: Counter = Counter()
+
+    # ------------------------------------------------------------- categories
+
+    def handle(self, category: str) -> TraceChannel:
+        """The interned :class:`TraceChannel` for ``category``.
+
+        Hot emit sites call this once at construction and keep the handle;
+        repeated calls return the same object, so counts aggregate globally.
+        """
+        h = self._handles.get(category)
+        if h is None:
+            h = TraceChannel(self, category, category in self.enabled_categories)
+            self._handles[category] = h
+        return h
 
     def enable(self, *categories: str) -> None:
         """Enable record collection for the given categories."""
         self.enabled_categories.update(categories)
+        for cat in categories:
+            self.handle(cat).store = True
 
     def enabled(self, category: str) -> bool:
         """True if records of ``category`` are being stored."""
         return category in self.enabled_categories
 
+    # ------------------------------------------------------------------- emit
+
     def emit(self, time: float, category: str, node: int, **detail: Any) -> None:
-        """Store a record if its category is enabled (counters always bump)."""
-        self.counters[category] += 1
-        if category in self.enabled_categories and len(self.records) < self.max_records:
-            self.records.append(
-                TraceRecord(time, category, node, tuple(detail.items()))
-            )
+        """Store a record if its category is enabled (counters always bump).
+
+        Cold-path convenience; hot sites pre-bind :meth:`handle` instead
+        (see the module docstring for the pattern).
+        """
+        h = self._handles.get(category)
+        if h is None:
+            h = self.handle(category)
+        h.count += 1
+        if h.store:
+            h.record(time, node, **detail)
 
     def count(self, category: str) -> int:
-        """Number of emissions of ``category`` (whether or not stored)."""
-        return self.counters[category]
+        """Number of emissions of ``category`` (whether or not stored).
+
+        ``"trace.dropped"`` additionally includes records lost to the
+        ``max_records`` cap, matching :attr:`counters`.
+        """
+        h = self._handles.get(category)
+        total = (h.count if h is not None else 0) + self._extra[category]
+        if category == "trace.dropped":
+            total += self.dropped
+        return total
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a named counter without a record."""
-        self.counters[counter] += amount
+        self._extra[counter] += amount
+
+    @property
+    def counters(self) -> Counter:
+        """All counters merged into one :class:`~collections.Counter`.
+
+        Built on access (analysis-time, not hot-path): per-category handle
+        counts, :meth:`bump` counters, and ``trace.dropped`` when any
+        records were lost to the cap.  The returned Counter is a snapshot —
+        mutating it does not affect the tracer; write through :meth:`bump`
+        (or a handle's ``count``) instead.
+        """
+        merged = Counter()
+        for cat, h in self._handles.items():
+            if h.count:
+                merged[cat] += h.count
+        merged.update(self._extra)
+        if self.dropped:
+            merged["trace.dropped"] += self.dropped
+        return merged
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one record was dropped at the cap."""
+        return self.dropped > 0
+
+    # ------------------------------------------------------------------ query
 
     def query(
         self, category: str | None = None, node: int | None = None
@@ -108,7 +250,10 @@ class Tracer:
     def clear(self) -> None:
         """Drop all stored records and counters."""
         self.records.clear()
-        self.counters.clear()
+        self.dropped = 0
+        self._extra.clear()
+        for h in self._handles.values():
+            h.count = 0
 
 
 #: A process-wide tracer that ignores everything; used as the default so the

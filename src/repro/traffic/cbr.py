@@ -37,7 +37,8 @@ class CbrSource:
         self.stop_s = stop_s
         self._seq = 0
         self.sent = 0
-        node.sim.schedule(start_s, self._emit, label=f"cbr.{flow_id}")
+        self._label = f"cbr.{flow_id}"  # built once, not per packet
+        node.sim.schedule(start_s, self._emit, label=self._label)
 
     def _emit(self) -> None:
         now = self.node.sim.now
@@ -55,4 +56,4 @@ class CbrSource:
         )
         self.sent += 1
         self.node.app_send(packet)
-        self.node.sim.schedule_in(self.interval_s, self._emit, label=f"cbr.{self.flow_id}")
+        self.node.sim.schedule_in(self.interval_s, self._emit, label=self._label)

@@ -41,7 +41,8 @@ class PoissonSource:
         self._rng = rng
         self._seq = 0
         self.sent = 0
-        node.sim.schedule(start_s, self._emit, label=f"poisson.{flow_id}")
+        self._label = f"poisson.{flow_id}"  # built once, not per packet
+        node.sim.schedule(start_s, self._emit, label=self._label)
 
     def _emit(self) -> None:
         now = self.node.sim.now
@@ -60,4 +61,4 @@ class PoissonSource:
         self.sent += 1
         self.node.app_send(packet)
         gap = float(self._rng.exponential(self.mean_interval_s))
-        self.node.sim.schedule_in(gap, self._emit, label=f"poisson.{self.flow_id}")
+        self.node.sim.schedule_in(gap, self._emit, label=self._label)

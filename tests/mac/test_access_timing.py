@@ -60,9 +60,9 @@ class TestBackoffFreezing:
         h.send(0, 1)
         h.run(0.0001)
         mac.on_carrier_busy()
-        assert mac._access_event is None
+        assert not mac._access_timer.armed
         mac.on_carrier_idle(failed=False)
-        assert mac._access_event is not None
+        assert mac._access_timer.armed
 
 
 class TestNavWake:
@@ -73,7 +73,7 @@ class TestNavWake:
         mac.nav.set(0.010)
         h.send(0, 1)
         h.run(0.0001)
-        assert mac._access_event is not None
+        assert mac._access_timer.armed
         assert mac._access_is_countdown is False
 
     def test_transmission_starts_after_nav_expiry(self, tracer):

@@ -1,4 +1,4 @@
-"""Event queue ordering and cancellation tests."""
+"""Event queue ordering, cancellation bookkeeping and compaction tests."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.event import EventQueue
+from repro.sim.event import COMPACT_MIN_DEAD, EventQueue
 
 
 class TestOrdering:
@@ -44,13 +44,53 @@ class TestOrdering:
         assert popped == sorted(times)
 
 
+class TestPopNext:
+    """The fused peek+pop traversal must behave exactly like the pair."""
+
+    def test_pop_next_respects_horizon(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None, label="a")
+        q.push(3.0, lambda: None, label="b")
+        assert q.pop_next(2.0).label == "a"
+        assert q.pop_next(2.0) is None
+        assert len(q) == 1  # "b" untouched
+        assert q.pop_next(5.0).label == "b"
+        assert q.pop_next(5.0) is None
+
+    def test_pop_next_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None, label="dead")
+        q.push(1.5, lambda: None, label="live")
+        ev.cancel()
+        assert q.pop_next(2.0).label == "live"
+
+    def test_pop_next_empty_queue(self):
+        assert EventQueue().pop_next(10.0) is None
+
+    def test_pop_next_matches_peek_pop_pair(self):
+        mk = lambda: [  # noqa: E731 - local table
+            (0.5, "a"), (2.0, "b"), (2.0, "c"), (7.0, "d")
+        ]
+        fused, paired = EventQueue(), EventQueue()
+        for t, lbl in mk():
+            fused.push(t, lambda: None, label=lbl)
+            paired.push(t, lambda: None, label=lbl)
+        horizon = 2.0
+        got_fused = []
+        while (ev := fused.pop_next(horizon)) is not None:
+            got_fused.append(ev.label)
+        got_paired = []
+        while (nxt := paired.peek_time()) is not None and nxt <= horizon:
+            got_paired.append(paired.pop().label)
+        assert got_fused == got_paired == ["a", "b", "c"]
+
+
 class TestCancellation:
     def test_cancelled_event_is_skipped(self):
         q = EventQueue()
         ev1 = q.push(1.0, lambda: None, label="a")
         q.push(2.0, lambda: None, label="b")
         ev1.cancel()
-        q.note_cancelled()
         assert q.pop().label == "b"
 
     def test_len_counts_live_events(self):
@@ -58,6 +98,37 @@ class TestCancellation:
         ev = q.push(1.0, lambda: None)
         q.push(2.0, lambda: None)
         assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_direct_cancel_updates_live_count(self):
+        """Regression: Event.cancel() alone must keep len(queue) correct.
+
+        Historically the count only stayed correct when cancellation went
+        through Simulator.cancel (which called note_cancelled); a direct
+        event.cancel() silently corrupted ``pending_events``.
+        """
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        ev.cancel()  # no note_cancelled call — bookkeeping is self-contained
+        assert len(q) == 1
+        assert q.pop() is not None
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert len(q) == 0
+
+    def test_note_cancelled_is_a_noop(self):
+        """The legacy hook must not double-count on top of Event.cancel."""
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
         ev.cancel()
         q.note_cancelled()
         assert len(q) == 1
@@ -67,7 +138,6 @@ class TestCancellation:
         ev = q.push(1.0, lambda: None)
         q.push(5.0, lambda: None)
         ev.cancel()
-        q.note_cancelled()
         assert q.peek_time() == 5.0
 
     def test_empty_queue(self):
@@ -75,3 +145,55 @@ class TestCancellation:
         assert q.pop() is None
         assert q.peek_time() is None
         assert not q
+
+
+class TestCompaction:
+    def test_explicit_compact_preserves_live_events(self):
+        q = EventQueue()
+        keep = [q.push(float(k), lambda: None, label=f"k{k}") for k in range(10)]
+        drop = [q.push(float(k) + 0.5, lambda: None) for k in range(10)]
+        for ev in drop:
+            ev.cancel()
+        q.compact()
+        assert len(q) == 10
+        assert q._dead == 0
+        assert [q.pop().label for _ in range(10)] == [e.label for e in keep]
+
+    def test_compact_on_empty_queue(self):
+        q = EventQueue()
+        q.compact()
+        assert q.pop() is None
+
+    def test_mass_cancellation_triggers_auto_compaction(self):
+        q = EventQueue()
+        events = [q.push(float(k), lambda: None) for k in range(2 * COMPACT_MIN_DEAD)]
+        survivor = q.push(1e9, lambda: None, label="survivor")
+        for ev in events:
+            ev.cancel()
+        # The heap must have been purged (not still hold every dead tuple);
+        # at most one compaction threshold's worth of dead entries remains.
+        assert len(q._heap) <= COMPACT_MIN_DEAD
+        assert len(q) == 1
+        assert q.pop().label == "survivor"
+
+    def test_compaction_does_not_reorder(self):
+        """Compacted and uncompacted queues pop the identical sequence."""
+
+        def fill(q):
+            events = []
+            for k in range(60):
+                events.append(
+                    q.push(float(k % 7), lambda: None, priority=k % 3, label=f"e{k}")
+                )
+            return events
+
+        compacted, plain = EventQueue(), EventQueue()
+        for q in (compacted, plain):
+            for k, ev in enumerate(fill(q)):
+                if k % 3 == 0:
+                    ev.cancel()
+        compacted.compact()
+        got = [ev.label for ev in iter(compacted.pop, None)]
+        want = [ev.label for ev in iter(plain.pop, None)]
+        assert got == want
+        assert len(got) == 40

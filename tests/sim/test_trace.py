@@ -28,6 +28,84 @@ class TestGating:
         assert len(t.records) == 5
         assert t.count("x") == 10
 
+    def test_truncation_is_counted_not_silent(self):
+        t = Tracer(max_records=3)
+        t.enable("x")
+        for k in range(10):
+            t.emit(float(k), "x", 0)
+        assert t.dropped == 7
+        assert t.truncated
+        assert t.count("trace.dropped") == 7
+        assert t.counters["trace.dropped"] == 7
+
+    def test_no_truncation_reports_clean(self):
+        t = Tracer()
+        t.enable("x")
+        t.emit(1.0, "x", 0)
+        assert t.dropped == 0
+        assert not t.truncated
+        assert "trace.dropped" not in t.counters
+
+
+class TestHandles:
+    """The pre-bound fast-path handles (see the module docstring contract)."""
+
+    def test_handle_is_interned(self):
+        t = Tracer()
+        assert t.handle("phy.tx") is t.handle("phy.tx")
+
+    def test_handle_counts_aggregate_with_emit(self):
+        t = Tracer()
+        h = t.handle("mac.drop")
+        h.count += 1  # the hot-path idiom
+        t.emit(1.0, "mac.drop", 0, reason="x")  # the cold-path API
+        h.emit(2.0, 0, reason="y")
+        assert t.count("mac.drop") == 3
+        assert t.counters["mac.drop"] == 3
+
+    def test_disabled_handle_stores_nothing(self):
+        t = Tracer()
+        h = t.handle("phy.tx")
+        assert not h.store
+        h.emit(1.0, 3, frame=7)
+        assert t.count("phy.tx") == 1
+        assert list(t.query()) == []
+
+    def test_enable_flips_existing_handles(self):
+        t = Tracer()
+        h = t.handle("phy.tx")  # bound before enable(), as radios do
+        t.enable("phy.tx")
+        assert h.store
+        h.emit(1.0, 3, frame=7)
+        assert [r.get("frame") for r in t.query("phy.tx")] == [7]
+
+    def test_handle_bound_after_enable_stores(self):
+        t = Tracer()
+        t.enable("phy.tx")
+        h = t.handle("phy.tx")
+        assert h.store
+
+    def test_record_respects_cap_and_counts_drops(self):
+        t = Tracer(max_records=1)
+        t.enable("x")
+        h = t.handle("x")
+        h.emit(1.0, 0)
+        h.emit(2.0, 0)
+        assert len(t.records) == 1
+        assert t.dropped == 1
+        assert h.count == 2  # counters stay exact through truncation
+
+    def test_truncation_note_helper(self):
+        from repro.analysis.report import trace_truncation_note
+
+        t = Tracer(max_records=1)
+        t.enable("x")
+        assert trace_truncation_note(t) is None
+        t.emit(1.0, "x", 0)
+        t.emit(2.0, "x", 0)
+        note = trace_truncation_note(t)
+        assert note is not None and "truncated" in note and "1 record" in note
+
 
 class TestQueries:
     def test_filter_by_node(self):
@@ -57,6 +135,9 @@ class TestQueries:
         t = Tracer()
         t.enable("a")
         t.emit(1.0, "a", 0)
+        t.bump("custom")
         t.clear()
         assert t.count("a") == 0
+        assert t.count("custom") == 0
+        assert t.dropped == 0
         assert list(t.query()) == []

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Measure whole-run engine throughput and dump ``BENCH_engine.json``.
+
+Where ``tools/bench_phy.py`` times one hot call (``Channel.transmit``),
+this harness times *entire runs* — build a paper scenario, execute it to
+its horizon, and report events/sec and wall time.  That is the number the
+campaign subsystem actually multiplies by hundreds of runs per sweep, and
+it exercises every layer of the per-event hot path at once: kernel pop,
+MAC timers, PHY fan-out, radio bookkeeping, tracing and metrics.
+
+Grid: protocol (basic, pcmac) × mobility (static, mobile) × N ∈ {10, 50,
+200}, matching the paper's Section IV environment (the sim horizon shrinks
+as N grows so every cell costs roughly the same wall time).
+
+    PYTHONPATH=src python tools/bench_engine.py                 # writes BENCH_engine.json
+    PYTHONPATH=src python tools/bench_engine.py --repeat 5 --out /tmp/e.json
+    # compare against a previous run (e.g. one taken on an older commit):
+    PYTHONPATH=src python tools/bench_engine.py --baseline OLD.json
+
+Each cell reports the best-of-``--repeat`` run (highest events/sec; the
+event count itself is deterministic and is asserted identical across
+repeats).  With ``--baseline`` the output embeds the old numbers and a
+per-cell speedup so the perf trajectory is a checked-in number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from dataclasses import replace  # noqa: E402
+
+from repro.config import ScenarioConfig  # noqa: E402
+from repro.experiments.scenario import build_network  # noqa: E402
+
+#: Simulated horizon per network size [s] — sized so each cell takes on the
+#: order of a second of wall time and the grid stays runnable in CI-ish time.
+DURATIONS_S = {10: 25.0, 50: 4.0, 200: 2.5}
+PROTOCOLS = ("basic", "pcmac")
+MOBILITIES = (("static", False), ("mobile", True))
+SEED = 7
+
+
+def run_cell(protocol: str, mobile: bool, n: int, repeat: int) -> dict:
+    """Best-of-``repeat`` whole-run measurement for one grid cell."""
+    cfg = replace(ScenarioConfig(), node_count=n, duration_s=DURATIONS_S[n], seed=SEED)
+    best = None
+    events = None
+    for _ in range(repeat):
+        net = build_network(cfg, protocol, mobile=mobile)
+        t0 = time.perf_counter()
+        net.sim.run_until(cfg.duration_s)
+        wall = time.perf_counter() - t0
+        executed = net.sim.events_executed
+        if events is None:
+            events = executed
+        elif executed != events:
+            raise AssertionError(
+                f"non-deterministic run: {executed} events vs {events}"
+            )
+        if best is None or wall < best:
+            best = wall
+    return {
+        "scenario": f"{protocol}-{'mobile' if mobile else 'static'}-n{n}",
+        "protocol": protocol,
+        "mobile": mobile,
+        "n": n,
+        "sim_duration_s": DURATIONS_S[n],
+        "events": events,
+        "wall_s": round(best, 4),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(ROOT / "BENCH_engine.json"))
+    ap.add_argument("--repeat", type=int, default=3, help="best-of repeats")
+    ap.add_argument(
+        "--baseline",
+        default=None,
+        help="previous bench_engine JSON to embed and compute speedups against",
+    )
+    args = ap.parse_args(argv)
+
+    results = []
+    for protocol in PROTOCOLS:
+        for mob_name, mobile in MOBILITIES:
+            for n in sorted(DURATIONS_S):
+                row = run_cell(protocol, mobile, n, args.repeat)
+                results.append(row)
+                print(
+                    f"{row['scenario']:>20}  {row['events']:>9d} events  "
+                    f"{row['wall_s']:7.3f} s  {row['events_per_sec']:>10,.0f} ev/s"
+                )
+
+    payload = {
+        "benchmark": "engine_whole_run",
+        "schema": 1,
+        "generated_by": "tools/bench_engine.py",
+        "config": {
+            "repeat": args.repeat,
+            "seed": SEED,
+            "durations_s": {str(k): v for k, v in sorted(DURATIONS_S.items())},
+            "unit": "events per second of wall time, whole run (build excluded)",
+        },
+        "results": results,
+    }
+
+    if args.baseline:
+        base = json.loads(Path(args.baseline).read_text())
+        base_by_name = {r["scenario"]: r for r in base.get("results", [])}
+        speedups = {}
+        for row in results:
+            old = base_by_name.get(row["scenario"])
+            if old is None:
+                continue
+            if old["events"] != row["events"]:
+                print(
+                    f"WARNING: {row['scenario']} event count changed "
+                    f"{old['events']} -> {row['events']} (schedule not comparable)"
+                )
+            row["baseline_events_per_sec"] = old["events_per_sec"]
+            speedup = row["events_per_sec"] / old["events_per_sec"]
+            row["speedup"] = round(speedup, 2)
+            speedups[row["scenario"]] = row["speedup"]
+            print(f"{row['scenario']:>20}  speedup {speedup:5.2f}x")
+        payload["baseline"] = {
+            "generated_by": base.get("generated_by"),
+            "note": "measured on the pre-optimisation engine (see git history)",
+            "results": list(base_by_name.values()),
+        }
+        payload["speedup_vs_baseline"] = speedups
+
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
