@@ -11,9 +11,9 @@ range table.
 
 Scenarios are *data*: a :class:`~repro.scenariospec.ScenarioSpec` names one
 registered component per slot (mac / placement / mobility / routing /
-traffic / propagation — see ``python -m repro list``) plus the numeric
-:class:`~repro.config.ScenarioConfig`, and round-trips through JSON with a
-stable content hash.
+traffic / propagation / energy — see ``python -m repro list``) plus the
+numeric :class:`~repro.config.ScenarioConfig`, and round-trips through JSON
+with a stable content hash.
 
 Quickstart::
 
@@ -29,6 +29,7 @@ a compatibility shim over the same builder.)
 
 from repro.builder import NetworkBuilder
 from repro.campaign import Campaign, ResultStore, RunSpec, run_campaign
+from repro.energy import EnergyModel, EnergyReport, NodeEnergy
 from repro.config import (
     AodvConfig,
     MacConfig,
@@ -61,7 +62,10 @@ __all__ = [
     "BuiltNetwork",
     "Campaign",
     "ComponentSpec",
+    "EnergyModel",
+    "EnergyReport",
     "ExperimentResult",
+    "NodeEnergy",
     "MAC_REGISTRY",
     "MacConfig",
     "MobilityConfig",

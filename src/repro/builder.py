@@ -31,6 +31,10 @@ validated params as keyword arguments.  What each slot must return:
 ``traffic``
     called once as ``factory(ctx, nodes, pairs, **params)``; returns the
     list of application sources (already scheduled on the simulator).
+``energy``
+    an :class:`EnergyPlan` (draw model + wiring options), or ``None`` for
+    the null model — then **no** energy instrumentation is attached and the
+    run is bit-identical to a pre-energy build.  Context: ``cfg`` only.
 
 The call order (and the named RNG streams each builtin consumes) reproduces
 the historical ``build_network`` exactly, which is what keeps the
@@ -56,9 +60,28 @@ from repro.sim.rng import RngRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.energy.model import EnergyModel
     from repro.experiments.scenario import BuiltNetwork
     from repro.net.node import Node
     from repro.phy.propagation import PropagationModel
+
+
+@dataclass(frozen=True)
+class EnergyPlan:
+    """What a (non-null) energy component returns: model + wiring options."""
+
+    #: Per-state draw model applied to every metered radio.
+    model: "EnergyModel"
+    #: Finite per-node battery capacity [J]; 0 means mains-powered (no
+    #: battery object, no depletion events — the event schedule then stays
+    #: identical to an unmetered run).  A tuple gives node ``i`` capacity
+    #: ``battery_j[i]`` (length must equal the node count; 0 entries stay
+    #: mains-powered), so heterogeneous-lifetime scenarios are pure data.
+    battery_j: "float | tuple[float, ...]" = 0.0
+    #: Also meter PCMAC's control radio (off by default: the paper treats
+    #: the power control channel as a negligible, low-rate transceiver —
+    #: see docs/model-assumptions.md).
+    meter_control: bool = False
 
 
 @dataclass(frozen=True)
@@ -88,6 +111,7 @@ class BuildContext:
     noise: ConstantNoise
     propagation: "PropagationModel | None" = None
     mobility_plan: MobilityPlan | None = None
+    energy_plan: EnergyPlan | None = None
     data_channel: Channel | None = None
     control_channel: Channel | None = None
     positions: list[Position] = field(default_factory=list)
@@ -132,6 +156,58 @@ def pick_flow_pairs(
         seen.add((src, dst))
         pairs.append((src, dst))
     return pairs
+
+
+def _wire_energy(ctx: BuildContext, node: "Node", radio: Radio) -> None:
+    """Attach meters (and optionally a battery) to one node's radios.
+
+    Only called for non-null energy plans, so the null model leaves the
+    network object graph — and therefore the event schedule — untouched.
+    The data radio is always metered; PCMAC's control radio only when the
+    plan asks (its radio hangs off ``mac.control``).  A finite battery
+    installs the node-death hook: power off the meters (the battery does
+    that first), detach every radio from its channel, shut the MAC down,
+    and notify routing — neighbours then discover the dead hop through the
+    normal retry/RERR machinery and route around it.
+    """
+    from repro.energy.battery import Battery
+    from repro.energy.meter import EnergyLedger, RadioPowerMeter
+
+    plan = ctx.energy_plan
+    battery_j = plan.battery_j
+    if isinstance(battery_j, tuple):
+        battery_j = battery_j[node.node_id]
+    battery = Battery(ctx.sim, battery_j) if battery_j > 0 else None
+    ledger = EnergyLedger(node.node_id, battery=battery)
+    radio.power_meter = RadioPowerMeter(
+        ctx.sim, plan.model, ledger, battery=battery
+    )
+    control_agent = getattr(node.mac, "control", None)
+    if plan.meter_control and control_agent is not None:
+        control_agent.radio.power_meter = RadioPowerMeter(
+            ctx.sim, plan.model, ledger, battery=battery
+        )
+    node.energy = ledger
+
+    if battery is not None:
+        data_channel = ctx.data_channel
+        control_channel = ctx.control_channel
+
+        def _drop_orphan(packet) -> None:
+            # Mirror AODV's link-failure accounting: only data packets are
+            # metered losses; routing control traffic just evaporates.
+            if getattr(packet, "kind", None) == "data":
+                node.metrics_drop(packet, "node_dead")
+
+        def _on_depleted(now: float) -> None:
+            ledger.died_at_s = now
+            data_channel.detach(radio)
+            if control_agent is not None and control_channel is not None:
+                control_channel.detach(control_agent.radio)
+            node.mac.shutdown(on_packet_drop=_drop_orphan)
+            node.routing.on_node_down()
+
+        battery.on_depleted.append(_on_depleted)
 
 
 class NetworkBuilder:
@@ -215,6 +291,18 @@ class NetworkBuilder:
         prop_entry, prop_params = resolved["propagation"]
         ctx.propagation = prop_entry.factory(ctx, **prop_params)
 
+        energy_entry, energy_params = resolved["energy"]
+        ctx.energy_plan = energy_entry.factory(ctx, **energy_params)
+        if ctx.energy_plan is not None and isinstance(
+            ctx.energy_plan.battery_j, tuple
+        ):
+            if len(ctx.energy_plan.battery_j) != cfg.node_count:
+                raise ValueError(
+                    f"energy {energy_entry.name!r}: battery_j lists "
+                    f"{len(ctx.energy_plan.battery_j)} capacities for "
+                    f"{cfg.node_count} nodes"
+                )
+
         ctx.mobility_plan = mobility_entry.factory(ctx, **mobility_params)
         channel_kwargs = dict(
             interference_floor_w=cfg.phy.interference_floor_w,
@@ -254,18 +342,19 @@ class NetworkBuilder:
             ctx.data_channel.attach(radio)
             mac = make_mac(i, mobility, radio)
             router = make_router(i)
-            nodes.append(
-                Node(
-                    ctx.sim,
-                    i,
-                    mobility=mobility,
-                    mac=mac,
-                    routing=router,
-                    metrics=metrics,
-                    rngs=ctx.rngs,
-                    tracer=ctx.tracer,
-                )
+            node = Node(
+                ctx.sim,
+                i,
+                mobility=mobility,
+                mac=mac,
+                routing=router,
+                metrics=metrics,
+                rngs=ctx.rngs,
+                tracer=ctx.tracer,
             )
+            if ctx.energy_plan is not None:
+                _wire_energy(ctx, node, radio)
+            nodes.append(node)
 
         if spec.flow_pairs is not None:
             for src, dst in spec.flow_pairs:

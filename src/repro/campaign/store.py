@@ -45,6 +45,7 @@ def result_to_dict(result: "ExperimentResult") -> dict:
 
 def result_from_dict(data: dict) -> "ExperimentResult":
     """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
+    from repro.energy.report import EnergyReport, NodeEnergy
     from repro.experiments.scenario import ExperimentResult, FlowSummary
 
     payload = dict(data)
@@ -52,6 +53,15 @@ def result_from_dict(data: dict) -> "ExperimentResult":
         FlowSummary(**flow) for flow in payload.get("flows", ())
     )
     payload["drops"] = {str(k): int(v) for k, v in payload["drops"].items()}
+    energy = payload.get("energy")
+    if energy is not None:
+        payload["energy"] = EnergyReport(
+            model=energy["model"],
+            nodes=tuple(NodeEnergy(**node) for node in energy["nodes"]),
+        )
+    else:
+        # Pre-energy store lines lack the key entirely.
+        payload["energy"] = None
     return ExperimentResult(**payload)
 
 

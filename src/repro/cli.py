@@ -10,6 +10,9 @@ Experiments:
 * ``quickrun`` (alias ``quick``) — one scenario, one protocol, printed
   summary; ``--scenario spec.json`` runs a scenario defined purely as data
   through the declarative builder and prints its content key
+* ``energy`` — run one declarative scenario and print its per-node,
+  per-state energy table (and battery deaths, if any); the scenario's
+  ``energy`` component selects the accounting model
 * ``campaign`` — a protocol × load × seed grid through the parallel
   campaign runner, with an optional content-addressed result store
 
@@ -97,6 +100,15 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     q.add_argument("--duration", type=float, default=30.0)
     q.add_argument("--load-kbps", type=float, default=400.0)
     q.add_argument("--seed", type=int, default=1)
+
+    e = sub.add_parser(
+        "energy",
+        help="run a scenario and print its per-node/per-state energy table",
+    )
+    e.add_argument("--scenario", type=str, required=True,
+                   help="declarative ScenarioSpec JSON file; give it a "
+                        "non-null energy component (e.g. wavelan) to "
+                        "enable accounting")
 
     c = sub.add_parser(
         "campaign",
@@ -247,6 +259,30 @@ def _run_quick(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_energy(args: argparse.Namespace) -> int:
+    """Run one declarative scenario and print its energy accounting."""
+    from repro.metrics.summary import energy_node_table, summarise_energy
+
+    spec = ScenarioSpec.load(args.scenario)
+    print(f"scenario: {args.scenario}")
+    print(f"  energy model: {spec.energy}")
+    print(f"  key: {spec.key()}")
+    result = spec.build().run()
+    print(result.row())
+    print()
+    print(energy_node_table(result))
+    summary = summarise_energy(result)
+    if summary is not None:
+        print()
+        print(
+            f"full-stack energy per delivered bit: "
+            f"{summary.energy_per_bit_j * 1e6:.2f} J/Mbit "
+            f"(radiated only: {summary.radiated_j:.5f} J of "
+            f"{summary.total_j:.2f} J total)"
+        )
+    return 0
+
+
 def _run_campaign(args: argparse.Namespace) -> int:
     base = ScenarioConfig(node_count=args.nodes, duration_s=args.duration)
     campaign = Campaign.build(
@@ -308,6 +344,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_list()
     if args.experiment in ("quickrun", "quick"):
         return _run_quick(args)
+    if args.experiment == "energy":
+        return _run_energy(args)
     if args.experiment == "campaign":
         return _run_campaign(args)
     return 2  # pragma: no cover - argparse enforces choices

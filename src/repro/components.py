@@ -20,7 +20,8 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING
 
-from repro.builder import BuildContext, MobilityPlan
+from repro.builder import BuildContext, EnergyPlan, MobilityPlan
+from repro.energy.model import EnergyModel
 from repro.core.pcmac import PcmacMac
 from repro.mac.basic import Basic80211Mac
 from repro.mac.scheme1 import Scheme1Mac
@@ -48,6 +49,7 @@ _mobility = registry("mobility")
 _routing = registry("routing")
 _traffic = registry("traffic")
 _propagation = registry("propagation")
+_energy = registry("energy")
 
 
 # ---------------------------------------------------------------------------
@@ -302,6 +304,61 @@ def _poisson(ctx: BuildContext, nodes: "list[Node]", pairs):
         )
         for k, (src, dst) in enumerate(pairs)
     ]
+
+
+# ---------------------------------------------------------------------------
+# Energy
+# ---------------------------------------------------------------------------
+
+
+@_energy.register(
+    "null",
+    doc="no energy accounting (default; zero instrumentation, bit-identical)",
+)
+def _null_energy(ctx: BuildContext):
+    return None
+
+
+@_energy.register(
+    "wavelan",
+    params=(
+        Param("tx_base_w", float, 1.3682),
+        Param("tx_scale", float, 1.0),
+        Param("rx_w", float, 1.4),
+        Param("idle_w", float, 1.15),
+        Param("sleep_w", float, 0.045),
+        Param("battery_j", (float, list, tuple), 0.0),
+        Param("meter_control", bool, False),
+    ),
+    doc="WaveLAN-style per-state draws (1.65/1.4/1.15 W); battery_j>0 adds "
+        "finite batteries and node death (a list gives node i battery_j[i])",
+)
+def _wavelan_energy(
+    ctx: BuildContext,
+    tx_base_w: float,
+    tx_scale: float,
+    rx_w: float,
+    idle_w: float,
+    sleep_w: float,
+    battery_j: float,
+    meter_control: bool,
+):
+    if isinstance(battery_j, (list, tuple)):
+        battery_j = tuple(float(b) for b in battery_j)
+        if any(b < 0 for b in battery_j):
+            raise ValueError("battery_j entries must be non-negative")
+    elif battery_j < 0:
+        raise ValueError(f"battery_j must be non-negative, got {battery_j!r}")
+    model = EnergyModel(
+        tx_base_w=tx_base_w,
+        tx_scale=tx_scale,
+        rx_w=rx_w,
+        idle_w=idle_w,
+        sleep_w=sleep_w,
+    )
+    return EnergyPlan(
+        model=model, battery_j=battery_j, meter_control=meter_control
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -58,7 +58,13 @@ class ControlChannelAgent:
         self._tr_pcn = tracer.handle("pcmac.pcn")
         self.registry = ActiveReceiverRegistry()
         self.stats = {"pcn_sent": 0, "pcn_heard": 0, "pcn_lost": 0, "pcn_skipped": 0}
+        self._dead = False
         radio.listener = self
+
+    def shutdown(self) -> None:
+        """Node power-down: never broadcast again, ignore the radio."""
+        self._dead = True
+        self.radio.mute()
 
     # ------------------------------------------------------------- transmit
 
@@ -88,6 +94,10 @@ class ControlChannelAgent:
         self._send_pcn(tolerance_w, reception_end)
 
     def _send_pcn(self, tolerance_w: float, reception_end: float) -> None:
+        if self._dead:
+            # A pending pcn_repeat event may outlive a battery death; a
+            # dead node transmits nothing.
+            return
         if self.radio.transmitting:
             # A previous PCN is still on the air (possible with repeats and
             # back-to-back receptions); skip rather than queue.

@@ -92,6 +92,11 @@ class PcmacMac(DcfMac):
         self.sent_table = SentTable()
         self.received_table = ReceivedTable()
 
+    def shutdown(self, on_packet_drop=None) -> None:
+        """Power down both the data MAC and the control-channel agent."""
+        super().shutdown(on_packet_drop)
+        self.control.shutdown()
+
     # ------------------------------------------------------------ power policy
 
     def power_for_rts(self, next_hop: int) -> float:

@@ -1,0 +1,49 @@
+"""Full-stack energy accounting: radio power states, batteries, lifetimes.
+
+The paper's headline claim is that PCMAC saves transmit energy *without*
+degrading throughput.  Verifying that claim needs more than the MAC's
+radiated-energy counter: a real radio burns power while decoding, while
+idle-listening, and (far less) while asleep — and the receive/idle side is
+where most of a node's battery actually goes (Feeney & Nilsson's WaveLAN
+measurements; cross-layer treatments such as Comaniciu & Poor,
+arXiv:0704.3588).  This package books all of it:
+
+* :class:`~repro.energy.model.EnergyModel` — per-state draw [W], with the
+  transmit draw an affine function of the actual radiated power;
+* :class:`~repro.energy.meter.RadioPowerMeter` — a per-radio power-state
+  machine (TX / RX / IDLE / SLEEP) driven synchronously by the radio's own
+  transitions.  It schedules **no events**: state residency is integrated
+  lazily at each transition, so a metered run executes the exact same event
+  sequence as an unmetered one;
+* :class:`~repro.energy.meter.EnergyLedger` — the per-node accumulator
+  (joules and seconds per state, plus radiated TX energy);
+* :class:`~repro.energy.battery.Battery` — an optional finite reserve.
+  Batteries *do* schedule (and re-arm) one predicted-depletion event, so
+  node death lands at the exact depletion instant; scenarios without
+  batteries stay event-schedule identical to unmetered runs;
+* :class:`~repro.energy.report.EnergyReport` — the per-run summary carried
+  by :class:`~repro.experiments.scenario.ExperimentResult`, including
+  network-lifetime figures (time to first / last node death).
+
+Scenario wiring goes through the ``energy`` component slot
+(:mod:`repro.registry`): the default ``null`` component performs **zero**
+instrumentation — no meters, no ledgers, bit-identical results — while
+``wavelan`` enables the WaveLAN-style 1.65 / 1.4 / 1.15 W model and an
+optional per-node battery.  See ``docs/model-assumptions.md`` for the
+constants and their provenance.
+"""
+
+from repro.energy.battery import Battery
+from repro.energy.meter import EnergyLedger, RadioPowerMeter
+from repro.energy.model import EnergyModel, RadioState
+from repro.energy.report import EnergyReport, NodeEnergy
+
+__all__ = [
+    "Battery",
+    "EnergyLedger",
+    "EnergyModel",
+    "EnergyReport",
+    "NodeEnergy",
+    "RadioPowerMeter",
+    "RadioState",
+]

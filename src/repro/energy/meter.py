@@ -1,0 +1,228 @@
+"""Per-radio power-state metering into a per-node energy ledger.
+
+The :class:`RadioPowerMeter` is the state machine; the radio drives it
+synchronously from its own transitions (``begin_tx`` / TX end / lock
+acquired / lock released — see ``repro.phy.radio``).  Between transitions
+nothing runs: the meter integrates ``draw × elapsed`` lazily when the next
+transition (or the end-of-run :meth:`EnergyLedger.finalize`) arrives.  A
+metered run therefore schedules **no additional events** and executes the
+exact event sequence of an unmetered one; only an attached
+:class:`~repro.energy.battery.Battery` introduces (predicted-depletion)
+events of its own.
+
+One node owns one :class:`EnergyLedger`; each of its radios that should be
+accounted (the data radio always; PCMAC's control radio opt-in) gets its
+own meter feeding that ledger, so multi-radio nodes sum naturally.
+"""
+
+from __future__ import annotations
+
+from repro.energy.battery import Battery
+from repro.energy.model import EnergyModel, RadioState
+from repro.sim.kernel import Simulator
+
+
+class EnergyLedger:
+    """Per-node accumulator: joules and residency seconds per radio state.
+
+    Invariants (the conservation property the test suite enforces):
+
+    * per state, ``joules == Σ draw × residency`` over that state's visits;
+    * per meter, the residency seconds sum to the metered wall of simulated
+      time (start → finalize/death);
+    * ``radiated_j`` equals the sum of radiated power × TX airtime, which
+      for a single-radio MAC matches the MAC's own ``tx_energy_j`` counter
+      — except when a battery depletes *mid-frame*: the MAC books a frame's
+      whole radiated energy at transmit start, while the meter integrates
+      only up to the death instant (the PA genuinely stops drawing; the
+      already-scheduled signal edges still deliver at full power, see
+      ``Channel.detach``).
+    """
+
+    __slots__ = (
+        "node_id",
+        "tx_j",
+        "rx_j",
+        "idle_j",
+        "sleep_j",
+        "radiated_j",
+        "tx_s",
+        "rx_s",
+        "idle_s",
+        "sleep_s",
+        "died_at_s",
+        "battery",
+        "meters",
+    )
+
+    def __init__(self, node_id: int, *, battery: Battery | None = None) -> None:
+        self.node_id = node_id
+        self.tx_j = 0.0
+        self.rx_j = 0.0
+        self.idle_j = 0.0
+        self.sleep_j = 0.0
+        #: Radiated (over-the-air) TX energy [J] — a sub-component of
+        #: ``tx_j``'s electrical draw, booked separately because it is the
+        #: quantity the paper's power-control argument bounds.
+        self.radiated_j = 0.0
+        self.tx_s = 0.0
+        self.rx_s = 0.0
+        self.idle_s = 0.0
+        self.sleep_s = 0.0
+        #: Simulated time this node's battery depleted, or None.
+        self.died_at_s: float | None = None
+        self.battery = battery
+        #: Meters feeding this ledger (finalize flushes them).
+        self.meters: list[RadioPowerMeter] = []
+
+    @property
+    def total_j(self) -> float:
+        """Total electrical energy drawn across all states [J]."""
+        return self.tx_j + self.rx_j + self.idle_j + self.sleep_j
+
+    @property
+    def remaining_j(self) -> float | None:
+        """Battery charge left [J], or None for mains-powered nodes."""
+        return self.battery.remaining_j if self.battery is not None else None
+
+    def add(
+        self, state: RadioState, dt: float, joules: float, radiated_j: float
+    ) -> None:
+        """Book ``dt`` seconds / ``joules`` in ``state`` (meter-internal)."""
+        if state is RadioState.TX:
+            self.tx_s += dt
+            self.tx_j += joules
+            self.radiated_j += radiated_j
+        elif state is RadioState.RX:
+            self.rx_s += dt
+            self.rx_j += joules
+        elif state is RadioState.IDLE:
+            self.idle_s += dt
+            self.idle_j += joules
+        else:
+            self.sleep_s += dt
+            self.sleep_j += joules
+
+    def finalize(self, now: float) -> None:
+        """Flush every live meter's open state up to ``now`` (end of run)."""
+        for meter in self.meters:
+            meter.flush(now)
+
+
+class RadioPowerMeter:
+    """Power-state machine for one radio, integrating draw into a ledger.
+
+    The radio calls :meth:`note_tx` / :meth:`note_rx` / :meth:`note_idle`
+    at its transitions (guarded by a single ``is not None`` check, so the
+    null energy model costs nothing).  :meth:`power_off` pins the meter to
+    a 0 W SLEEP state — a dead battery powers nothing, including doze.
+    """
+
+    __slots__ = (
+        "sim",
+        "model",
+        "ledger",
+        "battery",
+        "_state",
+        "_since",
+        "_draw_w",
+        "_radiated_w",
+        "_dead",
+        "_bkey",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: EnergyModel,
+        ledger: EnergyLedger,
+        *,
+        battery: Battery | None = None,
+    ) -> None:
+        self.sim = sim
+        self.model = model
+        self.ledger = ledger
+        self.battery = battery
+        self._state = RadioState.IDLE
+        self._since = sim.now
+        self._draw_w = model.idle_w
+        self._radiated_w = 0.0
+        self._dead = False
+        ledger.meters.append(self)
+        if battery is not None:
+            self._bkey = battery.register(self)
+            battery.set_draw(self._bkey, self._draw_w, sim.now)
+        else:
+            self._bkey = -1
+
+    @property
+    def state(self) -> RadioState:
+        """The state currently being integrated."""
+        return self._state
+
+    @property
+    def dead(self) -> bool:
+        """True once :meth:`power_off` pinned the meter (battery death)."""
+        return self._dead
+
+    # ------------------------------------------------------------ transitions
+
+    def note_tx(self, tx_power_w: float) -> None:
+        """The radio started emitting at ``tx_power_w`` radiated watts."""
+        self._transition(
+            RadioState.TX, self.model.tx_draw_w(tx_power_w), tx_power_w
+        )
+
+    def note_rx(self) -> None:
+        """The radio locked onto an incoming frame (decoding)."""
+        self._transition(RadioState.RX, self.model.rx_w, 0.0)
+
+    def note_idle(self) -> None:
+        """The radio returned to idle listening."""
+        self._transition(RadioState.IDLE, self.model.idle_w, 0.0)
+
+    def note_sleep(self) -> None:
+        """The radio entered a (powered) doze state."""
+        self._transition(RadioState.SLEEP, self.model.sleep_w, 0.0)
+
+    def _transition(
+        self, state: RadioState, draw_w: float, radiated_w: float
+    ) -> None:
+        if self._dead:
+            # In-flight signal edges may still reach a detached radio after
+            # battery death (see Channel.detach); a dead radio books nothing.
+            return
+        now = self.sim.now
+        self._account(now)
+        self._state = state
+        self._draw_w = draw_w
+        self._radiated_w = radiated_w
+        if self.battery is not None:
+            self.battery.set_draw(self._bkey, draw_w, now)
+
+    # ------------------------------------------------------------- accounting
+
+    def _account(self, now: float) -> None:
+        dt = now - self._since
+        if dt > 0.0:
+            self.ledger.add(
+                self._state, dt, self._draw_w * dt, self._radiated_w * dt
+            )
+        self._since = now
+
+    def flush(self, now: float) -> None:
+        """Integrate the open state up to ``now`` without changing it."""
+        if not self._dead:
+            self._account(now)
+            if self.battery is not None:
+                self.battery.sync(now)
+
+    def power_off(self, now: float) -> None:
+        """Battery death: close the books and pin a 0 W SLEEP state."""
+        if self._dead:
+            return
+        self._account(now)
+        self._state = RadioState.SLEEP
+        self._draw_w = 0.0
+        self._radiated_w = 0.0
+        self._dead = True

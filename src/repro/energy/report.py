@@ -1,0 +1,134 @@
+"""Per-run energy summaries, JSON-safe for the campaign result store.
+
+:class:`EnergyReport` is the value an
+:class:`~repro.experiments.scenario.ExperimentResult` carries when a
+scenario ran with a non-null ``energy`` component.  It is plain data —
+numbers and tuples only — so ``dataclasses.asdict`` round-trips it through
+the store's JSONL lines losslessly; the aggregate views (totals, network
+lifetime) are derived properties and never serialised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.energy.meter import EnergyLedger
+
+
+@dataclass(frozen=True)
+class NodeEnergy:
+    """One node's energy outcome: joules and seconds per radio state."""
+
+    node_id: int
+    tx_j: float
+    rx_j: float
+    idle_j: float
+    sleep_j: float
+    #: Radiated (over-the-air) share of the TX energy [J].
+    radiated_j: float
+    tx_s: float
+    rx_s: float
+    idle_s: float
+    sleep_s: float
+    #: Battery charge left at the end of the run [J]; None = mains powered.
+    remaining_j: float | None
+    #: Simulated time the node's battery depleted; None = survived.
+    died_at_s: float | None
+
+    @property
+    def total_j(self) -> float:
+        """Total electrical energy drawn across all states [J]."""
+        return self.tx_j + self.rx_j + self.idle_j + self.sleep_j
+
+    @classmethod
+    def from_ledger(cls, ledger: "EnergyLedger") -> "NodeEnergy":
+        """Snapshot a live ledger into plain numbers."""
+        return cls(
+            node_id=ledger.node_id,
+            tx_j=ledger.tx_j,
+            rx_j=ledger.rx_j,
+            idle_j=ledger.idle_j,
+            sleep_j=ledger.sleep_j,
+            radiated_j=ledger.radiated_j,
+            tx_s=ledger.tx_s,
+            rx_s=ledger.rx_s,
+            idle_s=ledger.idle_s,
+            sleep_s=ledger.sleep_s,
+            remaining_j=ledger.remaining_j,
+            died_at_s=ledger.died_at_s,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Whole-network energy outcome of one run."""
+
+    #: The ``energy`` component that produced this report (e.g. "wavelan").
+    model: str
+    nodes: tuple[NodeEnergy, ...]
+
+    # ------------------------------------------------------------- aggregates
+
+    def _sum(self, field: str) -> float:
+        return sum(getattr(n, field) for n in self.nodes)
+
+    @property
+    def total_j(self) -> float:
+        """Network-wide electrical energy drawn [J]."""
+        return sum(n.total_j for n in self.nodes)
+
+    @property
+    def tx_j(self) -> float:
+        """Network-wide transmit-state energy [J]."""
+        return self._sum("tx_j")
+
+    @property
+    def rx_j(self) -> float:
+        """Network-wide receive-state energy [J]."""
+        return self._sum("rx_j")
+
+    @property
+    def idle_j(self) -> float:
+        """Network-wide idle-listening energy [J]."""
+        return self._sum("idle_j")
+
+    @property
+    def sleep_j(self) -> float:
+        """Network-wide sleep-state energy [J]."""
+        return self._sum("sleep_j")
+
+    @property
+    def radiated_j(self) -> float:
+        """Network-wide radiated TX energy [J] (the paper's quantity)."""
+        return self._sum("radiated_j")
+
+    @property
+    def deaths(self) -> tuple[float, ...]:
+        """Node death times, ascending (empty when every node survived)."""
+        return tuple(
+            sorted(n.died_at_s for n in self.nodes if n.died_at_s is not None)
+        )
+
+    @property
+    def first_death_s(self) -> float | None:
+        """Network lifetime to the first node death, or None."""
+        deaths = self.deaths
+        return deaths[0] if deaths else None
+
+    @property
+    def last_death_s(self) -> float | None:
+        """Time of the last node death, or None."""
+        deaths = self.deaths
+        return deaths[-1] if deaths else None
+
+    @classmethod
+    def from_ledgers(
+        cls, model: str, ledgers: Iterable["EnergyLedger"]
+    ) -> "EnergyReport":
+        """Snapshot the per-node ledgers of one finished run."""
+        return cls(
+            model=model,
+            nodes=tuple(NodeEnergy.from_ledger(ledger) for ledger in ledgers),
+        )

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
 from repro.config import ScenarioConfig
+from repro.energy.report import EnergyReport
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.fairness import jain_index
 from repro.net.node import Node
@@ -110,6 +111,9 @@ class ExperimentResult:
     seed: int = 0
     #: Per-flow outcomes, in flow-id order (empty for legacy results).
     flows: tuple[FlowSummary, ...] = ()
+    #: Full-stack energy accounting (per-node, per-state), present only
+    #: when the scenario ran with a non-null ``energy`` component.
+    energy: EnergyReport | None = None
 
     def row(self) -> str:
         """One formatted table row (load, throughput, delay, PDR)."""
@@ -168,6 +172,15 @@ class BuiltNetwork:
         for node in self.nodes:
             for key, val in node.routing.stats().items():
                 routing_totals[key] = routing_totals.get(key, 0) + val
+        energy: EnergyReport | None = None
+        ledgers = [node.energy for node in self.nodes if node.energy is not None]
+        if ledgers:
+            # Close every live meter's open state at the horizon; dead
+            # nodes were finalized at their death instant already.
+            for ledger in ledgers:
+                ledger.finalize(self.sim.now)
+            model = self.spec.energy.name if self.spec is not None else "custom"
+            energy = EnergyReport.from_ledgers(model, ledgers)
         per_flow = self.metrics.per_flow_throughput_kbps(window)
         flow_summaries = tuple(
             FlowSummary(
@@ -197,6 +210,7 @@ class BuiltNetwork:
             wallclock_s=wall,
             seed=self.cfg.seed,
             flows=flow_summaries,
+            energy=energy,
         )
 
     def node_by_id(self, node_id: int) -> Node:

@@ -216,6 +216,10 @@ class DcfMac:
 
         radio.listener = self
 
+        #: Set by :meth:`shutdown` (battery death): a dead MAC accepts and
+        #: transmits nothing.
+        self._dead = False
+
         # Sender-side machine.  Timers are reusable _MacTimer objects —
         # callbacks bound once here, re-armed per frame with no closures.
         self._state = MacState.IDLE
@@ -261,11 +265,58 @@ class DcfMac:
         """True while the MAC owns a packet or is responding."""
         return self._current is not None or self._responding
 
+    @property
+    def dead(self) -> bool:
+        """True once :meth:`shutdown` powered this MAC down for good."""
+        return self._dead
+
+    def shutdown(self, on_packet_drop: Callable[[Any], None] | None = None) -> None:
+        """Power the MAC down permanently (the node's battery died).
+
+        Cancels every pending timer, drops the owned packet and the whole
+        interface queue (each orphaned network packet is reported through
+        ``on_packet_drop`` so the metrics layer can attribute the loss),
+        and detaches from the radio's callbacks (in-flight signal edges may
+        still reach a detached radio — see
+        :meth:`~repro.phy.channel.Channel.detach` — and must not restart
+        the state machine).  Subsequent :meth:`enqueue_packet` calls are
+        refused, so upper layers see the node as a black hole, exactly what
+        neighbours' retry/RERR machinery needs to route around it.
+        """
+        self._dead = True
+        for timer in (
+            self._access_timer,
+            self._cts_timer,
+            self._ack_timer,
+            self._data_timer,
+            self._resp_timer,
+            self._resp_watchdog,
+        ):
+            timer.cancel()
+        orphans = []
+        if self._current is not None:
+            orphans.append(self._current.entry.packet)
+        self._current = None
+        self._substitute_in_flight = False
+        self._responding = False
+        self._state = MacState.IDLE
+        entry = self.ifq.pop()
+        while entry is not None:
+            orphans.append(entry.packet)
+            entry = self.ifq.pop()
+        if on_packet_drop is not None:
+            for packet in orphans:
+                on_packet_drop(packet)
+        self.radio.mute()
+
     def enqueue_packet(self, packet: Any, next_hop: int, *, needs_ack: bool = True) -> bool:
         """Accept a network packet for transmission to ``next_hop``.
 
-        Returns False when the interface queue is full (the packet is lost).
+        Returns False when the interface queue is full (the packet is
+        lost) or the MAC has been :meth:`shutdown`.
         """
+        if self._dead:
+            return False
         entry = QueuedPacket(
             packet=packet,
             next_hop=next_hop,

@@ -1,9 +1,21 @@
 """Cross-protocol comparison summaries.
 
-Combines the application-level metrics with MAC-level accounting into the
-derived quantities the power-control literature reports: energy per
-delivered bit (the battery-saving angle of the paper's related work),
-control-vs-payload airtime split, and retransmission overhead.
+Combines the application-level metrics with MAC- and radio-level energy
+accounting into the derived quantities the power-control literature
+reports.  Two distinct energy notions appear here — keeping them apart is
+the point:
+
+* **Radiated (TX-only) energy** — the MAC's ``tx_energy_j`` counter: watts
+  actually put on the air, summed over transmitted frames.  This is the
+  quantity the paper's power-control argument bounds, and all a run can
+  report when the scenario's ``energy`` component is ``null``.
+  :class:`EfficiencySummary` covers it.
+* **Full-stack (electrical) energy** — what a battery supplies: transmit
+  *draw* (electronics + PA), receive-decode, idle-listening and sleep, as
+  booked per radio state by :mod:`repro.energy`.  Receive and idle costs
+  dominate real deployments, so J/bit computed from radiated energy alone
+  flatters every protocol.  :class:`EnergySummary` (and the per-node table)
+  covers it, including network-lifetime figures for battery scenarios.
 """
 
 from __future__ import annotations
@@ -15,13 +27,15 @@ from repro.experiments.scenario import ExperimentResult
 
 @dataclass(frozen=True)
 class EfficiencySummary:
-    """Derived efficiency figures for one run."""
+    """Derived efficiency figures for one run (radiated-energy view)."""
 
     protocol: str
     throughput_kbps: float
-    #: Total transmit energy divided by delivered payload bits [J/bit].
+    #: Radiated transmit energy divided by delivered payload bits [J/bit].
+    #: TX-only by construction — see :class:`EnergySummary` for the
+    #: full-stack figure that includes receive/idle draw.
     energy_per_bit_j: float
-    #: Total transmit energy over the run [J].
+    #: Total radiated transmit energy over the run [J] (MAC counter).
     tx_energy_j: float
     #: Fraction of transmit airtime spent on control frames.
     control_airtime_fraction: float
@@ -62,5 +76,112 @@ def efficiency_table(results: dict[str, ExperimentResult]) -> str:
             f"{name:<10} {s.throughput_kbps:>9.1f} "
             f"{s.energy_per_bit_j * 1e6:>8.3f} {s.tx_energy_j:>9.3f} "
             f"{s.control_airtime_fraction:>12.1%} {s.data_tx_per_delivery:>14.2f}"
+        )
+    return "\n".join(rows)
+
+
+# ---------------------------------------------------------------------------
+# Full-stack energy (requires a non-null ``energy`` component)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnergySummary:
+    """Full-stack energy figures for one run (electrical-draw view)."""
+
+    protocol: str
+    throughput_kbps: float
+    #: Network-wide electrical energy drawn, all states [J].
+    total_j: float
+    tx_j: float
+    rx_j: float
+    idle_j: float
+    sleep_j: float
+    #: Radiated share of the TX energy [J] (matches the MAC counter).
+    radiated_j: float
+    #: Total electrical energy per delivered payload bit [J/bit] —
+    #: *including* receive, idle and sleep draw, unlike
+    #: :attr:`EfficiencySummary.energy_per_bit_j`.
+    energy_per_bit_j: float
+    #: Network lifetime: first/last battery depletion [s], None = none died.
+    first_death_s: float | None
+    last_death_s: float | None
+    #: How many nodes died during the run.
+    dead_nodes: int
+
+
+def summarise_energy(result: ExperimentResult) -> EnergySummary | None:
+    """Full-stack energy figures, or None for runs without accounting."""
+    report = result.energy
+    if report is None:
+        return None
+    delivered_bits = result.throughput_kbps * 1000.0 * result.duration_s
+    return EnergySummary(
+        protocol=result.protocol,
+        throughput_kbps=result.throughput_kbps,
+        total_j=report.total_j,
+        tx_j=report.tx_j,
+        rx_j=report.rx_j,
+        idle_j=report.idle_j,
+        sleep_j=report.sleep_j,
+        radiated_j=report.radiated_j,
+        energy_per_bit_j=(
+            report.total_j / delivered_bits if delivered_bits > 0 else 0.0
+        ),
+        first_death_s=report.first_death_s,
+        last_death_s=report.last_death_s,
+        dead_nodes=len(report.deaths),
+    )
+
+
+def energy_breakdown_table(results: dict[str, ExperimentResult]) -> str:
+    """A printable per-state energy comparison across protocols."""
+    rows = [
+        f"{'protocol':<10} {'thr kbps':>9} {'total J':>9} {'tx J':>8} "
+        f"{'rx J':>8} {'idle J':>9} {'radiated J':>11} {'J/Mbit':>9}"
+    ]
+    for name, result in results.items():
+        s = summarise_energy(result)
+        if s is None:
+            rows.append(f"{name:<10} (no energy accounting — energy=null)")
+            continue
+        rows.append(
+            f"{name:<10} {s.throughput_kbps:>9.1f} {s.total_j:>9.1f} "
+            f"{s.tx_j:>8.2f} {s.rx_j:>8.2f} {s.idle_j:>9.1f} "
+            f"{s.radiated_j:>11.4f} {s.energy_per_bit_j * 1e6:>9.2f}"
+        )
+    return "\n".join(rows)
+
+
+def energy_node_table(result: ExperimentResult) -> str:
+    """Per-node, per-state energy table for one run (``repro energy``)."""
+    report = result.energy
+    if report is None:
+        return (
+            "no energy accounting in this run — select a non-null energy "
+            "component (e.g. \"energy\": {\"name\": \"wavelan\"})"
+        )
+    rows = [
+        f"{'node':>5} {'tx J':>9} {'rx J':>9} {'idle J':>9} {'sleep J':>9} "
+        f"{'total J':>9} {'radiated J':>11} {'left J':>9} {'died at':>9}"
+    ]
+    for n in report.nodes:
+        left = f"{n.remaining_j:>9.1f}" if n.remaining_j is not None else f"{'-':>9}"
+        died = f"{n.died_at_s:>8.1f}s" if n.died_at_s is not None else f"{'-':>9}"
+        rows.append(
+            f"{n.node_id:>5} {n.tx_j:>9.3f} {n.rx_j:>9.3f} {n.idle_j:>9.2f} "
+            f"{n.sleep_j:>9.3f} {n.total_j:>9.2f} {n.radiated_j:>11.5f} "
+            f"{left} {died}"
+        )
+    rows.append(
+        f"{'total':>5} {report.tx_j:>9.3f} {report.rx_j:>9.3f} "
+        f"{report.idle_j:>9.2f} {report.sleep_j:>9.3f} {report.total_j:>9.2f} "
+        f"{report.radiated_j:>11.5f} {'':>9} {'':>9}"
+    )
+    deaths = report.deaths
+    if deaths:
+        rows.append(
+            f"deaths: {len(deaths)} node(s); first at {deaths[0]:.1f}s, "
+            f"last at {deaths[-1]:.1f}s"
         )
     return "\n".join(rows)

@@ -43,6 +43,7 @@ class AodvProtocol(RoutingProtocol):
         self._packet_seq = 0
         self._seen_rreqs: dict[tuple[int, int], float] = {}
         self._discoveries: dict[int, _Discovery] = {}
+        self._down = False
         self._stats = {
             "rreq_originated": 0,
             "rreq_forwarded": 0,
@@ -57,6 +58,10 @@ class AodvProtocol(RoutingProtocol):
     # ------------------------------------------------------------- data path
 
     def route_packet(self, packet: Packet) -> None:
+        if self._down:
+            # The node's battery died: it can neither originate nor forward.
+            self.node.metrics_drop(packet, "node_dead")
+            return
         now = self.node.sim.now
         route = self.table.lookup(packet.dst, now)
         if route is not None:
@@ -104,6 +109,8 @@ class AodvProtocol(RoutingProtocol):
         )
 
     def _discovery_timeout(self, dst: int) -> None:
+        if self._down:
+            return
         disc = self._discoveries.get(dst)
         if disc is None:
             return
@@ -285,6 +292,16 @@ class AodvProtocol(RoutingProtocol):
             # PCMAC's table-maintenance hook (paper Section III).
             self.node.mac.on_route_event("rrep_sent", next_hop)
         self.node.mac_send(packet, next_hop)
+
+    def on_node_down(self) -> None:
+        """Battery death: drop buffered packets, go permanently silent."""
+        self._down = True
+        for disc in list(self._discoveries.values()):
+            if disc.timer is not None:
+                self.node.sim.cancel(disc.timer)
+            for pkt in disc.buffered:
+                self.node.metrics_drop(pkt, "node_dead")
+        self._discoveries.clear()
 
     def stats(self) -> dict[str, int]:
         return dict(self._stats)

@@ -46,6 +46,9 @@ class Node:
         self.metrics = metrics
         self.rngs = rngs
         self.tracer = tracer
+        #: Per-node :class:`~repro.energy.meter.EnergyLedger`, set by the
+        #: builder when the scenario's ``energy`` component is non-null.
+        self.energy = None
         # Pre-bound trace handles (see repro.sim.trace: exact counters, the
         # detail dict is only allocated for stored categories).
         self._tr_app_tx = tracer.handle("app.tx")
@@ -79,7 +82,10 @@ class Node:
         """Hand ``packet`` to the MAC bound for ``next_hop`` (routing's exit)."""
         accepted = self.mac.enqueue_packet(packet, next_hop, needs_ack=True)
         if not accepted:
-            self.metrics_drop(packet, "ifq_full")
+            # A shut-down MAC (battery death) refuses everything; don't
+            # misattribute that as queue pressure.
+            dead = getattr(self.mac, "dead", False)
+            self.metrics_drop(packet, "node_dead" if dead else "ifq_full")
 
     def _on_mac_deliver(self, packet: Packet, from_node: int) -> None:
         """A frame's payload surfaced from the MAC."""

@@ -38,6 +38,14 @@ class RoutingProtocol:
         """A routing control packet (``kind == 'aodv'`` etc.) arrived."""
         raise NotImplementedError
 
+    def on_node_down(self) -> None:
+        """This node's power source died (battery depletion).
+
+        Called once, after the MAC has been shut down.  Protocols should
+        drop buffered traffic and stop originating packets; the default is
+        a no-op so table-driven protocols need not care.
+        """
+
     def stats(self) -> dict[str, int]:
         """Protocol counters for the metrics layer."""
         return {}

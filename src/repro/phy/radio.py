@@ -133,6 +133,7 @@ class Radio:
         "_busy_reported",
         "_busy_saw_foreign",
         "_busy_last_decode",
+        "power_meter",
         "stats",
         "_tr_tx",
         "_tr_rx_ok",
@@ -183,6 +184,12 @@ class Radio:
         self._busy_reported = False
         self._busy_saw_foreign = False
         self._busy_last_decode: bool | None = None  # None = no attempt yet
+        #: Optional :class:`~repro.energy.meter.RadioPowerMeter`.  Energy
+        #: accounting is opt-in: every transition site below guards with a
+        #: single ``is not None`` check, and the meter itself schedules no
+        #: events, so unmetered runs are untouched and metered runs are
+        #: event-schedule identical.
+        self.power_meter = None
         # Pre-bound trace handles: counters bump with one integer add and
         # the detail kwargs dict is only built for stored categories.
         self._tr_tx = tracer.handle("phy.tx")
@@ -198,6 +205,14 @@ class Radio:
         }
 
     # ------------------------------------------------------------------ state
+
+    def mute(self) -> None:
+        """Replace the listener with a null one (node power-down).
+
+        In-flight signal edges still reach the radio after it detaches from
+        its channel; muting guarantees they can no longer drive the MAC.
+        """
+        self.listener = _NullListener()
 
     @property
     def position(self) -> tuple[float, float]:
@@ -284,6 +299,9 @@ class Radio:
         was_busy = self._busy_reported
         self._tx_frame = frame
         self.stats["tx_frames"] += 1
+        meter = self.power_meter
+        if meter is not None:
+            meter.note_tx(frame.tx_power_w)
         tr = self._tr_tx
         tr.count += 1
         if tr.store:
@@ -307,6 +325,11 @@ class Radio:
         assert frame is not None
         self._tx_frame = None
         self._tx_end_event = None
+        meter = self.power_meter
+        if meter is not None:
+            # A lock cannot survive into TX (begin_tx abandons it), so the
+            # radio is idle-listening the instant its own emission ends.
+            meter.note_idle()
         self.listener.on_tx_end(frame)
         # Re-evaluate carrier state now that our own emission stopped.
         self._update_carrier()
@@ -330,6 +353,9 @@ class Radio:
                 if self.sinr_of(rx_power_w) >= self.capture_threshold:
                     self._lock = arrival
                     self._lock_corrupted = False
+                    meter = self.power_meter
+                    if meter is not None:
+                        meter.note_rx()
                     self.listener.on_rx_start(frame)
                 else:
                     # Decodable power but drowned at its start: failed attempt.
@@ -364,6 +390,9 @@ class Radio:
             self._lock = None
             self._lock_corrupted = False
             self._busy_last_decode = ok
+            meter = self.power_meter
+            if meter is not None:
+                meter.note_idle()
             if ok:
                 self.stats["rx_ok"] += 1
                 tr = self._tr_rx_ok

@@ -1,8 +1,9 @@
 """Uniform component registries: named factories with typed param schemas.
 
 Scenario construction is assembled from pluggable components, one per
-**slot**: ``mac``, ``mobility``, ``placement``, ``traffic``, ``routing`` and
-``propagation``.  Each slot owns a :class:`Registry`; each registered
+**slot**: ``mac``, ``mobility``, ``placement``, ``traffic``, ``routing``,
+``propagation`` and ``energy``.  Each slot owns a :class:`Registry`; each
+registered
 component is a :class:`ComponentEntry` — a named factory plus a declared
 :class:`Param` schema, so a scenario can be described entirely as data
 (component name + params per slot, see :class:`~repro.scenariospec.ScenarioSpec`)
@@ -44,6 +45,7 @@ SLOTS: tuple[str, ...] = (
     "routing",
     "traffic",
     "propagation",
+    "energy",
 )
 
 
@@ -242,7 +244,7 @@ class Registry:
         return name in self._entries
 
 
-#: The six scenario-slot registries, keyed by slot name.
+#: The scenario-slot registries, keyed by slot name.
 _REGISTRIES: dict[str, Registry] = {slot: Registry(slot) for slot in SLOTS}
 
 _builtins_loaded = False

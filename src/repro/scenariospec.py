@@ -4,8 +4,8 @@ A :class:`ScenarioSpec` is the single input to
 :class:`~repro.builder.NetworkBuilder`: the numeric
 :class:`~repro.config.ScenarioConfig` plus one :class:`ComponentSpec`
 (component name + params) per scenario slot — ``mac``, ``placement``,
-``mobility``, ``routing``, ``traffic``, ``propagation`` — and optional
-explicit flow endpoints.  Because every field is an immutable value type the
+``mobility``, ``routing``, ``traffic``, ``propagation``, ``energy`` — and
+optional explicit flow endpoints.  Because every field is an immutable value type the
 spec is hashable, picklable, and round-trips through JSON without loss::
 
     spec = ScenarioSpec(
@@ -41,7 +41,14 @@ from repro.registry import SLOTS as COMPONENT_SLOTS
 
 #: Bump when the spec serialisation or simulation semantics change
 #: incompatibly — stored content keys then stop matching and are recomputed.
-SCENARIO_SCHEMA_VERSION = 2
+#: 3: the ``energy`` component slot joined the spec (default ``null``).
+SCENARIO_SCHEMA_VERSION = 3
+
+#: Older schemas :meth:`ScenarioSpec.from_dict` still reads.  A schema-2
+#: file simply lacks the ``energy`` slot, which defaults to ``null`` — the
+#: simulated scenario is identical, so old spec.json files keep working
+#: (they hash, like everything this build loads, under the current schema).
+_READABLE_SCHEMAS = frozenset({2, SCENARIO_SCHEMA_VERSION})
 
 
 def _freeze(value: Any) -> Any:
@@ -202,6 +209,7 @@ class ScenarioSpec:
     routing: ComponentSpec = _component("aodv")
     traffic: ComponentSpec = _component("cbr")
     propagation: ComponentSpec = _component("two_ray")
+    energy: ComponentSpec = _component("null")
     #: Explicit (src, dst) flow endpoints; None = random distinct pairs.
     flow_pairs: tuple[tuple[int, int], ...] | None = None
 
@@ -282,10 +290,11 @@ class ScenarioSpec:
         """Rebuild a spec from :meth:`to_dict` output or a sparse hand-written
         dict (missing cfg fields and slots keep the paper defaults)."""
         schema = data.get("schema", SCENARIO_SCHEMA_VERSION)
-        if schema != SCENARIO_SCHEMA_VERSION:
+        if schema not in _READABLE_SCHEMAS:
             raise ValueError(
                 f"scenario schema {schema!r} is not supported "
-                f"(this build reads schema {SCENARIO_SCHEMA_VERSION})"
+                f"(this build reads schemas "
+                f"{', '.join(str(s) for s in sorted(_READABLE_SCHEMAS))})"
             )
         unknown = set(data) - {"schema", "cfg", "components", "flow_pairs"}
         if unknown:

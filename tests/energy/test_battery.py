@@ -1,0 +1,100 @@
+"""Battery: exact-time depletion, meter power-off, callback plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.meter import EnergyLedger, RadioPowerMeter
+from repro.energy.model import EnergyModel
+from repro.sim.kernel import Simulator
+
+#: Unit-friendly model: idle 1 W, rx 2 W, tx 3 W + radiated.
+MODEL = EnergyModel(tx_base_w=3.0, tx_scale=1.0, rx_w=2.0, idle_w=1.0,
+                    sleep_w=0.0)
+
+
+def make_metered_battery(sim: Simulator, capacity_j: float):
+    battery = Battery(sim, capacity_j)
+    ledger = EnergyLedger(node_id=0, battery=battery)
+    meter = RadioPowerMeter(sim, MODEL, ledger, battery=battery)
+    return battery, ledger, meter
+
+
+class TestBattery:
+    def test_depletes_at_exact_analytic_time(self):
+        sim = Simulator()
+        battery, ledger, meter = make_metered_battery(sim, 10.0)
+        deaths: list[float] = []
+        battery.on_depleted.append(deaths.append)
+        # Idle at 1 W from t=0: depletion at exactly t=10.
+        sim.run_until(100.0)
+        assert deaths == [pytest.approx(10.0)]
+        assert battery.depleted
+        assert battery.remaining_j == 0.0
+        assert meter.dead
+
+    def test_draw_changes_rearm_the_prediction(self):
+        sim = Simulator()
+        battery, ledger, meter = make_metered_battery(sim, 10.0)
+        deaths: list[float] = []
+        battery.on_depleted.append(deaths.append)
+        # 2 s idle (2 J), then RX at 2 W: 8 J left → death at 2 + 4 = 6 s.
+        sim.schedule(2.0, meter.note_rx)
+        sim.run_until(100.0)
+        assert deaths == [pytest.approx(6.0)]
+        ledger.finalize(sim.now)
+        assert ledger.idle_j == pytest.approx(2.0)
+        assert ledger.rx_j == pytest.approx(8.0)
+        # Conservation through death: exactly the capacity was booked.
+        assert ledger.total_j == pytest.approx(10.0)
+
+    def test_tx_draw_depends_on_radiated_power(self):
+        sim = Simulator()
+        battery, ledger, meter = make_metered_battery(sim, 8.0)
+        deaths: list[float] = []
+        battery.on_depleted.append(deaths.append)
+        # TX at 1 W radiated from t=0: draw 4 W → death at t=2.
+        meter.note_tx(1.0)
+        sim.run_until(100.0)
+        assert deaths == [pytest.approx(2.0)]
+        assert ledger.tx_j == pytest.approx(8.0)
+        assert ledger.radiated_j == pytest.approx(2.0)
+
+    def test_survives_when_capacity_suffices(self):
+        sim = Simulator()
+        battery, ledger, meter = make_metered_battery(sim, 1000.0)
+        sim.run_until(20.0)
+        ledger.finalize(sim.now)
+        assert not battery.depleted
+        assert ledger.remaining_j == pytest.approx(1000.0 - 20.0)
+        assert ledger.died_at_s is None
+
+    def test_two_meters_drain_one_battery_jointly(self):
+        sim = Simulator()
+        battery = Battery(sim, 12.0)
+        ledger = EnergyLedger(node_id=0, battery=battery)
+        RadioPowerMeter(sim, MODEL, ledger, battery=battery)
+        RadioPowerMeter(sim, MODEL, ledger, battery=battery)
+        deaths: list[float] = []
+        battery.on_depleted.append(deaths.append)
+        # Two radios idling at 1 W each → 12 J / 2 W = death at t=6, and
+        # both meters go dark there.
+        sim.run_until(100.0)
+        assert deaths == [pytest.approx(6.0)]
+        assert all(m.dead for m in ledger.meters)
+        assert ledger.idle_j == pytest.approx(12.0)
+
+    def test_set_draw_after_depletion_is_ignored(self):
+        sim = Simulator()
+        battery, ledger, meter = make_metered_battery(sim, 5.0)
+        sim.run_until(100.0)
+        assert battery.depleted
+        meter.note_tx(0.5)  # dead meter: no transition, no re-arm
+        assert battery.remaining_j == 0.0
+        assert sim.pending_events == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="capacity_j"):
+            Battery(sim, 0.0)

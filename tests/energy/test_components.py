@@ -1,0 +1,93 @@
+"""The ``energy`` component slot: params, validation, wiring variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ScenarioConfig, TrafficConfig
+from repro.registry import ParamError, registry
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+
+def small_spec(**energy_params) -> ScenarioSpec:
+    # A connected chain with live traffic, so PCMAC actually exchanges
+    # frames (and PCN broadcasts) during the window.
+    return ScenarioSpec(
+        cfg=ScenarioConfig(
+            node_count=4,
+            duration_s=2.0,
+            traffic=TrafficConfig(
+                flow_count=1, offered_load_bps=80e3, start_time_s=0.2
+            ),
+        ),
+        mac="pcmac",
+        placement=ComponentSpec("line", spacing_m=100.0),
+        mobility="static",
+        energy=ComponentSpec("wavelan", **energy_params),
+        flow_pairs=((0, 2),),
+    )
+
+
+class TestEnergyComponents:
+    def test_slot_registered_with_null_default(self):
+        assert registry("energy").names() == ("null", "wavelan")
+        assert ScenarioSpec().energy == ComponentSpec("null")
+
+    def test_unknown_param_is_rejected_up_front(self):
+        with pytest.raises(ParamError, match="volts"):
+            small_spec(volts=3.0).build()
+
+    def test_negative_battery_rejected(self):
+        with pytest.raises(ValueError, match="battery_j"):
+            small_spec(battery_j=-1.0).build()
+
+    def test_negative_battery_entry_rejected(self):
+        with pytest.raises(ValueError, match="battery_j"):
+            small_spec(battery_j=(1.0, -2.0, 1.0, 1.0)).build()
+
+    def test_battery_list_length_must_match_node_count(self):
+        with pytest.raises(ValueError, match="3 capacities for 4 nodes"):
+            small_spec(battery_j=(1.0, 1.0, 1.0)).build()
+
+    def test_battery_list_mixes_finite_and_mains(self):
+        result = small_spec(
+            battery_j=(0.5, 0.0, 0.0, 0.5), idle_w=1.0, rx_w=1.0,
+        ).run()
+        by_id = {n.node_id: n for n in result.energy.nodes}
+        assert by_id[0].died_at_s is not None
+        assert by_id[3].died_at_s is not None
+        assert by_id[1].died_at_s is None and by_id[1].remaining_j is None
+
+    def test_meter_control_charges_pcmac_for_its_second_radio(self):
+        single = small_spec().run()
+        double = small_spec(meter_control=True).run()
+        # Same event schedule (no batteries involved)...
+        assert double.events_executed == single.events_executed
+        # ...but each node meters two radios: residency doubles, and the
+        # control radio's idle draw lands in the books.
+        n_single = single.energy.nodes[0]
+        n_double = double.energy.nodes[0]
+        dur = 2.0
+        assert (
+            n_single.tx_s + n_single.rx_s + n_single.idle_s + n_single.sleep_s
+        ) == pytest.approx(dur)
+        assert (
+            n_double.tx_s + n_double.rx_s + n_double.idle_s + n_double.sleep_s
+        ) == pytest.approx(2 * dur)
+        assert double.energy.total_j > single.energy.total_j
+        # PCN broadcasts now show up as radiated energy on top of the data
+        # radio's frames.
+        assert double.energy.radiated_j > single.energy.radiated_j
+
+    def test_spec_hash_distinguishes_energy_models(self):
+        base = ScenarioSpec(cfg=ScenarioConfig(node_count=4, duration_s=2.0))
+        wavelan = ScenarioSpec(
+            cfg=ScenarioConfig(node_count=4, duration_s=2.0),
+            energy=ComponentSpec("wavelan"),
+        )
+        assert base.key() != wavelan.key()
+        # int vs float battery capacity must hash identically (JSON spelling
+        # normalisation).
+        a = ScenarioSpec(energy=ComponentSpec("wavelan", battery_j=30))
+        b = ScenarioSpec(energy=ComponentSpec("wavelan", battery_j=30.0))
+        assert a.key() == b.key()

@@ -1,0 +1,160 @@
+"""Energy conservation: joules booked == draw × state residency, always.
+
+The meter is driven directly with hypothesis-generated TX/RX/idle/sleep
+interleavings over arbitrary dwell times; an independent reference
+integration must agree state by state, residencies must sum to the elapsed
+window, and radiated energy must equal Σ tx_power × tx_time.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.meter import EnergyLedger, RadioPowerMeter
+from repro.energy.model import EnergyModel, RadioState
+
+
+class FakeClock:
+    """The only simulator surface a battery-less meter touches: ``now``."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+MODEL = EnergyModel(
+    tx_base_w=1.3682, tx_scale=1.0, rx_w=1.4, idle_w=1.15, sleep_w=0.045
+)
+
+#: One step: dwell in the current state, then transition.
+_steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0,
+                  allow_nan=False, allow_infinity=False),
+        st.sampled_from(["tx", "rx", "idle", "sleep"]),
+        st.floats(min_value=1e-3, max_value=0.2818,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=_steps, tail=st.floats(min_value=0.0, max_value=50.0))
+def test_joules_equal_draw_times_residency(steps, tail):
+    clock = FakeClock()
+    ledger = EnergyLedger(node_id=0)
+    meter = RadioPowerMeter(clock, MODEL, ledger)
+
+    expect_j = dict.fromkeys(RadioState, 0.0)
+    expect_s = dict.fromkeys(RadioState, 0.0)
+    expect_radiated = 0.0
+    state, draw, radiated = RadioState.IDLE, MODEL.idle_w, 0.0
+
+    for dwell, action, power in steps:
+        # Reference integration of the segment that is about to close.
+        expect_j[state] += draw * dwell
+        expect_s[state] += dwell
+        expect_radiated += radiated * dwell
+        clock.now += dwell
+        if action == "tx":
+            meter.note_tx(power)
+            state, draw, radiated = RadioState.TX, MODEL.tx_draw_w(power), power
+        elif action == "rx":
+            meter.note_rx()
+            state, draw, radiated = RadioState.RX, MODEL.rx_w, 0.0
+        elif action == "idle":
+            meter.note_idle()
+            state, draw, radiated = RadioState.IDLE, MODEL.idle_w, 0.0
+        else:
+            meter.note_sleep()
+            state, draw, radiated = RadioState.SLEEP, MODEL.sleep_w, 0.0
+
+    expect_j[state] += draw * tail
+    expect_s[state] += tail
+    expect_radiated += radiated * tail
+    clock.now += tail
+    ledger.finalize(clock.now)
+
+    booked_j = {
+        RadioState.TX: ledger.tx_j,
+        RadioState.RX: ledger.rx_j,
+        RadioState.IDLE: ledger.idle_j,
+        RadioState.SLEEP: ledger.sleep_j,
+    }
+    booked_s = {
+        RadioState.TX: ledger.tx_s,
+        RadioState.RX: ledger.rx_s,
+        RadioState.IDLE: ledger.idle_s,
+        RadioState.SLEEP: ledger.sleep_s,
+    }
+    for st_ in RadioState:
+        assert booked_j[st_] == pytest.approx(expect_j[st_], rel=1e-9, abs=1e-12)
+        assert booked_s[st_] == pytest.approx(expect_s[st_], rel=1e-9, abs=1e-12)
+    # Residency partitions the metered window exactly.
+    assert sum(booked_s.values()) == pytest.approx(clock.now, rel=1e-9, abs=1e-12)
+    assert ledger.radiated_j == pytest.approx(expect_radiated, rel=1e-9, abs=1e-12)
+    # The energy identity the summaries rely on.
+    assert ledger.total_j == pytest.approx(
+        sum(expect_j.values()), rel=1e-9, abs=1e-12
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(steps=_steps)
+def test_finalize_is_idempotent(steps):
+    clock = FakeClock()
+    ledger = EnergyLedger(node_id=1)
+    meter = RadioPowerMeter(clock, MODEL, ledger)
+    for dwell, action, power in steps:
+        clock.now += dwell
+        getattr(meter, "note_" + action)(*((power,) if action == "tx" else ()))
+    clock.now += 1.0
+    ledger.finalize(clock.now)
+    snapshot = (ledger.total_j, ledger.tx_s, ledger.rx_s, ledger.idle_s,
+                ledger.sleep_s, ledger.radiated_j)
+    ledger.finalize(clock.now)  # zero-width segment: must change nothing
+    assert snapshot == (ledger.total_j, ledger.tx_s, ledger.rx_s,
+                        ledger.idle_s, ledger.sleep_s, ledger.radiated_j)
+
+
+def test_multiple_meters_share_one_ledger():
+    clock = FakeClock()
+    ledger = EnergyLedger(node_id=2)
+    data = RadioPowerMeter(clock, MODEL, ledger)
+    ctrl = RadioPowerMeter(clock, MODEL, ledger)
+    clock.now = 2.0
+    data.note_tx(0.1)
+    clock.now = 3.0
+    data.note_idle()
+    ctrl.note_rx()
+    clock.now = 5.0
+    ledger.finalize(clock.now)
+    # data: 2s idle + 1s tx + 2s idle; ctrl: 3s idle + 2s rx.
+    assert ledger.tx_s == pytest.approx(1.0)
+    assert ledger.rx_s == pytest.approx(2.0)
+    assert ledger.idle_s == pytest.approx(2.0 + 2.0 + 3.0)
+    assert ledger.radiated_j == pytest.approx(0.1)
+    # Two radios metered for 5 s each.
+    assert ledger.tx_s + ledger.rx_s + ledger.idle_s + ledger.sleep_s == (
+        pytest.approx(10.0)
+    )
+
+
+def test_power_off_pins_a_zero_watt_state():
+    clock = FakeClock()
+    ledger = EnergyLedger(node_id=3)
+    meter = RadioPowerMeter(clock, MODEL, ledger)
+    clock.now = 4.0
+    meter.power_off(clock.now)
+    assert meter.dead
+    clock.now = 10.0
+    meter.note_rx()      # in-flight edge after death: ignored
+    meter.note_tx(0.28)  # likewise
+    ledger.finalize(clock.now)
+    assert ledger.idle_s == pytest.approx(4.0)
+    assert ledger.rx_s == 0.0 and ledger.tx_s == 0.0
+    # Post-death time is not booked at all (a dead radio draws nothing and
+    # the run's report reads it from died_at, not the ledger residencies).
+    assert ledger.total_j == pytest.approx(4.0 * MODEL.idle_w)

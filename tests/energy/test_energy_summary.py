@@ -1,0 +1,59 @@
+"""Full-stack energy summaries over real runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ScenarioConfig
+from repro.metrics.summary import (
+    energy_breakdown_table,
+    energy_node_table,
+    summarise_efficiency,
+    summarise_energy,
+)
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+
+@pytest.fixture(scope="module")
+def metered_result():
+    return ScenarioSpec(
+        cfg=ScenarioConfig(node_count=8, duration_s=4.0, seed=2),
+        mac="basic",
+        mobility="static",
+        energy=ComponentSpec("wavelan"),
+    ).run()
+
+
+class TestEnergySummary:
+    def test_null_run_summarises_to_none(self):
+        result = ScenarioSpec(
+            cfg=ScenarioConfig(node_count=6, duration_s=2.0), mac="basic"
+        ).run()
+        assert summarise_energy(result) is None
+        assert "no energy accounting" in energy_node_table(result)
+
+    def test_totals_add_up(self, metered_result):
+        s = summarise_energy(metered_result)
+        assert s is not None
+        assert s.total_j == pytest.approx(s.tx_j + s.rx_j + s.idle_j + s.sleep_j)
+        # Radiated is a sub-slice of TX draw, and matches the MAC counter.
+        assert 0 < s.radiated_j < s.tx_j
+        assert s.radiated_j == pytest.approx(
+            metered_result.mac_totals["tx_energy_j"]
+        )
+        assert s.first_death_s is None and s.dead_nodes == 0
+
+    def test_full_stack_j_per_bit_exceeds_radiated(self, metered_result):
+        eff = summarise_efficiency(metered_result)
+        full = summarise_energy(metered_result)
+        # Receive + idle draw dominates: the honest J/bit is far above the
+        # TX-only figure the module docstring used to oversell.
+        assert full.energy_per_bit_j > eff.energy_per_bit_j
+
+    def test_tables_render_every_node(self, metered_result):
+        table = energy_node_table(metered_result)
+        for node in metered_result.energy.nodes:
+            assert f"\n{node.node_id:>5} " in "\n" + table
+        assert "total" in table
+        breakdown = energy_breakdown_table({"basic": metered_result})
+        assert "basic" in breakdown and "J/Mbit" in breakdown

@@ -1,0 +1,47 @@
+"""EnergyModel: draw arithmetic and validation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.energy.model import WAVELAN, EnergyModel, RadioState
+
+
+class TestEnergyModel:
+    def test_wavelan_working_point(self):
+        # The canonical 1.65 / 1.4 / 1.15 W numbers at the paper's maximum
+        # 281.8 mW level.
+        assert WAVELAN.tx_draw_w(0.2818) == pytest.approx(1.65, abs=1e-12)
+        assert WAVELAN.rx_w == 1.4
+        assert WAVELAN.idle_w == 1.15
+
+    def test_tx_draw_rewards_power_control(self):
+        # Radiating 1 mW instead of 281.8 mW must save exactly the radiated
+        # difference (tx_scale=1): the electronics cost stays.
+        hi = WAVELAN.tx_draw_w(0.2818)
+        lo = WAVELAN.tx_draw_w(0.001)
+        assert hi - lo == pytest.approx(0.2818 - 0.001)
+
+    def test_draw_w_dispatch(self):
+        model = EnergyModel(
+            tx_base_w=1.0, tx_scale=2.0, rx_w=0.5, idle_w=0.25, sleep_w=0.01
+        )
+        assert model.draw_w(RadioState.TX, 0.1) == pytest.approx(1.2)
+        assert model.draw_w(RadioState.RX) == 0.5
+        assert model.draw_w(RadioState.IDLE) == 0.25
+        assert model.draw_w(RadioState.SLEEP) == 0.01
+
+    @pytest.mark.parametrize(
+        "field", ["tx_base_w", "tx_scale", "rx_w", "idle_w", "sleep_w"]
+    )
+    def test_negative_draws_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            EnergyModel(**{field: -0.1})
+
+    def test_frozen_and_hashable(self):
+        model = EnergyModel()
+        assert hash(model) == hash(EnergyModel())
+        variant = dataclasses.replace(model, idle_w=0.0)
+        assert variant != model

@@ -1,0 +1,100 @@
+"""The null energy model must be invisible, and metering must be passive.
+
+Acceptance guards for the energy subsystem's core contract:
+
+* default spec (no energy slot) and explicit ``energy: null`` produce
+  bit-identical :class:`ExperimentResult`s (wallclock aside);
+* a metered run (``wavelan``, no battery) executes the *exact same event
+  count* — meters integrate lazily and never schedule;
+* the :class:`EnergyReport` survives the campaign store's JSON round trip
+  byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.campaign.store import result_from_dict, result_to_dict
+from repro.config import ScenarioConfig
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+
+def small_cfg(**overrides) -> ScenarioConfig:
+    defaults = dict(node_count=10, duration_s=5.0, seed=3)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def strip_wallclock(result):
+    """Zero the only legitimately nondeterministic field."""
+    return replace(result, wallclock_s=0.0)
+
+
+class TestNullModelIdentity:
+    @pytest.mark.parametrize("protocol", ["basic", "pcmac"])
+    def test_default_equals_explicit_null(self, protocol):
+        default = ScenarioSpec(cfg=small_cfg(), mac=protocol).run()
+        explicit = ScenarioSpec(
+            cfg=small_cfg(), mac=protocol, energy=ComponentSpec("null")
+        ).run()
+        assert default.energy is None and explicit.energy is None
+        assert strip_wallclock(default) == strip_wallclock(explicit)
+        assert default.events_executed == explicit.events_executed
+
+    @pytest.mark.parametrize("protocol", ["basic", "pcmac"])
+    def test_metering_changes_no_events_and_no_metrics(self, protocol):
+        plain = ScenarioSpec(cfg=small_cfg(), mac=protocol).run()
+        metered = ScenarioSpec(
+            cfg=small_cfg(), mac=protocol, energy=ComponentSpec("wavelan")
+        ).run()
+        # Everything except the new energy report is bit-identical —
+        # including the executed event count (meters never schedule).
+        assert metered.energy is not None
+        assert strip_wallclock(replace(metered, energy=None)) == (
+            strip_wallclock(plain)
+        )
+        assert metered.events_executed == plain.events_executed
+
+    def test_mobile_scenario_identity(self):
+        cfg = small_cfg()
+        plain = ScenarioSpec(cfg=cfg, mac="basic", mobility="waypoint").run()
+        metered = ScenarioSpec(
+            cfg=cfg, mac="basic", mobility="waypoint",
+            energy=ComponentSpec("wavelan"),
+        ).run()
+        assert metered.events_executed == plain.events_executed
+
+
+class TestEnergyReportRoundTrip:
+    def test_store_serialisation_is_lossless(self):
+        result = ScenarioSpec(
+            cfg=small_cfg(node_count=6, duration_s=3.0),
+            mac="basic",
+            mobility="static",
+            energy=ComponentSpec("wavelan", battery_j=2.0),
+        ).run()
+        assert result.energy is not None
+        assert result.energy.deaths  # 2 J at ≥1.15 W idle: everyone dies
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt == result
+        assert rebuilt.energy.first_death_s == result.energy.first_death_s
+
+    def test_null_round_trip_keeps_none(self):
+        result = ScenarioSpec(
+            cfg=small_cfg(node_count=6, duration_s=2.0), mac="basic"
+        ).run()
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt == result
+        assert rebuilt.energy is None
+
+    def test_pre_energy_store_lines_still_load(self):
+        result = ScenarioSpec(
+            cfg=small_cfg(node_count=6, duration_s=2.0), mac="basic"
+        ).run()
+        payload = result_to_dict(result)
+        del payload["energy"]  # a line written before the energy field
+        rebuilt = result_from_dict(payload)
+        assert rebuilt.energy is None
+        assert rebuilt == result

@@ -1,0 +1,98 @@
+"""Battery death mid-run: the network must route around the corpse.
+
+Topology (static, max-power decode range 250 m):
+
+            1 (200, 0)          relays 1 and 2 both reach 0 and 3;
+    0 ──────┤                   0 and 3 are 400 m apart — out of
+            2 (200, 60)         mutual range, so the flow *must* relay.
+            └────── 3 (400, 0)
+
+One CBR flow 0 → 3.  Both relays carry a finite battery under a
+TX-only draw model (idle/rx at 0 W), so exactly the relay doing the
+forwarding drains.  When it dies: its radios detach, its MAC goes
+silent, the sender's retries exhaust into an AODV RERR, a fresh
+discovery finds the surviving relay, and delivery continues — the
+observable rerouting this test pins down.  The endpoints are
+mains-powered (battery_j = 0 entries).
+"""
+
+from __future__ import annotations
+
+from repro.config import ScenarioConfig, TrafficConfig
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+POSITIONS = ((0.0, 0.0), (200.0, 0.0), (200.0, 60.0), (400.0, 0.0))
+DURATION_S = 12.0
+START_S = 0.5
+#: CBR inter-packet interval at 100 kbps / 512 B [s].
+INTERVAL_S = 512 * 8 / 100e3
+
+
+def build_spec() -> ScenarioSpec:
+    cfg = ScenarioConfig(
+        node_count=4,
+        duration_s=DURATION_S,
+        seed=5,
+        traffic=TrafficConfig(
+            flow_count=1, offered_load_bps=100e3, start_time_s=START_S
+        ),
+    )
+    return ScenarioSpec(
+        cfg=cfg,
+        mac="basic",
+        placement=ComponentSpec("explicit", positions=POSITIONS),
+        mobility="static",
+        routing="aodv",
+        energy=ComponentSpec(
+            "wavelan",
+            # TX-only drain: exactly the relay that forwards pays.
+            tx_base_w=1.0, tx_scale=0.0, rx_w=0.0, idle_w=0.0, sleep_w=0.0,
+            # 50 mJ at 1 W TX draw ≈ 50 ms of transmit airtime per relay.
+            battery_j=(0.0, 0.05, 0.05, 0.0),
+        ),
+        flow_pairs=((0, 3),),
+    )
+
+
+class TestBatteryLifetimeRerouting:
+    def test_relay_dies_and_traffic_reroutes(self):
+        net = build_spec().build()
+        result = net.run()
+        report = result.energy
+        assert report is not None
+
+        # Both relays — and only the relays — die mid-run.
+        died = {n.node_id for n in report.nodes if n.died_at_s is not None}
+        assert died == {1, 2}
+        first, last = report.first_death_s, report.last_death_s
+        assert START_S < first < last < DURATION_S
+
+        # Both relays actually forwarded DATA: the flow demonstrably moved
+        # from the first (now dead) relay onto the survivor.
+        relay_data = [net.nodes[i].mac.stats.data_sent for i in (1, 2)]
+        assert min(relay_data) > 0
+
+        # The death was detected the 802.11 way: retries exhausted into an
+        # AODV route error and a fresh discovery.
+        assert result.routing_totals["rerr_sent"] >= 1
+        assert result.routing_totals["rreq_originated"] >= 2
+
+        # Delivery outlived the first death: strictly more packets arrived
+        # than the pre-death window could possibly have carried.
+        deliverable_before_death = (first - START_S) / INTERVAL_S
+        assert result.received > deliverable_before_death + 3
+
+        # Endpoints are mains-powered: no battery, no death.
+        for node_id in (0, 3):
+            node = next(n for n in report.nodes if n.node_id == node_id)
+            assert node.remaining_j is None and node.died_at_s is None
+
+    def test_dead_mac_is_a_black_hole(self):
+        net = build_spec().build()
+        net.run()
+        for relay in (1, 2):
+            mac = net.nodes[relay].mac
+            assert mac.dead
+            assert not mac.enqueue_packet(object(), next_hop=0)
+            # Radios detached from the medium and muted.
+            assert mac.radio not in net.data_channel.radios

@@ -14,6 +14,8 @@ EXAMPLE_SPEC = (
     / "grid_poisson.spec.json"
 )
 
+BATTERY_SPEC = EXAMPLE_SPEC.parent / "battery_lifetime.spec.json"
+
 
 class TestCli:
     def test_ranges_command(self, capsys):
@@ -61,6 +63,7 @@ GOLDEN_COMPONENTS = {
     "routing": ["aodv", "static"],
     "traffic": ["cbr", "poisson"],
     "propagation": ["free_space", "log_distance", "two_ray"],
+    "energy": ["null", "wavelan"],
 }
 
 
@@ -105,6 +108,37 @@ class TestScenarioFile:
         ])
         assert code == 0
         assert "thr=" in capsys.readouterr().out
+
+    def test_energy_command_prints_per_node_table(self, capsys):
+        """Golden shape of `repro energy`: header, per-node rows, deaths."""
+        assert main(["energy", "--scenario", str(BATTERY_SPEC)]) == 0
+        out = capsys.readouterr().out
+        assert "energy model: wavelan(battery_j=30.0)" in out
+        assert "key: " in out
+        # Table header and the aggregate row.
+        for column in ("tx J", "rx J", "idle J", "sleep J", "total J",
+                       "radiated J", "left J", "died at"):
+            assert column in out
+        assert "total" in out
+        # The 30 J batteries cannot survive the 40 s horizon at ≥1.15 W.
+        assert "deaths: 6 node(s)" in out
+        assert "full-stack energy per delivered bit:" in out
+
+    def test_energy_command_without_accounting_explains(self, capsys, tmp_path):
+        """A null-energy spec still runs and says what is missing."""
+        from repro.config import ScenarioConfig
+        from repro.scenariospec import ScenarioSpec
+
+        spec = ScenarioSpec(cfg=ScenarioConfig(node_count=6, duration_s=2.0))
+        path = tmp_path / "plain.spec.json"
+        spec.save(path)
+        assert main(["energy", "--scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no energy accounting in this run" in out
+
+    def test_energy_command_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["energy"])
 
     def test_scenario_key_matches_campaign_addressing(self, capsys, tmp_path):
         """quick --scenario and a RunSpec of the same spec share a key."""

@@ -33,6 +33,49 @@ class TestExamplesExist:
     def test_example_file_present(self, name):
         assert (EXAMPLES_DIR / f"{name}.py").is_file()
 
+    @pytest.mark.parametrize(
+        "name", ["grid_poisson.spec.json", "battery_lifetime.spec.json"]
+    )
+    def test_spec_file_present(self, name):
+        assert (EXAMPLES_DIR / name).is_file()
+
+
+class TestBatteryLifetimeSpec:
+    """The docs/scenarios.md walkthrough artifact stays honest."""
+
+    def load(self):
+        from repro.scenariospec import ScenarioSpec
+
+        return ScenarioSpec.load(EXAMPLES_DIR / "battery_lifetime.spec.json")
+
+    def test_spec_declares_the_tutorial_scenario(self):
+        spec = self.load()
+        assert spec.mac.name == "pcmac"
+        assert spec.placement.name == "line"
+        assert spec.energy.name == "wavelan"
+        assert dict(spec.energy.params)["battery_j"] == 30.0
+        assert spec.flow_pairs == ((0, 5),)
+        # Round-trips and hashes like any campaign cell.
+        from repro.scenariospec import ScenarioSpec
+
+        assert ScenarioSpec.from_json(spec.to_json()).key() == spec.key()
+
+    def test_runs_to_battery_exhaustion(self):
+        spec = self.load()
+        result = spec.run()
+        report = result.energy
+        assert report is not None
+        # 30 J at ≥ 1.15 W idle draw cannot survive the 40 s horizon.
+        assert len(report.deaths) == spec.cfg.node_count
+        assert report.first_death_s < report.last_death_s < spec.cfg.duration_s
+        # The relays carry the chain's TX+RX load and die first; the sink
+        # (node 5, mostly idle) outlives everyone.
+        by_id = {n.node_id: n for n in report.nodes}
+        assert max(by_id, key=lambda i: by_id[i].died_at_s) == 5
+        assert by_id[2].died_at_s < by_id[5].died_at_s
+        # Delivery happened before the lights went out.
+        assert result.received > 0
+
 
 class TestExamplesRun:
     @pytest.mark.slow

@@ -124,6 +124,18 @@ class TestScenarioSpecRoundTrip:
         with pytest.raises(ValueError, match="schema"):
             ScenarioSpec.from_dict({"schema": 99})
 
+    def test_schema_2_still_reads(self):
+        # Pre-energy spec files are semantically identical under schema 3
+        # (the energy slot defaults to null) and must keep loading.
+        spec = ScenarioSpec.from_dict(
+            {"schema": 2, "cfg": {"node_count": 5},
+             "components": {"mac": "pcmac"}}
+        )
+        assert spec.mac == ComponentSpec("pcmac")
+        assert spec.energy == ComponentSpec("null")
+        # It round-trips (and hashes) as the current schema.
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
     def test_string_slots_coerce(self):
         spec = ScenarioSpec(mac="pcmac", placement="grid")
         assert spec.mac == ComponentSpec("pcmac")

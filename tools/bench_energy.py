@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Guard the energy subsystem's hot-path cost against ``BENCH_engine.json``.
+
+The energy ledger hooks sit on the radio's state transitions — the hottest
+code in the simulator — so this harness proves two things about them:
+
+* **Bit-identity.** With the default ``null`` energy component every
+  ``BENCH_engine.json`` cell executes *exactly* the event count the engine
+  benchmark recorded (the hooks are a single ``is not None`` check; no
+  events, no schedule change).  A metered (``wavelan``, no battery) run
+  must match the same count: meters integrate lazily and never schedule.
+* **Throughput.** The null model's events/sec stays within a small budget
+  (default 2 %) of the recorded PR-4 numbers, judged on the **geometric
+  mean across all cells** — per-cell wall clock on a shared machine swings
+  ±10-15 % either way run to run, so individual cells are reported but
+  only informational.  Wall-clock comparisons are only meaningful against
+  a baseline measured on the same machine in the same state; regenerate
+  one from the pre-energy engine with::
+
+      git worktree add /tmp/seedtree <pre-energy-commit>
+      PYTHONPATH=/tmp/seedtree/src python /tmp/seedtree/tools/bench_engine.py \
+          --out /tmp/seed_bench.json --repeat 5
+
+  ``--check`` makes a geomean over budget (or any event-count mismatch —
+  those are deterministic and always bugs) exit 1.
+
+    PYTHONPATH=src python tools/bench_energy.py                # report + BENCH_energy.json
+    PYTHONPATH=src python tools/bench_energy.py --check        # fail if >2% slower (geomean)
+    PYTHONPATH=src python tools/bench_energy.py --baseline /tmp/seed_bench.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from dataclasses import replace  # noqa: E402
+
+from repro.config import ScenarioConfig  # noqa: E402
+from repro.scenariospec import ComponentSpec, ScenarioSpec  # noqa: E402
+
+#: Mirrors tools/bench_engine.py — the cells BENCH_engine.json records.
+DURATIONS_S = {10: 25.0, 50: 4.0, 200: 2.5}
+PROTOCOLS = ("basic", "pcmac")
+MOBILITIES = (("static", False), ("mobile", True))
+SEED = 7
+
+
+def run_cell(
+    protocol: str, mobile: bool, n: int, repeat: int, energy: str
+) -> dict:
+    """Best-of-``repeat`` whole-run measurement for one cell."""
+    cfg = replace(
+        ScenarioConfig(), node_count=n, duration_s=DURATIONS_S[n], seed=SEED
+    )
+    spec = ScenarioSpec(
+        cfg=cfg,
+        mac=ComponentSpec(protocol),
+        mobility=ComponentSpec("waypoint" if mobile else "static"),
+        energy=ComponentSpec(energy),
+    )
+    best = None
+    events = None
+    for _ in range(repeat):
+        net = spec.build()
+        t0 = time.perf_counter()
+        net.sim.run_until(cfg.duration_s)
+        wall = time.perf_counter() - t0
+        executed = net.sim.events_executed
+        if events is None:
+            events = executed
+        elif executed != events:
+            raise AssertionError(
+                f"non-deterministic run: {executed} events vs {events}"
+            )
+        if best is None or wall < best:
+            best = wall
+    return {
+        "scenario": f"{protocol}-{'mobile' if mobile else 'static'}-n{n}",
+        "energy": energy,
+        "events": events,
+        "wall_s": round(best, 4),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(ROOT / "BENCH_energy.json"))
+    ap.add_argument("--baseline", default=str(ROOT / "BENCH_engine.json"))
+    ap.add_argument("--repeat", type=int, default=3, help="best-of repeats")
+    ap.add_argument(
+        "--budget", type=float, default=2.0,
+        help="allowed null-model slowdown vs the baseline [%%]",
+    )
+    ap.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any cell's event count differs or the null model "
+             "exceeds the budget (wall clock is machine-specific — only "
+             "meaningful on the baseline's machine)",
+    )
+    args = ap.parse_args(argv)
+
+    base = json.loads(Path(args.baseline).read_text())
+    base_by_name = {r["scenario"]: r for r in base["results"]}
+
+    rows = []
+    failures = []
+    for protocol in PROTOCOLS:
+        for mob_name, mobile in MOBILITIES:
+            for n in sorted(DURATIONS_S):
+                null_row = run_cell(protocol, mobile, n, args.repeat, "null")
+                metered = run_cell(protocol, mobile, n, args.repeat, "wavelan")
+                name = null_row["scenario"]
+                recorded = base_by_name.get(name)
+                if recorded is None:
+                    continue
+                if null_row["events"] != recorded["events"]:
+                    failures.append(
+                        f"{name}: null-model event count {null_row['events']} "
+                        f"!= recorded {recorded['events']}"
+                    )
+                if metered["events"] != recorded["events"]:
+                    failures.append(
+                        f"{name}: wavelan event count {metered['events']} "
+                        f"!= recorded {recorded['events']} (meters must not "
+                        "schedule)"
+                    )
+                overhead = (
+                    1.0 - null_row["events_per_sec"] / recorded["events_per_sec"]
+                ) * 100.0
+                meter_cost = (
+                    1.0 - metered["events_per_sec"] / null_row["events_per_sec"]
+                ) * 100.0
+                rows.append(
+                    {
+                        "scenario": name,
+                        "events": null_row["events"],
+                        "baseline_events_per_sec": recorded["events_per_sec"],
+                        "null_events_per_sec": null_row["events_per_sec"],
+                        "null_overhead_pct": round(overhead, 2),
+                        "wavelan_events_per_sec": metered["events_per_sec"],
+                        "wavelan_overhead_pct": round(meter_cost, 2),
+                    }
+                )
+                print(
+                    f"{name:>20}  {null_row['events']:>9d} ev  "
+                    f"base {recorded['events_per_sec']:>9,.0f}  "
+                    f"null {null_row['events_per_sec']:>9,.0f} "
+                    f"({overhead:+5.1f}%)  wavelan "
+                    f"{metered['events_per_sec']:>9,.0f} ({meter_cost:+5.1f}%)"
+                )
+
+    import math
+
+    def geomean_overhead(key: str) -> float:
+        """Geometric-mean slowdown [%] across cells for one ratio column."""
+        ratios = [
+            r[key] / r["baseline_events_per_sec"] for r in rows
+        ]
+        gm = math.exp(sum(math.log(x) for x in ratios) / len(ratios))
+        return (1.0 - gm) * 100.0
+
+    null_gm = geomean_overhead("null_events_per_sec")
+    wavelan_gm = geomean_overhead("wavelan_events_per_sec")
+    print(
+        f"\ngeomean overhead vs baseline: null {null_gm:+.2f}%  "
+        f"wavelan {wavelan_gm:+.2f}%  (budget {args.budget:.1f}% on null)"
+    )
+    if null_gm > args.budget:
+        failures.append(
+            f"null model geomean {null_gm:+.2f}% slower than baseline "
+            f"(budget {args.budget:.1f}%)"
+        )
+
+    payload = {
+        "benchmark": "energy_null_overhead",
+        "schema": 1,
+        "generated_by": "tools/bench_energy.py",
+        "config": {
+            "repeat": args.repeat,
+            "seed": SEED,
+            "budget_pct": args.budget,
+            "baseline": str(Path(args.baseline).name),
+            "unit": "events per second of wall time, whole run (build excluded)",
+        },
+        "geomean_overhead_pct": {
+            "null": round(null_gm, 2),
+            "wavelan": round(wavelan_gm, 2),
+        },
+        "results": rows,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        print("\nFAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        if args.check:
+            return 1
+        print("(informational — pass --check to make this fatal)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

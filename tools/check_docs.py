@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Docs gate: broken intra-repo links and undocumented energy API fail CI.
+
+Two checks, both dependency-free:
+
+* **Links.**  Every relative markdown link in the repo's narrative docs
+  (``README.md``, ``EXPERIMENTS.md``, ``docs/*.md``, ``CHANGES.md``,
+  ``ROADMAP.md``) must resolve to a file or directory inside the repo.
+  External (``http``/``https``/``mailto``) links and pure ``#anchors`` are
+  skipped — this is a referential-integrity check, not a crawler.
+* **Docstrings.**  Every *public* module, class and function in
+  ``src/repro/energy/`` must carry a docstring (AST walk, no imports).
+  The energy subsystem is the newest public surface; keeping its contract
+  prose-complete is cheap now and expensive later.
+
+    python tools/check_docs.py            # exit 1 on any finding
+    python tools/check_docs.py --verbose  # list everything checked
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files whose relative links must resolve.
+DOC_GLOBS = ("README.md", "EXPERIMENTS.md", "CHANGES.md", "ROADMAP.md",
+             "PAPER.md", "docs/*.md")
+
+#: Packages whose public API must be fully docstringed.
+DOCSTRING_ROOTS = ("src/repro/energy",)
+
+#: ``[text](target)`` — good enough for the links these docs use; image
+#: links (``![..](..)``) match too via the optional leading ``!``.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_doc_files() -> list[Path]:
+    """The markdown files covered by the link check (existing ones only)."""
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        if "*" in pattern:
+            files.extend(sorted(ROOT.glob(pattern)))
+        elif (ROOT / pattern).is_file():
+            files.append(ROOT / pattern)
+    return files
+
+
+def check_links(verbose: bool) -> list[str]:
+    """Relative links that do not resolve, as ``file: target`` strings."""
+    problems: list[str] = []
+    for doc in iter_doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if verbose:
+                print(f"  link {doc.relative_to(ROOT)} -> {path}")
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def _public_defs(tree: ast.Module) -> list[tuple[str, ast.AST]]:
+    """(qualified name, node) for public classes/functions, module included."""
+    out: list[tuple[str, ast.AST]] = []
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if child.name.startswith("_"):
+                    continue
+                qualified = f"{prefix}{child.name}"
+                out.append((qualified, child))
+                if isinstance(child, ast.ClassDef):
+                    walk(child, qualified + ".")
+
+    walk(tree, "")
+    return out
+
+
+def check_docstrings(verbose: bool) -> list[str]:
+    """Public energy-package definitions lacking docstrings."""
+    problems: list[str] = []
+    for root in DOCSTRING_ROOTS:
+        for path in sorted((ROOT / root).rglob("*.py")):
+            rel = path.relative_to(ROOT)
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(rel))
+            if ast.get_docstring(tree) is None:
+                problems.append(f"{rel}: module docstring missing")
+            for name, node in _public_defs(tree):
+                if verbose:
+                    print(f"  docstring {rel}: {name}")
+                if ast.get_docstring(node) is None:
+                    problems.append(
+                        f"{rel}:{node.lineno}: public {name!r} lacks a docstring"
+                    )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    problems = check_links(args.verbose) + check_docstrings(args.verbose)
+    docs = len(iter_doc_files())
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s) across {docs} docs:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"check_docs: OK ({docs} markdown files, "
+          f"{', '.join(DOCSTRING_ROOTS)} fully docstringed)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,8 @@
 #!/usr/bin/env python3
-"""Generate the measured-results tables of EXPERIMENTS.md.
+"""Generate EXPERIMENTS.md from committed measurement snapshots.
 
-Two input modes:
+Figure 8/9 table sources (first available wins):
 
-* default — the legacy ``fullscale_results.json`` snapshot next to the repo
-  root (``{"<protocol>@<load>": {"thr": ..., "dly": ...}}``);
 * ``--store DIR`` — a campaign result store produced by e.g.::
 
       python -m repro campaign \
@@ -15,17 +13,27 @@ Two input modes:
   Stores are content-addressed and resumable: re-running the same command
   against the same ``DIR`` only simulates missing cells, so the tables can
   be regenerated incrementally as seeds are added.
+* the legacy ``fullscale_results.json`` snapshot next to the repo root
+  (``{"<protocol>@<load>": {"thr": ..., "dly": ...}}``);
+* neither — the figure sections carry a how-to-populate note instead.
 
-Usage:  python tools/make_experiments_md.py [--store DIR]
-Prints the markdown tables to stdout; EXPERIMENTS.md embeds them.
+The energy-savings section reads the ``energy_savings.json`` snapshot
+written by ``python -m repro.experiments.energy_savings`` (skipped with a
+note when absent).
+
+Usage:  python tools/make_experiments_md.py [--store DIR] [--out EXPERIMENTS.md]
+With ``--out`` the document is written (CI regenerates it there and fails
+on drift); without, it goes to stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import pathlib
 from collections import defaultdict
+from contextlib import redirect_stdout
 
 from repro.analysis.report import markdown_table
 from repro.analysis.stats import compare_series
@@ -33,6 +41,8 @@ from repro.experiments.figure8 import FIGURE8_LOADS_KBPS, PAPER_FIG8_KBPS
 from repro.experiments.figure9 import PAPER_FIG9_MS
 
 PROTOCOLS = ("basic", "pcmac", "scheme1", "scheme2")
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def load_legacy_json() -> tuple[list[int], dict, dict, str]:
@@ -90,22 +100,97 @@ def load_campaign_store(root: str) -> tuple[list[int], dict, dict, str]:
     return loads, thr, dly, provenance
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--store",
-        default="",
-        help="campaign result store directory (default: fullscale_results.json)",
+def print_energy_section(snapshot_path: pathlib.Path) -> None:
+    """The BASIC-vs-PCM energy comparison from ``energy_savings.json``."""
+    print("## Energy savings at equal throughput\n")
+    if not snapshot_path.is_file():
+        print(
+            "*(no snapshot — run `python -m repro.experiments.energy_savings"
+            "` to populate this section)*"
+        )
+        return
+    data = json.loads(snapshot_path.read_text())
+    cfg = data["config"]
+    protos = data["protocols"]
+    savings = data["savings"]
+    print(
+        f"The paper's headline claim, measured: {cfg['nodes']} nodes, "
+        f"{cfg['duration_s']:g} s, {cfg['load_kbps']:g} kbps offered "
+        f"(below saturation), seeds {cfg['seeds']} — WaveLAN per-state "
+        "draws (see docs/model-assumptions.md), mean ± 95 % CI.\n"
     )
-    args = parser.parse_args()
+    rows = []
+    for name in ("basic", "pcmac"):
+        p = protos[name]
+        rows.append([
+            name,
+            f"{p['throughput_kbps']:.1f} ± {p['throughput_ci_kbps']:.1f}",
+            f"{p['total_j']:.0f} ± {p['total_ci_j']:.0f}",
+            round(p["tx_j"], 1),
+            round(p["rx_j"], 1),
+            round(p["idle_j"], 1),
+            round(p["radiated_j"], 2),
+            round(p["energy_per_bit_j"] * 1e6, 1),
+        ])
+    print(markdown_table(
+        ["protocol", "thr [kbps]", "total [J]", "tx [J]", "rx [J]",
+         "idle [J]", "radiated [J]", "J/Mbit (full stack)"],
+        rows,
+    ))
+    verdict = (
+        "statistically indistinguishable (overlapping 95 % CIs)"
+        if savings["throughput_indistinguishable"]
+        else "**distinct** (CIs do not overlap)"
+    )
+    print(
+        f"\n- throughput: {verdict}, Welch t = "
+        f"{savings['throughput_welch_t']:+.2f}"
+    )
+    print(
+        f"- PCMAC saves **{savings['aggregate_fraction']:.1%}** of BASIC's "
+        "aggregate electrical energy (TX draw at reduced power levels + "
+        "fewer overheard max-power frames to decode)"
+    )
+    print(
+        f"- PCMAC saves **{savings['radiated_fraction']:.1%}** of BASIC's "
+        "radiated transmit energy — the quantity the paper's power-control "
+        "argument bounds"
+    )
+    seeds_arg = ",".join(str(s) for s in cfg["seeds"])
+    print(
+        "\nReproduce: `python -m repro.experiments.energy_savings "
+        f"--nodes {cfg['nodes']} --duration {cfg['duration_s']:g} "
+        f"--load {cfg['load_kbps']:g} --seeds {seeds_arg} "
+        "--store results/energy`"
+    )
 
+
+def print_figures(args: argparse.Namespace) -> None:
+    """Figure 8/9 tables (or a how-to-populate note when no source exists)."""
     if args.store:
         loads, thr, dly, provenance = load_campaign_store(args.store)
-    else:
+    elif (ROOT / "fullscale_results.json").is_file():
         loads, thr, dly, provenance = load_legacy_json()
+    else:
+        print("## Figures 8 & 9 — throughput / delay vs offered load\n")
+        print(
+            "*(no snapshot — run the campaign below with `--store DIR` and "
+            "regenerate with `python tools/make_experiments_md.py --store "
+            "DIR --out EXPERIMENTS.md`)*\n"
+        )
+        print(
+            "```\n"
+            "python -m repro campaign "
+            f"--protocols {','.join(PROTOCOLS)} \\\n"
+            "    --loads 300,400,500,600,700,800,900,1000 --seeds 1,2,3 \\\n"
+            "    --nodes 50 --duration 40 --jobs 8 --store results/fullscale\n"
+            "```"
+        )
+        return
 
     protos = list(thr)
 
+    print("## Figures 8 & 9 — throughput / delay vs offered load\n")
     print(f"### Figure 8 — measured ({provenance})\n")
     rows = []
     for i, ld in enumerate(loads):
@@ -176,6 +261,50 @@ def main() -> None:
         "run specification), so interrupted campaigns resume and repeated\n"
         "invocations are pure cache hits."
     )
+
+
+def render(args: argparse.Namespace) -> str:
+    """Compose the whole EXPERIMENTS.md document as a string."""
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        print("# EXPERIMENTS — measured results\n")
+        print(
+            "Generated by `python tools/make_experiments_md.py` from "
+            "committed snapshots — regenerate rather than editing by hand "
+            "(CI diffs this file against a fresh render).\n"
+        )
+        print_figures(args)
+        print()
+        print_energy_section(pathlib.Path(args.energy_json))
+    return buf.getvalue().rstrip() + "\n"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--store",
+        default="",
+        help="campaign result store directory for the figure tables "
+             "(default: fullscale_results.json if present, else skipped)",
+    )
+    parser.add_argument(
+        "--energy-json",
+        default=str(ROOT / "energy_savings.json"),
+        help="energy_savings snapshot for the energy section",
+    )
+    parser.add_argument(
+        "--out",
+        default="",
+        help="write the document here instead of stdout",
+    )
+    args = parser.parse_args()
+
+    text = render(args)
+    if args.out:
+        pathlib.Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
 
 
 if __name__ == "__main__":
