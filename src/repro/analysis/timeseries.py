@@ -1,0 +1,82 @@
+"""Terminal renderers for probe time series (``repro stats``).
+
+A :class:`~repro.obs.probes.TimeSeries` is gauge-major columnar data; the
+renderers here reduce it to what a terminal can usefully show: a per-gauge
+summary table (mean / min / max over every node and sample) with an ASCII
+sparkline of the network-mean trajectory, and a per-node drill-down for one
+gauge.  No plotting dependency — same philosophy as
+:func:`repro.analysis.plotting.ascii_chart`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.obs.probes import TimeSeries
+
+#: Sparkline ramp, lowest to highest.
+_SPARKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Map a trajectory onto a fixed-width ASCII intensity ramp.
+
+    Values are resampled (nearest) to ``width`` points and scaled to the
+    series' own min/max; a flat series renders as all-low.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        step = (len(values) - 1) / (width - 1) if width > 1 else 0.0
+        values = [values[round(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARKS[0] * len(values)
+    top = len(_SPARKS) - 1
+    return "".join(_SPARKS[round((v - lo) / span * top)] for v in values)
+
+
+def _mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def timeseries_table(
+    ts: TimeSeries,
+    *,
+    gauges: Sequence[str] = (),
+    width: int = 24,
+) -> str:
+    """Per-gauge summary: mean/min/max over all nodes plus a mean sparkline."""
+    names = tuple(gauges) or ts.gauges
+    lines = [
+        f"timeseries: {ts.samples} samples @ {ts.interval_s:g}s, "
+        f"{ts.node_count} nodes",
+        f"{'gauge':<16} {'mean':>10} {'min':>10} {'max':>10}  trend (net mean)",
+    ]
+    for name in names:
+        rows = ts.gauge(name)
+        flat = [v for row in rows for v in row]
+        means = [_mean(row) for row in rows]
+        lines.append(
+            f"{name:<16} {_mean(flat):>10.3f} {min(flat):>10.3f} "
+            f"{max(flat):>10.3f}  {sparkline(means, width)}"
+        )
+    return "\n".join(lines)
+
+
+def node_table(ts: TimeSeries, gauge: str, *, width: int = 24) -> str:
+    """Per-node drill-down for one gauge: summary row + sparkline per node."""
+    rows = ts.gauge(gauge)
+    lines = [
+        f"{gauge}: {ts.samples} samples @ {ts.interval_s:g}s",
+        f"{'node':>4} {'mean':>10} {'min':>10} {'max':>10} {'last':>10}  trend",
+    ]
+    for node in range(ts.node_count):
+        series = [row[node] for row in rows]
+        lines.append(
+            f"{node:>4} {_mean(series):>10.3f} {min(series):>10.3f} "
+            f"{max(series):>10.3f} {series[-1]:>10.3f}  {sparkline(series, width)}"
+        )
+    return "\n".join(lines)

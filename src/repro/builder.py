@@ -35,6 +35,11 @@ validated params as keyword arguments.  What each slot must return:
     an :class:`EnergyPlan` (draw model + wiring options), or ``None`` for
     the null model — then **no** energy instrumentation is attached and the
     run is bit-identical to a pre-energy build.  Context: ``cfg`` only.
+``observability``
+    an :class:`ObservabilityPlan` (trace categories, probe interval,
+    profiling), or ``None`` for the null component — then **no**
+    instrumentation is attached and the run is bit-identical to an
+    unobserved build.  Context: ``cfg`` only.
 
 The call order (and the named RNG streams each builtin consumes) reproduces
 the historical ``build_network`` exactly, which is what keeps the
@@ -85,6 +90,30 @@ class EnergyPlan:
 
 
 @dataclass(frozen=True)
+class ObservabilityPlan:
+    """What a (non-null) observability component returns: what to record.
+
+    Every field defaults to "off"; the null component returns ``None``
+    instead (zero wiring, bit-identical — the energy-slot precedent).
+    Trace collection and profiling are passive (no scheduled events, so
+    ``events_executed`` is unchanged); probes schedule sampling events and
+    therefore legitimately change the executed event count — which is why
+    observability is a *spec* slot, hashed into the scenario's content key.
+    """
+
+    #: Trace categories to record (counters are always on regardless).
+    trace_categories: tuple[str, ...] = ()
+    #: Override the tracer's stored-record cap; 0 keeps the default.
+    max_records: int = 0
+    #: Gauge sampling period [s]; 0 disables probes.
+    probe_interval_s: float = 0.0
+    #: Gauges to sample (empty = every registered gauge).
+    gauges: tuple[str, ...] = ()
+    #: Enable the kernel's per-event-kind wall-clock profiler.
+    profile: bool = False
+
+
+@dataclass(frozen=True)
 class MobilityPlan:
     """What a mobility component returns: a speed bound + per-node factory."""
 
@@ -112,6 +141,7 @@ class BuildContext:
     propagation: "PropagationModel | None" = None
     mobility_plan: MobilityPlan | None = None
     energy_plan: EnergyPlan | None = None
+    obs_plan: ObservabilityPlan | None = None
     data_channel: Channel | None = None
     control_channel: Channel | None = None
     positions: list[Position] = field(default_factory=list)
@@ -258,6 +288,29 @@ class NetworkBuilder:
             resolved[slot] = (entry, entry.validate(comp.params_dict))
         return resolved
 
+    def _apply_observability(self, ctx: BuildContext) -> None:
+        """Configure tracing and profiling from a non-null observability plan.
+
+        Runs before any radio/MAC/node binds its trace handles, so a tracer
+        created here is the one every layer records into.  The process-wide
+        :data:`~repro.sim.trace.NULL_TRACER` is never mutated — when the
+        caller did not supply a tracer and the plan wants trace collection,
+        a fresh per-build tracer replaces it.
+        """
+        plan = ctx.obs_plan
+        if plan.trace_categories or plan.max_records:
+            if ctx.tracer is NULL_TRACER:
+                ctx.tracer = Tracer(
+                    enabled_categories=plan.trace_categories,
+                    max_records=plan.max_records or Tracer.DEFAULT_MAX_RECORDS,
+                )
+            else:
+                ctx.tracer.enable(*plan.trace_categories)
+                if plan.max_records:
+                    ctx.tracer.max_records = plan.max_records
+        if plan.profile:
+            ctx.sim.enable_profiling()
+
     # ----------------------------------------------------------------- build
 
     def build(self) -> "BuiltNetwork":
@@ -302,6 +355,11 @@ class NetworkBuilder:
                     f"{len(ctx.energy_plan.battery_j)} capacities for "
                     f"{cfg.node_count} nodes"
                 )
+
+        obs_entry, obs_params = resolved["observability"]
+        ctx.obs_plan = obs_entry.factory(ctx, **obs_params)
+        if ctx.obs_plan is not None:
+            self._apply_observability(ctx)
 
         ctx.mobility_plan = mobility_entry.factory(ctx, **mobility_params)
         channel_kwargs = dict(
@@ -371,6 +429,18 @@ class NetworkBuilder:
         traffic_entry, traffic_params = resolved["traffic"]
         sources = traffic_entry.factory(ctx, nodes, pairs, **traffic_params)
 
+        extras: dict[str, Any] = {}
+        if ctx.obs_plan is not None and ctx.obs_plan.probe_interval_s > 0:
+            from repro.obs.probes import GaugeSampler
+
+            extras["sampler"] = GaugeSampler(
+                ctx.sim,
+                nodes,
+                interval_s=ctx.obs_plan.probe_interval_s,
+                horizon_s=cfg.duration_s,
+                gauges=ctx.obs_plan.gauges,
+            )
+
         return BuiltNetwork(
             sim=ctx.sim,
             cfg=cfg,
@@ -383,5 +453,6 @@ class NetworkBuilder:
             data_channel=ctx.data_channel,
             control_channel=ctx.control_channel,
             rngs=ctx.rngs,
+            extras=extras,
             spec=spec,
         )

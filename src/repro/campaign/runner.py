@@ -10,18 +10,27 @@ hash, which also makes the executor indifferent to completion order.
 ``jobs=1`` bypasses ``multiprocessing`` entirely (no pickling, no fork), so
 the serial path stays debuggable and usable on platforms without working
 process pools.
+
+Live telemetry (``telemetry=...``) swaps the worker entry point for
+:func:`repro.obs.telemetry.run_with_heartbeat`: each cell runs in sim-time
+slices and streams :class:`~repro.obs.telemetry.RunProgress` heartbeats
+back to the parent (over a manager queue in the pooled case), which also
+records per-run runtime stats into the store.  Results are bit-identical
+either way — slicing ``run_until`` does not change the dispatch order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.campaign.spec import Campaign, RunSpec
 from repro.campaign.store import ResultStore
+from repro.obs.telemetry import DEFAULT_SLICES, TelemetryFn, run_with_heartbeat
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.scenario import ExperimentResult
@@ -32,6 +41,27 @@ ProgressFn = Callable[[str], None]
 def _execute(spec: RunSpec) -> tuple[str, "ExperimentResult"]:
     """Worker entry point: run one cell (module-level for picklability)."""
     return spec.key(), spec.run()
+
+
+#: Per-worker heartbeat queue, installed by the pool initializer.
+_WORKER_QUEUE = None
+
+
+def _init_telemetry_worker(queue) -> None:
+    """Pool initializer: stash the parent's heartbeat queue in the worker."""
+    global _WORKER_QUEUE
+    _WORKER_QUEUE = queue
+
+
+def _execute_with_heartbeat(
+    args: tuple[RunSpec, int],
+) -> tuple[str, "ExperimentResult", dict]:
+    """Telemetry worker entry point: run one cell in slices, stream progress."""
+    spec, slices = args
+    queue = _WORKER_QUEUE
+    emit = queue.put if queue is not None else (lambda progress: None)
+    result, runtime = run_with_heartbeat(spec, emit, slices=slices)
+    return spec.key(), result, runtime
 
 
 def _start_method() -> str:
@@ -76,6 +106,8 @@ def run_specs(
     store: ResultStore | None = None,
     resume: bool = True,
     progress: ProgressFn | None = None,
+    telemetry: TelemetryFn | None = None,
+    slices: int = DEFAULT_SLICES,
 ) -> CampaignReport:
     """Execute every spec, reusing stored results where possible.
 
@@ -87,6 +119,11 @@ def run_specs(
         resume: when False, stored results are ignored (and overwritten) —
             every cell is re-simulated.
         progress: optional callback receiving one line per finished cell.
+        telemetry: optional callback receiving
+            :class:`~repro.obs.telemetry.RunProgress` heartbeats while
+            cells execute (live progress).  Enables per-run runtime stats
+            in the store.  Called from a drainer thread when ``jobs > 1``.
+        slices: heartbeats per run when telemetry is on.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs!r}")
@@ -109,11 +146,16 @@ def run_specs(
         else:
             pending.append(spec)
 
-    def record(spec: RunSpec, key: str, result: "ExperimentResult") -> None:
+    def record(
+        spec: RunSpec,
+        key: str,
+        result: "ExperimentResult",
+        runtime: dict | None = None,
+    ) -> None:
         report.results[key] = result
         report.executed += 1
         if store is not None:
-            store.put(spec, result)
+            store.put(spec, result, runtime=runtime)
         if progress is not None:
             progress(
                 f"[{report.executed}/{len(pending)}] {result.row()}"
@@ -122,14 +164,50 @@ def run_specs(
 
     if jobs == 1 or len(pending) <= 1:
         for spec in pending:
-            key, result = _execute(spec)
-            record(spec, key, result)
-    else:
+            if telemetry is not None:
+                result, runtime = run_with_heartbeat(spec, telemetry, slices=slices)
+                record(spec, spec.key(), result, runtime)
+            else:
+                key, result = _execute(spec)
+                record(spec, key, result)
+    elif telemetry is None:
         by_key = {spec.key(): spec for spec in pending}
         ctx = multiprocessing.get_context(_start_method())
         with ctx.Pool(processes=min(jobs, len(pending))) as pool:
             for key, result in pool.imap_unordered(_execute, pending, chunksize=1):
                 record(by_key[key], key, result)
+    else:
+        by_key = {spec.key(): spec for spec in pending}
+        ctx = multiprocessing.get_context(_start_method())
+        # Workers stream heartbeats over a manager queue; a drainer thread
+        # in the parent forwards them to the callback so the result loop
+        # below never blocks on telemetry.
+        with ctx.Manager() as manager:
+            queue = manager.Queue()
+
+            def drain() -> None:
+                while True:
+                    item = queue.get()
+                    if item is None:
+                        return
+                    telemetry(item)
+
+            drainer = threading.Thread(target=drain, daemon=True)
+            drainer.start()
+            try:
+                with ctx.Pool(
+                    processes=min(jobs, len(pending)),
+                    initializer=_init_telemetry_worker,
+                    initargs=(queue,),
+                ) as pool:
+                    work = [(spec, slices) for spec in pending]
+                    for key, result, runtime in pool.imap_unordered(
+                        _execute_with_heartbeat, work, chunksize=1
+                    ):
+                        record(by_key[key], key, result, runtime)
+            finally:
+                queue.put(None)
+                drainer.join()
 
     report.wallclock_s = time.perf_counter() - t0
     return report
@@ -142,8 +220,16 @@ def run_campaign(
     store: ResultStore | None = None,
     resume: bool = True,
     progress: ProgressFn | None = None,
+    telemetry: TelemetryFn | None = None,
+    slices: int = DEFAULT_SLICES,
 ) -> CampaignReport:
     """Expand a grid campaign and execute it (see :func:`run_specs`)."""
     return run_specs(
-        campaign.specs(), jobs=jobs, store=store, resume=resume, progress=progress
+        campaign.specs(),
+        jobs=jobs,
+        store=store,
+        resume=resume,
+        progress=progress,
+        telemetry=telemetry,
+        slices=slices,
     )

@@ -6,7 +6,9 @@ Layout of a store directory::
         results.jsonl     # one JSON object per finished cell, append-only
         meta.json         # store format version + spec schema version
 
-Each ``results.jsonl`` line is ``{"key", "spec", "result"}`` where ``spec``
+Each ``results.jsonl`` line is ``{"key", "spec", "result"}`` (plus an
+optional ``"runtime"`` — machine-local execution stats recorded when the
+campaign ran with telemetry) where ``spec``
 is an audit record (protocol / load / seed plus the full serialized
 :class:`~repro.scenariospec.ScenarioSpec` under ``"scenario"`` — re-runnable
 via ``ScenarioSpec.from_dict``, though addressing is always by ``key``) and
@@ -47,6 +49,8 @@ def result_from_dict(data: dict) -> "ExperimentResult":
     """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
     from repro.energy.report import EnergyReport, NodeEnergy
     from repro.experiments.scenario import ExperimentResult, FlowSummary
+    from repro.obs.probes import TimeSeries
+    from repro.obs.profile import ProfileReport
 
     payload = dict(data)
     payload["flows"] = tuple(
@@ -62,6 +66,15 @@ def result_from_dict(data: dict) -> "ExperimentResult":
     else:
         # Pre-energy store lines lack the key entirely.
         payload["energy"] = None
+    # Observability payloads: absent on pre-obs lines, null on null-obs runs.
+    timeseries = payload.get("timeseries")
+    payload["timeseries"] = (
+        TimeSeries.from_payload(timeseries) if timeseries is not None else None
+    )
+    profile = payload.get("profile")
+    payload["profile"] = (
+        ProfileReport.from_payload(profile) if profile is not None else None
+    )
     return ExperimentResult(**payload)
 
 
@@ -79,6 +92,7 @@ class ResultStore:
         self.path = self.root / RESULTS_FILE
         self._index: dict[str, "ExperimentResult"] = {}
         self._specs: dict[str, dict] = {}
+        self._runtimes: dict[str, dict] = {}
         self._write_meta()
         self._load()
 
@@ -118,6 +132,9 @@ class ResultStore:
                     continue
                 self._index[record["key"]] = result
                 self._specs[record["key"]] = record.get("spec", {})
+                runtime = record.get("runtime")
+                if runtime is not None:
+                    self._runtimes[record["key"]] = runtime
 
     # ----------------------------------------------------------------- access
 
@@ -143,8 +160,25 @@ class ResultStore:
         """The audit summary recorded with ``key`` (may be empty)."""
         return self._specs.get(key, {})
 
-    def put(self, spec: RunSpec, result: "ExperimentResult") -> str:
-        """Record one finished cell; returns its key."""
+    def runtime_stats(self, key: str) -> dict:
+        """Per-run runtime stats (wall time, events/sec, peak RSS) for
+        ``key`` — empty for cells recorded without telemetry."""
+        return self._runtimes.get(key, {})
+
+    def put(
+        self,
+        spec: RunSpec,
+        result: "ExperimentResult",
+        *,
+        runtime: dict | None = None,
+    ) -> str:
+        """Record one finished cell; returns its key.
+
+        ``runtime`` is an optional machine-local stats dict (see
+        :func:`repro.obs.telemetry.runtime_stats`) persisted alongside the
+        cell but excluded from the result — it describes *this* execution,
+        not the scenario.
+        """
         key = spec.key()
         record = {
             "key": key,
@@ -161,6 +195,8 @@ class ResultStore:
             },
             "result": result_to_dict(result),
         }
+        if runtime is not None:
+            record["runtime"] = runtime
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self.path.open("a", encoding="utf-8") as fh:
             fh.write(line + "\n")
@@ -168,4 +204,6 @@ class ResultStore:
             os.fsync(fh.fileno())
         self._index[key] = result
         self._specs[key] = record["spec"]
+        if runtime is not None:
+            self._runtimes[key] = runtime
         return key

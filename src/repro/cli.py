@@ -13,8 +13,15 @@ Experiments:
 * ``energy`` — run one declarative scenario and print its per-node,
   per-state energy table (and battery deaths, if any); the scenario's
   ``energy`` component selects the accounting model
+* ``trace`` — run one declarative scenario with tracing on and export the
+  event stream as JSONL (``--out``), with per-category filters
+* ``stats`` — run one declarative scenario with periodic probes and print
+  per-gauge time-series tables (``--profile`` adds the kernel's per-event-kind
+  wall-clock attribution)
 * ``campaign`` — a protocol × load × seed grid through the parallel
-  campaign runner, with an optional content-addressed result store
+  campaign runner, with an optional content-addressed result store;
+  ``--live`` streams a per-cell progress line (events/sec, ETA, peak RSS)
+  while cells execute and records runtime stats into the store
 
 ``--scale quick`` (default) runs a reduced configuration; ``--scale full``
 uses the paper's 50 nodes / 400 s / 8 loads.
@@ -51,7 +58,12 @@ from repro.experiments.ranges import max_power_ranges, power_level_table
 from repro.experiments.scenario import build_network
 from repro.experiments.sweep import sweep_from_campaign
 from repro.registry import all_registries, registry
-from repro.scenariospec import ScenarioSpec
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+#: Default ``repro trace`` categories: the low-rate, semantically dense
+#: stream (application endpoints and every drop).  PHY signal edges exist
+#: too (phy.tx / phy.rx_ok / phy.rx_err / phy.cs) but dominate volume.
+DEFAULT_TRACE_CATEGORIES = "app.tx,app.rx,mac.drop,net.drop,mac.handshake"
 
 
 def _add_campaign_flags(p: argparse.ArgumentParser) -> None:
@@ -110,6 +122,40 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         "non-null energy component (e.g. wavelan) to "
                         "enable accounting")
 
+    t = sub.add_parser(
+        "trace",
+        help="run a scenario with tracing on and export the event stream",
+    )
+    t.add_argument("--scenario", type=str, required=True,
+                   help="declarative ScenarioSpec JSON file")
+    t.add_argument("--categories", type=str, default=DEFAULT_TRACE_CATEGORIES,
+                   help="comma-separated trace categories to enable")
+    t.add_argument("--out", type=str, default="",
+                   help="stream records to this JSONL file (unbounded; "
+                        "default: collect in memory and print)")
+    t.add_argument("--limit", type=int, default=20,
+                   help="records to print when not exporting")
+    t.add_argument("--node", type=int, default=-1,
+                   help="only print records for this node (-1 = all)")
+    t.add_argument("--max-records", type=int, default=0,
+                   help="in-memory record cap override (0 = default)")
+
+    st = sub.add_parser(
+        "stats",
+        help="run a scenario with periodic probes; print gauge time series",
+    )
+    st.add_argument("--scenario", type=str, required=True,
+                    help="declarative ScenarioSpec JSON file")
+    st.add_argument("--interval", type=float, default=0.0,
+                    help="probe interval [s] (0 = spec's own, else 1s)")
+    st.add_argument("--gauges", type=str, default="",
+                    help="comma-separated gauge subset (default: all)")
+    st.add_argument("--node", type=int, default=-1,
+                    help="per-node drill-down for --gauges' first gauge")
+    st.add_argument("--profile", action="store_true",
+                    help="also enable kernel self-profiling and print the "
+                         "per-event-kind wall-clock table")
+
     c = sub.add_parser(
         "campaign",
         help="run a protocol × load × seed grid via the campaign runner",
@@ -124,6 +170,10 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
     c.add_argument("--duration", type=float, default=60.0)
     c.add_argument("--export-csv", type=str, default="",
                    help="write per-run CSV to this path ('-' = stdout)")
+    c.add_argument("--live", action="store_true",
+                   help="stream a live per-cell progress line (sim-time "
+                        "rate, events/sec, ETA, peak RSS) and record "
+                        "runtime stats into the store")
     _add_campaign_flags(c)
 
     return parser.parse_args(argv)
@@ -283,6 +333,101 @@ def _run_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """Run one scenario with tracing enabled; export or print the stream."""
+    from repro.obs.sinks import JsonlSink
+
+    categories = tuple(c for c in args.categories.split(",") if c)
+    if not categories:
+        print("error: --categories must name at least one category",
+              file=sys.stderr)
+        return 2
+    spec = ScenarioSpec.load(args.scenario)
+    spec = replace(
+        spec,
+        observability=ComponentSpec(
+            "trace", categories=categories, max_records=args.max_records
+        ),
+    )
+    print(f"scenario: {args.scenario}")
+    print(f"  categories: {', '.join(categories)}")
+    print(f"  key: {spec.key()}")
+    net = spec.build()
+    sink = None
+    if args.out:
+        # The sink consumes matching records as they happen — unbounded
+        # export, nothing dropped, independent of the in-memory cap.
+        sink = JsonlSink(args.out, categories=categories)
+        net.tracer.sink = sink
+    result = net.run()
+    print(result.row())
+    counters = {
+        cat: count for cat, count in sorted(net.tracer.counters.items()) if count
+    }
+    print("  counters: " + (", ".join(
+        f"{cat}={count}" for cat, count in counters.items()) or "(none)"))
+    if sink is not None:
+        sink.close()
+        print(f"  wrote {sink.written} records to {args.out} "
+              f"(dropped: {net.tracer.dropped})")
+        return 0
+    shown = 0
+    for rec in net.tracer.records:
+        if args.node >= 0 and rec.node != args.node:
+            continue
+        detail = " ".join(f"{k}={v}" for k, v in rec.detail)
+        print(f"  {rec.time:>10.6f}  n{rec.node:<3} {rec.category:<14} {detail}")
+        shown += 1
+        if shown >= args.limit:
+            break
+    remaining = len(net.tracer.records) - shown
+    if remaining > 0:
+        print(f"  ... {remaining} more in memory (use --out to export all)")
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """Run one scenario with probes on; print the gauge time series."""
+    from repro.analysis.timeseries import node_table, timeseries_table
+
+    spec = ScenarioSpec.load(args.scenario)
+    gauges = tuple(g for g in args.gauges.split(",") if g)
+    # Respect a spec that already probes unless the flags override it.
+    needs_override = (
+        spec.observability.name not in ("probes", "flight")
+        or args.interval > 0
+        or bool(gauges)
+        or args.profile
+    )
+    if needs_override:
+        name = "flight" if args.profile else "probes"
+        params: dict = {"interval_s": args.interval or 1.0}
+        if gauges:
+            params["gauges"] = gauges
+        spec = replace(spec, observability=ComponentSpec(name, **params))
+    print(f"scenario: {args.scenario}")
+    print(f"  observability: {spec.observability}")
+    print(f"  key: {spec.key()}")
+    result = spec.build().run()
+    print(result.row())
+    print()
+    ts = result.timeseries
+    assert ts is not None  # the override above guarantees probes
+    if args.node >= 0:
+        gauge = gauges[0] if gauges else ts.gauges[0]
+        if args.node >= ts.node_count:
+            print(f"error: node {args.node} out of range "
+                  f"(0..{ts.node_count - 1})", file=sys.stderr)
+            return 2
+        print(node_table(ts, gauge))
+    else:
+        print(timeseries_table(ts, gauges=gauges))
+    if result.profile is not None:
+        print()
+        print(result.profile.table())
+    return 0
+
+
 def _run_campaign(args: argparse.Namespace) -> int:
     base = ScenarioConfig(node_count=args.nodes, duration_s=args.duration)
     campaign = Campaign.build(
@@ -298,12 +443,19 @@ def _run_campaign(args: argparse.Namespace) -> int:
         f"= {campaign.size} cells, jobs={args.jobs}"
         + (f", store={args.store}" if args.store else "")
     )
+    telemetry = None
+    if args.live:
+        def telemetry(p) -> None:
+            # Heartbeats overwrite one status line; the per-cell completion
+            # lines from `progress` print over it with a trailing pad.
+            print(f"  {p.line():<76}", end="\n" if p.done else "\r", flush=True)
     report = run_specs(
         campaign.specs(),
         jobs=args.jobs,
         store=store,
         resume=args.resume,
-        progress=lambda s: print("  " + s),
+        progress=lambda s: print("  " + f"{s:<76}"),
+        telemetry=telemetry,
     )
     sweep = sweep_from_campaign(campaign, report.results)
     print(
@@ -346,6 +498,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_quick(args)
     if args.experiment == "energy":
         return _run_energy(args)
+    if args.experiment == "trace":
+        return _run_trace(args)
+    if args.experiment == "stats":
+        return _run_stats(args)
     if args.experiment == "campaign":
         return _run_campaign(args)
     return 2  # pragma: no cover - argparse enforces choices

@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING
 
-from repro.builder import BuildContext, EnergyPlan, MobilityPlan
+from repro.builder import BuildContext, EnergyPlan, MobilityPlan, ObservabilityPlan
 from repro.energy.model import EnergyModel
 from repro.core.pcmac import PcmacMac
 from repro.mac.basic import Basic80211Mac
@@ -50,6 +50,7 @@ _routing = registry("routing")
 _traffic = registry("traffic")
 _propagation = registry("propagation")
 _energy = registry("energy")
+_observability = registry("observability")
 
 
 # ---------------------------------------------------------------------------
@@ -358,6 +359,107 @@ def _wavelan_energy(
     )
     return EnergyPlan(
         model=model, battery_j=battery_j, meter_control=meter_control
+    )
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+def _check_categories(categories) -> tuple[str, ...]:
+    out = tuple(str(c) for c in categories)
+    if any(not c for c in out):
+        raise ValueError("trace categories must be non-empty strings")
+    return out
+
+
+def _check_gauges(gauges) -> tuple[str, ...]:
+    from repro.obs.probes import GAUGE_FNS
+
+    out = tuple(str(g) for g in gauges)
+    unknown = [g for g in out if g not in GAUGE_FNS]
+    if unknown:
+        raise ValueError(
+            f"unknown gauge(s): {', '.join(unknown)}; "
+            f"available: {', '.join(GAUGE_FNS)}"
+        )
+    return out
+
+
+@_observability.register(
+    "null",
+    doc="no observability (default; zero instrumentation, bit-identical)",
+)
+def _null_observability(ctx: BuildContext):
+    return None
+
+
+@_observability.register(
+    "trace",
+    params=(
+        Param("categories", (list, tuple), ()),
+        Param("max_records", int, 0),
+    ),
+    doc="record trace categories (empty = counters only); passive — the "
+        "event schedule is unchanged",
+)
+def _trace_observability(ctx: BuildContext, categories, max_records: int):
+    if max_records < 0:
+        raise ValueError(f"max_records must be >= 0, got {max_records!r}")
+    return ObservabilityPlan(
+        trace_categories=_check_categories(categories),
+        max_records=max_records,
+    )
+
+
+@_observability.register(
+    "probes",
+    params=(
+        Param("interval_s", float, 1.0),
+        Param("gauges", (list, tuple), ()),
+    ),
+    doc="sample per-node gauges every interval_s into result.timeseries "
+        "(adds sampling events to the schedule)",
+)
+def _probes_observability(ctx: BuildContext, interval_s: float, gauges):
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be positive, got {interval_s!r}")
+    return ObservabilityPlan(
+        probe_interval_s=interval_s, gauges=_check_gauges(gauges)
+    )
+
+
+@_observability.register(
+    "flight",
+    params=(
+        Param("interval_s", float, 1.0),
+        Param("gauges", (list, tuple), ()),
+        Param("categories", (list, tuple), ()),
+        Param("max_records", int, 0),
+        Param("profile", bool, True),
+    ),
+    doc="the full flight recorder: probes + trace recording + kernel "
+        "self-profiling in one component",
+)
+def _flight_observability(
+    ctx: BuildContext,
+    interval_s: float,
+    gauges,
+    categories,
+    max_records: int,
+    profile: bool,
+):
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be positive, got {interval_s!r}")
+    if max_records < 0:
+        raise ValueError(f"max_records must be >= 0, got {max_records!r}")
+    return ObservabilityPlan(
+        trace_categories=_check_categories(categories),
+        max_records=max_records,
+        probe_interval_s=interval_s,
+        gauges=_check_gauges(gauges),
+        profile=profile,
     )
 
 

@@ -31,6 +31,8 @@ from repro.energy.report import EnergyReport
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.fairness import jain_index
 from repro.net.node import Node
+from repro.obs.probes import TimeSeries
+from repro.obs.profile import ProfileReport
 from repro.phy.channel import Channel
 from repro.registry import registry
 from repro.scenariospec import ScenarioSpec
@@ -114,6 +116,12 @@ class ExperimentResult:
     #: Full-stack energy accounting (per-node, per-state), present only
     #: when the scenario ran with a non-null ``energy`` component.
     energy: EnergyReport | None = None
+    #: Periodic per-node gauge samples, present only when the scenario ran
+    #: with a probing ``observability`` component (``probes`` / ``flight``).
+    timeseries: TimeSeries | None = None
+    #: Kernel self-profiling attribution, present only when the scenario
+    #: ran with profiling enabled (``flight`` observability).
+    profile: ProfileReport | None = None
 
     def row(self) -> str:
         """One formatted table row (load, throughput, delay, PDR)."""
@@ -181,6 +189,9 @@ class BuiltNetwork:
                 ledger.finalize(self.sim.now)
             model = self.spec.energy.name if self.spec is not None else "custom"
             energy = EnergyReport.from_ledgers(model, ledgers)
+        sampler = self.extras.get("sampler")
+        timeseries = sampler.timeseries() if sampler is not None else None
+        profile = ProfileReport.from_sim(self.sim)
         per_flow = self.metrics.per_flow_throughput_kbps(window)
         flow_summaries = tuple(
             FlowSummary(
@@ -211,6 +222,8 @@ class BuiltNetwork:
             seed=self.cfg.seed,
             flows=flow_summaries,
             energy=energy,
+            timeseries=timeseries,
+            profile=profile,
         )
 
     def node_by_id(self, node_id: int) -> Node:

@@ -261,6 +261,21 @@ class DcfMac:
         return self._state
 
     @property
+    def queue_depth(self) -> int:
+        """Interface-queue occupancy [packets] (the ``ifq_depth`` gauge)."""
+        return len(self.ifq)
+
+    @property
+    def contention_window(self) -> int:
+        """Current contention window [slots] (the ``cw`` gauge)."""
+        return self.backoff.cw
+
+    @property
+    def retry_timeouts(self) -> int:
+        """Cumulative CTS+ACK timeouts (the ``retry_timeouts`` gauge)."""
+        return self.stats.cts_timeouts + self.stats.ack_timeouts
+
+    @property
     def busy(self) -> bool:
         """True while the MAC owns a packet or is responding."""
         return self._current is not None or self._responding

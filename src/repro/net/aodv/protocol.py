@@ -305,3 +305,7 @@ class AodvProtocol(RoutingProtocol):
 
     def stats(self) -> dict[str, int]:
         return dict(self._stats)
+
+    def route_count(self) -> int:
+        """Valid, unexpired routes in this node's table (probe gauge)."""
+        return len(self.table.valid_routes(self.node.sim.now))

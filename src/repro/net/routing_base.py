@@ -49,3 +49,11 @@ class RoutingProtocol:
     def stats(self) -> dict[str, int]:
         """Protocol counters for the metrics layer."""
         return {}
+
+    def route_count(self) -> int:
+        """Valid routing-table entries (the ``route_count`` gauge).
+
+        Default 0 for protocols without a table; table-driven protocols
+        override with their live entry count.
+        """
+        return 0

@@ -80,3 +80,8 @@ class StaticRouting(RoutingProtocol):
 
     def stats(self) -> dict[str, int]:
         return {"unroutable": self._unroutable, "mac_failures": self._failures}
+
+    def route_count(self) -> int:
+        """Precomputed destinations reachable from this node (probe gauge)."""
+        me = self.node.node_id
+        return sum(1 for (src, _dst) in self._next_hop if src == me)

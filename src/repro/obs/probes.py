@@ -1,0 +1,221 @@
+"""Periodic per-node gauge sampling into a columnar time series.
+
+A :class:`GaugeSampler` schedules itself on the simulator at a fixed
+interval and snapshots one float per (gauge, node) each tick.  Unlike
+tracing — which records *events* as they happen — probes record *state*:
+queue depths, contention windows, residual energy.  That is exactly the
+fine-grained runtime signal the power-control literature tunes against,
+and it is unavailable from end-of-run aggregates.
+
+Because the sampler schedules real events it necessarily changes
+``events_executed`` — which is why probes live behind the ``observability``
+scenario slot and participate in the spec's content hash (a probed
+scenario *is* a different scenario, same as a battery-equipped one).  The
+samples themselves are pure reads: no gauge mutates protocol state, so
+the dispatch order of everything else is unchanged.
+
+Gauges
+------
+======================  ===================================================
+``ifq_depth``           MAC interface-queue occupancy [packets]
+``cw``                  current contention window [slots]
+``retry_timeouts``      cumulative CTS+ACK timeouts (retry pressure)
+``tx_power_w``          transmit power of the frame on air [W] (0 = idle)
+``radio_state``         0=idle, 1=rx, 2=tx, 3=sleep (metered runs only
+                        distinguish sleep)
+``battery_j``           residual battery energy [J]; -1 = mains / unmetered
+``route_count``         valid routing-table entries
+======================  ===================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+from repro.energy.model import RadioState
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+
+#: ``radio_state`` gauge encoding (stable across runs and schema bumps).
+RADIO_STATE_CODES: dict[RadioState, float] = {
+    RadioState.IDLE: 0.0,
+    RadioState.RX: 1.0,
+    RadioState.TX: 2.0,
+    RadioState.SLEEP: 3.0,
+}
+
+
+def _g_ifq_depth(node: "Node", now: float) -> float:
+    return float(node.mac.queue_depth)
+
+
+def _g_cw(node: "Node", now: float) -> float:
+    return float(node.mac.contention_window)
+
+
+def _g_retry_timeouts(node: "Node", now: float) -> float:
+    return float(node.mac.retry_timeouts)
+
+
+def _g_tx_power(node: "Node", now: float) -> float:
+    return float(node.mac.radio.tx_power_w)
+
+
+def _g_radio_state(node: "Node", now: float) -> float:
+    radio = node.mac.radio
+    meter = radio.power_meter
+    if meter is not None:
+        return RADIO_STATE_CODES[meter.state]
+    if radio.transmitting:
+        return RADIO_STATE_CODES[RadioState.TX]
+    if radio.receiving:
+        return RADIO_STATE_CODES[RadioState.RX]
+    return RADIO_STATE_CODES[RadioState.IDLE]
+
+
+def _g_battery(node: "Node", now: float) -> float:
+    ledger = node.energy
+    if ledger is None:
+        return -1.0
+    remaining = ledger.remaining_j
+    return -1.0 if remaining is None else float(remaining)
+
+
+def _g_route_count(node: "Node", now: float) -> float:
+    return float(node.routing.route_count())
+
+
+GaugeFn = Callable[["Node", float], float]
+
+#: name → reader, in the canonical column order.
+GAUGE_FNS: Mapping[str, GaugeFn] = {
+    "ifq_depth": _g_ifq_depth,
+    "cw": _g_cw,
+    "retry_timeouts": _g_retry_timeouts,
+    "tx_power_w": _g_tx_power,
+    "radio_state": _g_radio_state,
+    "battery_j": _g_battery,
+    "route_count": _g_route_count,
+}
+
+#: The default gauge set (every registered gauge, canonical order).
+DEFAULT_GAUGES: tuple[str, ...] = tuple(GAUGE_FNS)
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """Columnar probe samples: one row per tick, one column per gauge.
+
+    Plain frozen data so it rides ``ExperimentResult.timeseries`` through
+    the campaign store's JSON round trip losslessly.  ``data`` is indexed
+    ``data[gauge][sample][node]`` — gauge-major so per-gauge analysis
+    (the common access pattern) slices contiguously.
+    """
+
+    #: Sampling interval [s].
+    interval_s: float
+    #: Gauge names, in column order (indexes ``data``).
+    gauges: tuple[str, ...]
+    #: Sample instants [s], one per tick.
+    times: tuple[float, ...]
+    #: ``data[g][t][n]`` = gauge ``g`` on node ``n`` at ``times[t]``.
+    data: tuple[tuple[tuple[float, ...], ...], ...]
+
+    @property
+    def node_count(self) -> int:
+        """Nodes per sample (0 for an empty series)."""
+        if not self.data or not self.data[0]:
+            return 0
+        return len(self.data[0][0])
+
+    @property
+    def samples(self) -> int:
+        """Number of ticks recorded."""
+        return len(self.times)
+
+    def gauge(self, name: str) -> tuple[tuple[float, ...], ...]:
+        """The per-sample rows for one gauge (``[sample][node]``)."""
+        try:
+            idx = self.gauges.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown gauge {name!r}; recorded: {', '.join(self.gauges)}"
+            ) from None
+        return self.data[idx]
+
+    def node_series(self, name: str, node: int) -> tuple[float, ...]:
+        """One gauge's trajectory for one node."""
+        return tuple(row[node] for row in self.gauge(name))
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "TimeSeries":
+        """Rebuild from the JSON shape ``dataclasses.asdict`` produced."""
+        return cls(
+            interval_s=float(payload["interval_s"]),
+            gauges=tuple(payload["gauges"]),
+            times=tuple(float(t) for t in payload["times"]),
+            data=tuple(
+                tuple(tuple(float(v) for v in row) for row in gauge_rows)
+                for gauge_rows in payload["data"]
+            ),
+        )
+
+
+class GaugeSampler:
+    """Schedules itself every ``interval_s`` and snapshots all gauges.
+
+    Created by the builder when the scenario's ``observability`` component
+    asks for probes; the first sample fires at t=0 (initial conditions)
+    and the last at the final tick not beyond ``horizon_s``.  Sampling is
+    read-only — it adds events to the schedule but never perturbs the
+    dispatch order of protocol events.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence["Node"],
+        *,
+        interval_s: float,
+        horizon_s: float,
+        gauges: Iterable[str] = (),
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s!r}")
+        names = tuple(gauges) or DEFAULT_GAUGES
+        unknown = [n for n in names if n not in GAUGE_FNS]
+        if unknown:
+            raise ValueError(
+                f"unknown gauge(s): {', '.join(unknown)}; "
+                f"available: {', '.join(GAUGE_FNS)}"
+            )
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.interval_s = float(interval_s)
+        self.horizon_s = float(horizon_s)
+        self.names = names
+        self._fns = tuple(GAUGE_FNS[n] for n in names)
+        self.times: list[float] = []
+        self._columns: list[list[tuple[float, ...]]] = [[] for _ in names]
+        sim.schedule(0.0, self._sample, label="obs.sample")
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        self.times.append(now)
+        nodes = self.nodes
+        for column, fn in zip(self._columns, self._fns):
+            column.append(tuple(fn(node, now) for node in nodes))
+        if now + self.interval_s <= self.horizon_s:
+            self.sim.schedule_in(self.interval_s, self._sample, label="obs.sample")
+
+    def timeseries(self) -> TimeSeries:
+        """Freeze everything sampled so far into a :class:`TimeSeries`."""
+        return TimeSeries(
+            interval_s=self.interval_s,
+            gauges=self.names,
+            times=tuple(self.times),
+            data=tuple(tuple(column) for column in self._columns),
+        )

@@ -1,0 +1,128 @@
+"""Streaming trace sinks: export records instead of truncating in memory.
+
+A sink plugs into :attr:`repro.sim.trace.Tracer.sink`.  The contract is a
+single method, ``write(record) -> bool``: return True to consume the record
+(it then bypasses the in-memory ring *and* the ``max_records`` cap — sunk
+records are never dropped), or False to decline it (it falls back to the
+ring under the usual cap).  Declining is how per-category filters compose
+with in-memory collection: a sink can stream the bulk categories to disk
+while the rare ones stay queryable in memory.
+
+Counters are unaffected either way — they live on the
+:class:`~repro.sim.trace.TraceChannel` handles and stay exact whether
+records are stored, sunk, or dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.sim.trace import TraceRecord
+
+
+class TraceSink:
+    """Base streaming sink: consumes every record offered to it.
+
+    Subclasses override :meth:`write` (and usually :meth:`close`).  The
+    base class is also usable directly as a null sink that swallows
+    records while counting them — handy for overhead measurements.
+    """
+
+    def __init__(self) -> None:
+        #: Records consumed by this sink.
+        self.written = 0
+
+    def write(self, record: TraceRecord) -> bool:
+        """Consume ``record``; return False to decline it instead."""
+        self.written += 1
+        return True
+
+    def flush(self) -> None:
+        """Push buffered output to its destination (no-op by default)."""
+
+    def close(self) -> None:
+        """Flush and release resources (no-op by default)."""
+        self.flush()
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class JsonlSink(TraceSink):
+    """Stream trace records to a JSONL file (the NS-2 trace-file analogue).
+
+    One JSON object per line, in emission order, with the
+    :meth:`~repro.sim.trace.TraceRecord.as_dict` shape (``time``,
+    ``category``, ``node``, plus the record's detail fields).  Writes are
+    buffered through the underlying text stream, so per-record cost is one
+    ``json.dumps`` — cheap enough for full-category exports of long runs.
+
+    Args:
+        path: output file (parent directories are created); an existing
+            file is overwritten, matching a fresh run's expectations.
+        categories: when given, only these categories are consumed — other
+            records are declined and fall back to the tracer's in-memory
+            ring.  Default: consume everything.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        categories: Iterable[str] | None = None,
+    ) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.categories: frozenset[str] | None = (
+            frozenset(categories) if categories is not None else None
+        )
+        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+
+    def write(self, record: TraceRecord) -> bool:
+        """Append one record as a JSON line; declines filtered categories."""
+        if self.categories is not None and record.category not in self.categories:
+            return False
+        fh = self._fh
+        if fh is None:
+            raise ValueError(f"JsonlSink({self.path}) is closed")
+        fh.write(json.dumps(record.as_dict(), separators=(",", ":")))
+        fh.write("\n")
+        self.written += 1
+        return True
+
+    def flush(self) -> None:
+        """Flush the underlying file buffer."""
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the file; further writes raise."""
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+
+
+def read_jsonl_trace(path: str | Path) -> list[dict]:
+    """Load a :class:`JsonlSink` file back as a list of record dicts.
+
+    The inverse of the sink for analysis scripts and tests; a torn final
+    line (interrupted run) is skipped rather than raising.
+    """
+    records: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records

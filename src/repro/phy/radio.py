@@ -227,6 +227,16 @@ class Radio:
         return self._tx_frame is not None
 
     @property
+    def tx_power_w(self) -> float:
+        """Transmit power of the frame currently on air [W]; 0 when idle.
+
+        The ``tx_power_w`` observability gauge — a per-instant view of the
+        power-control decision the protocols make per frame.
+        """
+        frame = self._tx_frame
+        return frame.tx_power_w if frame is not None else 0.0
+
+    @property
     def receiving(self) -> bool:
         """True while locked onto an incoming frame."""
         return self._lock is not None

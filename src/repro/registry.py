@@ -2,7 +2,8 @@
 
 Scenario construction is assembled from pluggable components, one per
 **slot**: ``mac``, ``mobility``, ``placement``, ``traffic``, ``routing``,
-``propagation`` and ``energy``.  Each slot owns a :class:`Registry`; each
+``propagation``, ``energy`` and ``observability``.  Each slot owns a
+:class:`Registry`; each
 registered
 component is a :class:`ComponentEntry` — a named factory plus a declared
 :class:`Param` schema, so a scenario can be described entirely as data
@@ -46,6 +47,7 @@ SLOTS: tuple[str, ...] = (
     "traffic",
     "propagation",
     "energy",
+    "observability",
 )
 
 

@@ -24,6 +24,7 @@ through both and compares results field by field.
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.sim.event import Event, EventQueue
@@ -50,7 +51,15 @@ class Simulator:
         [1.5]
     """
 
-    __slots__ = ("_queue", "_now", "_running", "_events_executed", "_stopped", "_fused")
+    __slots__ = (
+        "_queue",
+        "_now",
+        "_running",
+        "_events_executed",
+        "_stopped",
+        "_fused",
+        "_profile",
+    )
 
     def __init__(self, *, fused: bool = True) -> None:
         self._queue = EventQueue()
@@ -59,6 +68,7 @@ class Simulator:
         self._stopped = False
         self._events_executed = 0
         self._fused = fused
+        self._profile: dict[str, list] | None = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -81,6 +91,24 @@ class Simulator:
     def fused(self) -> bool:
         """Whether :meth:`run_until` uses the fused hot loop."""
         return self._fused
+
+    # -- self-profiling ------------------------------------------------------
+
+    def enable_profiling(self) -> None:
+        """Switch :meth:`run_until` to the self-timing loop.
+
+        Accumulates wall-clock time per event kind (the schedule ``label``,
+        falling back to the handler's qualified name).  Dispatch order and
+        ``events_executed`` are identical to the normal loops — only wall
+        time changes, so profiling must stay off for benchmark runs.
+        """
+        if self._profile is None:
+            self._profile = {}
+
+    @property
+    def profile(self) -> dict[str, list] | None:
+        """Raw ``{kind: [calls, cumulative_seconds]}`` data, or None if off."""
+        return self._profile
 
     # -- scheduling ----------------------------------------------------------
 
@@ -154,7 +182,9 @@ class Simulator:
         self._running = True
         self._stopped = False
         try:
-            if self._fused:
+            if self._profile is not None:
+                self._run_profiled(end_time)
+            elif self._fused:
                 self._run_fused(end_time)
             else:
                 self._run_reference(end_time)
@@ -195,6 +225,50 @@ class Simulator:
                 fn()
             else:
                 fn(*args)
+            if self._stopped:
+                break
+
+    def _run_profiled(self, end_time: float) -> None:
+        """The fused loop with a ``perf_counter`` pair around each dispatch.
+
+        Same event order as :meth:`_run_fused`; attribution is keyed by the
+        schedule ``label`` (empty labels fall back to the handler's
+        ``__qualname__``).  The timing overhead is real wall time — results
+        feed :class:`repro.obs.profile.ProfileReport`, never benchmarks.
+        """
+        queue = self._queue
+        heap = queue._heap
+        profile = self._profile
+        assert profile is not None
+        while heap:
+            entry = heap[0]
+            ev = entry[3]
+            if ev.fn is None:
+                heappop(heap)
+                queue._dead -= 1
+                continue
+            if entry[0] > end_time:
+                break
+            heappop(heap)
+            queue._live -= 1
+            self._now = ev.time
+            fn = ev.fn
+            ev.fn = None
+            self._events_executed += 1
+            kind = ev.label or getattr(fn, "__qualname__", "") or type(fn).__name__
+            args = ev.args
+            t0 = perf_counter()
+            if args is None:
+                fn()
+            else:
+                fn(*args)
+            dt = perf_counter() - t0
+            cell = profile.get(kind)
+            if cell is None:
+                profile[kind] = [1, dt]
+            else:
+                cell[0] += 1
+                cell[1] += dt
             if self._stopped:
                 break
 

@@ -8,8 +8,27 @@ Fast-path contract
 ------------------
 Counters are **always exact** (every emission counts, stored or not);
 records are **opt-in** per category and capped by ``max_records`` — once the
-cap is hit further records are dropped *and counted* (``tracer.dropped`` /
-the ``trace.dropped`` counter) so truncated runs are visible in analysis.
+cap is hit further records are dropped *and counted per category*
+(``channel.dropped``, aggregated as ``tracer.dropped`` / the
+``trace.dropped`` counter) so truncated runs are visible in analysis.  The
+invariant, per *stored* category (disabled categories count exactly but
+never store, sink, or drop)::
+
+    channel.count == records stored + records sunk + channel.dropped
+
+``trace.dropped`` is a *derived* counter — it cannot be emitted or handled
+directly (:meth:`Tracer.handle` rejects it), which is what keeps the
+aggregate single-sourced instead of double-counted when a caller both
+bumps a handle and reads the fold-in.
+
+Streaming sinks
+---------------
+Setting :attr:`Tracer.sink` (see :mod:`repro.obs.sinks`) streams records
+out instead of accumulating them in memory: a sink that consumes a record
+bypasses the ring buffer *and* the ``max_records`` cap entirely, so long
+runs export every record rather than truncating.  A sink may decline a
+record (per-category filters); declined records fall back to the in-memory
+ring under the usual cap.
 
 Hot emit sites do not call :meth:`Tracer.emit` (whose ``**detail`` kwargs
 dict would be allocated even for disabled categories).  They pre-bind an
@@ -48,7 +67,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports sim)
+    from repro.obs.sinks import TraceSink
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,31 +112,36 @@ class TraceChannel:
         count: exact number of emissions (hot sites increment directly).
         store: True when records of this category are collected — the
             call-site guard that keeps disabled categories allocation-free.
+        dropped: records of this category lost to the ``max_records`` cap.
     """
 
-    __slots__ = ("category", "count", "store", "_tracer")
+    __slots__ = ("category", "count", "store", "dropped", "_tracer")
 
     def __init__(self, tracer: "Tracer", category: str, store: bool) -> None:
         self.category = category
         self.count = 0
         self.store = store
+        self.dropped = 0
         self._tracer = tracer
 
     def record(self, time: float, node: int, **detail: Any) -> None:
         """Store one record (call only under an ``if handle.store`` guard).
 
-        Does *not* bump :attr:`count` — the caller already did.  Records
+        Does *not* bump :attr:`count` — the caller already did.  A sink, if
+        attached, gets first refusal and is never capped; otherwise records
         beyond the tracer's ``max_records`` cap are dropped and counted in
-        ``tracer.dropped`` so truncation is never silent.
+        :attr:`dropped` so truncation is never silent.
         """
         tracer = self._tracer
+        rec = TraceRecord(time, self.category, node, tuple(detail.items()))
+        sink = tracer.sink
+        if sink is not None and sink.write(rec):
+            return
         records = tracer.records
         if len(records) < tracer.max_records:
-            records.append(
-                TraceRecord(time, self.category, node, tuple(detail.items()))
-            )
+            records.append(rec)
         else:
-            tracer.dropped += 1
+            self.dropped += 1
 
     def emit(self, time: float, node: int, **detail: Any) -> None:
         """Count, and store a record when :attr:`store` is set."""
@@ -134,7 +161,7 @@ class Tracer:
         "enabled_categories",
         "records",
         "max_records",
-        "dropped",
+        "sink",
         "_handles",
         "_extra",
     )
@@ -142,16 +169,21 @@ class Tracer:
     #: Default hard cap on stored records to bound memory in long runs.
     DEFAULT_MAX_RECORDS = 2_000_000
 
+    #: The derived truncation counter — not a real category (no handle).
+    DROPPED = "trace.dropped"
+
     def __init__(
         self,
         enabled_categories: Iterable[str] | None = None,
         max_records: int = DEFAULT_MAX_RECORDS,
+        sink: "TraceSink | None" = None,
     ) -> None:
         self.enabled_categories: set[str] = set(enabled_categories or ())
         self.records: list[TraceRecord] = []
         self.max_records = max_records
-        #: Records lost to the ``max_records`` cap (0 = nothing truncated).
-        self.dropped = 0
+        #: Optional streaming sink (duck-typed: ``write(record) -> bool``);
+        #: sunk records bypass the in-memory ring and its cap entirely.
+        self.sink = sink
         self._handles: dict[str, TraceChannel] = {}
         self._extra: Counter = Counter()
 
@@ -162,9 +194,17 @@ class Tracer:
 
         Hot emit sites call this once at construction and keep the handle;
         repeated calls return the same object, so counts aggregate globally.
+        ``"trace.dropped"`` is rejected: it is derived from the per-channel
+        drop counters, and handing out a handle for it would let a caller
+        double-count drops (bump the handle *and* rely on the fold-in).
         """
         h = self._handles.get(category)
         if h is None:
+            if category == Tracer.DROPPED:
+                raise ValueError(
+                    f"{Tracer.DROPPED!r} is a derived counter (aggregated "
+                    "from per-channel drops) — it cannot be emitted directly"
+                )
             h = TraceChannel(self, category, category in self.enabled_categories)
             self._handles[category] = h
         return h
@@ -197,12 +237,13 @@ class Tracer:
     def count(self, category: str) -> int:
         """Number of emissions of ``category`` (whether or not stored).
 
-        ``"trace.dropped"`` additionally includes records lost to the
-        ``max_records`` cap, matching :attr:`counters`.
+        ``"trace.dropped"`` is the records lost to the ``max_records`` cap
+        (aggregated across channels), matching :attr:`counters` — counted
+        in exactly one place, so it can never be double-counted.
         """
         h = self._handles.get(category)
         total = (h.count if h is not None else 0) + self._extra[category]
-        if category == "trace.dropped":
+        if category == Tracer.DROPPED:
             total += self.dropped
         return total
 
@@ -225,9 +266,19 @@ class Tracer:
             if h.count:
                 merged[cat] += h.count
         merged.update(self._extra)
-        if self.dropped:
-            merged["trace.dropped"] += self.dropped
+        dropped = self.dropped
+        if dropped:
+            merged[Tracer.DROPPED] += dropped
         return merged
+
+    @property
+    def dropped(self) -> int:
+        """Records lost to the ``max_records`` cap, across all categories.
+
+        Read-only aggregate of the per-channel :attr:`TraceChannel.dropped`
+        counters — the single source of truth for truncation accounting.
+        """
+        return sum(h.dropped for h in self._handles.values())
 
     @property
     def truncated(self) -> bool:
@@ -248,12 +299,12 @@ class Tracer:
             yield rec
 
     def clear(self) -> None:
-        """Drop all stored records and counters."""
+        """Drop all stored records and counters (the sink is untouched)."""
         self.records.clear()
-        self.dropped = 0
         self._extra.clear()
         for h in self._handles.values():
             h.count = 0
+            h.dropped = 0
 
 
 #: A process-wide tracer that ignores everything; used as the default so the

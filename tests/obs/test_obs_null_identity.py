@@ -1,0 +1,124 @@
+"""Null observability must be invisible; recording must be passive.
+
+Acceptance guards for the flight recorder's core contract:
+
+* default spec (no observability slot) and explicit ``observability: null``
+  produce bit-identical :class:`ExperimentResult`s (wallclock aside),
+  including ``events_executed``;
+* a run with trace recording on executes the *exact same event count* and
+  identical metrics — recording observes dispatch, it never schedules;
+* probes add exactly the arithmetic number of sampler ticks and change no
+  metric; profiling on top of probes adds nothing further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import ScenarioConfig
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+
+def small_cfg(**overrides) -> ScenarioConfig:
+    defaults = dict(node_count=10, duration_s=5.0, seed=3)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def strip_wallclock(result):
+    """Zero the only legitimately nondeterministic field."""
+    return replace(result, wallclock_s=0.0)
+
+
+class TestNullObservabilityIdentity:
+    @pytest.mark.parametrize("protocol", ["basic", "pcmac"])
+    def test_default_equals_explicit_null(self, protocol):
+        default = ScenarioSpec(cfg=small_cfg(), mac=protocol).run()
+        explicit = ScenarioSpec(
+            cfg=small_cfg(), mac=protocol, observability=ComponentSpec("null")
+        ).run()
+        assert default.timeseries is None and default.profile is None
+        assert explicit.timeseries is None and explicit.profile is None
+        assert strip_wallclock(default) == strip_wallclock(explicit)
+        assert default.events_executed == explicit.events_executed
+
+    @pytest.mark.parametrize("protocol", ["basic", "pcmac"])
+    def test_trace_recording_is_passive(self, protocol):
+        plain = ScenarioSpec(cfg=small_cfg(), mac=protocol).run()
+        spec = ScenarioSpec(
+            cfg=small_cfg(),
+            mac=protocol,
+            observability=ComponentSpec(
+                "trace", categories=("app.tx", "app.rx", "mac.handshake")
+            ),
+        )
+        net = spec.build()
+        traced = net.run()
+        # Records were actually collected...
+        assert net.tracer.records
+        assert net.tracer.count("app.tx") > 0
+        # ...yet the run is bit-identical: recording never schedules.
+        assert traced.events_executed == plain.events_executed
+        assert strip_wallclock(traced) == strip_wallclock(plain)
+
+    def test_probes_add_exactly_the_sampler_ticks(self):
+        cfg = small_cfg()
+        plain = ScenarioSpec(cfg=cfg, mac="basic").run()
+        probed = ScenarioSpec(
+            cfg=cfg, mac="basic",
+            observability=ComponentSpec("probes", interval_s=1.0),
+        ).run()
+        expected_ticks = int(cfg.duration_s // 1.0) + 1  # t=0 included
+        assert probed.events_executed == plain.events_executed + expected_ticks
+        assert probed.timeseries is not None
+        assert probed.timeseries.samples == expected_ticks
+        # Sampling is read-only: every metric besides the new payloads and
+        # the tick count matches the unprobed run exactly.
+        comparable = replace(
+            strip_wallclock(probed),
+            events_executed=plain.events_executed,
+            timeseries=None,
+        )
+        assert comparable == strip_wallclock(plain)
+
+    def test_profiling_adds_no_events_over_probes(self):
+        cfg = small_cfg()
+        probed = ScenarioSpec(
+            cfg=cfg, mac="basic",
+            observability=ComponentSpec("probes", interval_s=1.0),
+        ).run()
+        flight = ScenarioSpec(
+            cfg=cfg, mac="basic",
+            observability=ComponentSpec("flight", interval_s=1.0),
+        ).run()
+        assert flight.profile is not None
+        assert flight.events_executed == probed.events_executed
+        assert flight.profile.total_events == flight.events_executed
+        comparable = replace(strip_wallclock(flight), profile=None)
+        assert comparable == strip_wallclock(probed)
+
+    def test_mobile_scenario_identity(self):
+        cfg = small_cfg()
+        plain = ScenarioSpec(cfg=cfg, mac="basic", mobility="waypoint").run()
+        traced = ScenarioSpec(
+            cfg=cfg, mac="basic", mobility="waypoint",
+            observability=ComponentSpec("trace", categories=("phy.tx",)),
+        ).run()
+        assert traced.events_executed == plain.events_executed
+
+
+class TestObservabilityInSpecKey:
+    def test_probes_change_the_content_key(self):
+        # A probed scenario dispatches a different schedule — it must be a
+        # different cell in the campaign store.
+        base = ScenarioSpec(cfg=small_cfg(), mac="basic")
+        probed = replace(
+            base, observability=ComponentSpec("probes", interval_s=1.0)
+        )
+        assert base.key() != probed.key()
+
+    def test_null_is_the_default_slot(self):
+        spec = ScenarioSpec(cfg=small_cfg(), mac="basic")
+        assert spec.observability.name == "null"

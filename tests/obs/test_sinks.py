@@ -1,0 +1,145 @@
+"""Streaming sinks: consumed records bypass the cap, declined ones don't.
+
+The acceptance criterion for the JSONL sink: a run emitting far more
+records than ``max_records`` must export *every* record with zero dropped
+— the cap only governs the in-memory ring.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.sinks import JsonlSink, TraceSink, read_jsonl_trace
+from repro.sim.trace import Tracer
+
+
+def emit_n(tracer: Tracer, category: str, n: int, start: int = 0) -> None:
+    h = tracer.handle(category)
+    for i in range(start, start + n):
+        h.count += 1
+        if h.store:
+            h.record(float(i), node=i % 4, seq=i)
+
+
+class TestJsonlSinkExport:
+    def test_volume_past_cap_exports_everything(self, tmp_path):
+        """100 records through a cap of 5: all on disk, zero dropped."""
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        t = Tracer(enabled_categories={"phy.tx"}, max_records=5, sink=sink)
+        emit_n(t, "phy.tx", 100)
+        sink.close()
+        assert t.count("phy.tx") == 100
+        assert t.dropped == 0
+        assert t.records == []  # everything was sunk, nothing ringed
+        assert sink.written == 100
+        rows = read_jsonl_trace(path)
+        assert len(rows) == 100
+        assert rows[0] == {"time": 0.0, "category": "phy.tx", "node": 0, "seq": 0}
+        assert [r["seq"] for r in rows] == list(range(100))
+
+    def test_category_filter_declines_to_memory_ring(self, tmp_path):
+        """Filtered-out categories fall back to the capped ring."""
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, categories={"phy.tx"})
+        t = Tracer(
+            enabled_categories={"phy.tx", "app.rx"}, max_records=3, sink=sink
+        )
+        emit_n(t, "phy.tx", 50)
+        emit_n(t, "app.rx", 10)
+        sink.close()
+        # phy.tx all sunk; app.rx declined -> 3 in ring, 7 dropped.
+        assert sink.written == 50
+        assert len(t.records) == 3
+        assert all(r.category == "app.rx" for r in t.records)
+        assert t.handle("app.rx").dropped == 7
+        assert t.handle("phy.tx").dropped == 0
+        assert t.dropped == 7
+        # Counters stay exact regardless of destination.
+        assert t.count("phy.tx") == 50
+        assert t.count("app.rx") == 10
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        t = Tracer(enabled_categories={"x"}, sink=sink)
+        emit_n(t, "x", 1)
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            emit_n(t, "x", 1)
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            t = Tracer(enabled_categories={"x"}, sink=sink)
+            emit_n(t, "x", 3)
+        assert len(read_jsonl_trace(path)) == 3
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        with JsonlSink(path) as sink:
+            t = Tracer(enabled_categories={"x"}, sink=sink)
+            emit_n(t, "x", 1)
+        assert path.exists()
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            t = Tracer(enabled_categories={"x"}, sink=sink)
+            emit_n(t, "x", 2)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"time": 3.0, "categ')  # interrupted mid-write
+        assert len(read_jsonl_trace(path)) == 2
+
+    def test_detail_values_survive_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            t = Tracer(enabled_categories={"mac.handshake"}, sink=sink)
+            h = t.handle("mac.handshake")
+            h.count += 1
+            h.record(1.25, node=3, kind="DATA", power_w=0.2818, ok=True)
+        (row,) = read_jsonl_trace(path)
+        assert row == {
+            "time": 1.25, "category": "mac.handshake", "node": 3,
+            "kind": "DATA", "power_w": 0.2818, "ok": True,
+        }
+
+
+class TestBaseSink:
+    def test_base_sink_swallows_and_counts(self):
+        sink = TraceSink()
+        t = Tracer(enabled_categories={"x"}, max_records=2, sink=sink)
+        emit_n(t, "x", 10)
+        assert sink.written == 10
+        assert t.records == []
+        assert t.dropped == 0
+
+    def test_json_roundtrip_of_sink_file_matches_counters(self, tmp_path):
+        """Whole-pipeline consistency on a mixed emission pattern."""
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, categories={"a", "b"})
+        t = Tracer(enabled_categories={"a", "b", "c"}, max_records=4, sink=sink)
+        emit_n(t, "a", 7)
+        emit_n(t, "b", 5)
+        emit_n(t, "c", 9)
+        sink.close()
+        rows = read_jsonl_trace(path)
+        by_cat: dict[str, int] = {}
+        for r in rows:
+            by_cat[r["category"]] = by_cat.get(r["category"], 0) + 1
+        assert by_cat == {"a": 7, "b": 5}
+        # c: 4 ringed + 5 dropped, and the invariant holds per channel.
+        for cat in ("a", "b", "c"):
+            h = t.handle(cat)
+            stored = sum(1 for r in t.records if r.category == cat)
+            sunk = by_cat.get(cat, 0)
+            assert h.count == stored + sunk + h.dropped
+
+    def test_sunk_records_render_as_dicts(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            t = Tracer(enabled_categories={"x"}, sink=sink)
+            emit_n(t, "x", 1)
+        raw = path.read_text().strip()
+        assert json.loads(raw)["category"] == "x"

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim.trace import Tracer
 
 
@@ -141,3 +143,50 @@ class TestQueries:
         assert t.count("custom") == 0
         assert t.dropped == 0
         assert list(t.query()) == []
+
+
+class TestDerivedDroppedCounter:
+    """PR-6 fix: ``trace.dropped`` is derived, counted in exactly one place."""
+
+    def test_handle_for_dropped_category_is_rejected(self):
+        t = Tracer()
+        with pytest.raises(ValueError, match="derived counter"):
+            t.handle(Tracer.DROPPED)
+
+    def test_emit_and_enable_of_dropped_category_are_rejected(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            t.emit(1.0, Tracer.DROPPED, 0)
+        with pytest.raises(ValueError):
+            t.enable(Tracer.DROPPED)
+
+    def test_dropped_is_read_only(self):
+        t = Tracer()
+        with pytest.raises(AttributeError):
+            t.dropped = 5
+
+    def test_drops_are_attributed_per_channel(self):
+        t = Tracer(max_records=3)
+        t.enable("a", "b")
+        for i in range(4):
+            t.emit(float(i), "a", 0)  # 3 stored, 1 dropped
+        for i in range(2):
+            t.emit(float(i), "b", 0)  # ring full: both dropped
+        assert t.handle("a").dropped == 1
+        assert t.handle("b").dropped == 2
+        assert t.dropped == 3
+        assert t.count(Tracer.DROPPED) == 3
+        assert t.counters[Tracer.DROPPED] == 3
+
+    def test_aggregate_never_double_counts(self):
+        """count(), counters, and .dropped all read the same channel sum."""
+        t = Tracer(max_records=0)
+        t.enable("a")
+        t.emit(1.0, "a", 0)
+        t.emit(2.0, "a", 0)
+        assert t.handle("a").dropped == 2
+        # Reading through every surface yields the same number — none of
+        # them adds the fold-in on top of a handle's own count.
+        assert t.dropped == 2
+        assert t.count(Tracer.DROPPED) == 2
+        assert t.counters[Tracer.DROPPED] == 2

@@ -1,0 +1,110 @@
+"""Property test of the trace drop-accounting invariant.
+
+For every *stored* category, at every point of an arbitrary interleaving
+of emits (enabled and disabled categories, via handles and via
+``Tracer.emit``), sink writes, and ``clear()`` calls::
+
+    channel.count == records stored (ring) + records sunk + channel.dropped
+
+while disabled categories count exactly and never store, sink, or drop,
+
+with the aggregate ``tracer.dropped`` / ``trace.dropped`` counter equal to
+the per-channel sum — counted in exactly one place, never twice.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import TraceRecord, Tracer
+
+CATEGORIES = ("a", "b", "c")
+ENABLED = {"a", "b"}  # c is counted but never stored
+SINKED = {"a"}  # the sink consumes only category a
+
+
+class RecordingSink:
+    """Minimal sink double: consumes SINKED categories, tallies them."""
+
+    def __init__(self) -> None:
+        self.by_category: dict[str, int] = {}
+
+    def write(self, record: TraceRecord) -> bool:
+        if record.category not in SINKED:
+            return False
+        self.by_category[record.category] = (
+            self.by_category.get(record.category, 0) + 1
+        )
+        return True
+
+
+#: One step: emit on some category through either API, or wipe everything.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("emit"), st.sampled_from(CATEGORIES)),
+        st.tuples(st.just("handle_emit"), st.sampled_from(CATEGORIES)),
+        st.tuples(st.just("clear"), st.just("")),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=ops, max_records=st.integers(min_value=0, max_value=5),
+       use_sink=st.booleans())
+def test_count_equals_stored_plus_sunk_plus_dropped(ops, max_records, use_sink):
+    sink = RecordingSink() if use_sink else None
+    t = Tracer(
+        enabled_categories=ENABLED, max_records=max_records, sink=sink
+    )
+    emitted = dict.fromkeys(CATEGORIES, 0)
+    sunk_baseline = dict.fromkeys(CATEGORIES, 0)
+    time = 0.0
+    for op, cat in ops:
+        if op == "clear":
+            t.clear()
+            emitted = dict.fromkeys(CATEGORIES, 0)
+            # The sink is external output — clear() must not rewind it; the
+            # per-epoch invariant counts only what was sunk since.
+            if sink is not None:
+                sunk_baseline = {
+                    c: sink.by_category.get(c, 0) for c in CATEGORIES
+                }
+        elif op == "emit":
+            time += 1.0
+            t.emit(time, cat, 0, seq=int(time))
+            emitted[cat] += 1
+        else:
+            time += 1.0
+            h = t.handle(cat)
+            h.count += 1
+            if h.store:
+                h.record(time, 0, seq=int(time))
+            emitted[cat] += 1
+
+        # -- the invariant, checked after every single step ----------------
+        for c in CATEGORIES:
+            h = t.handle(c)
+            stored = sum(1 for r in t.records if r.category == c)
+            sunk = (
+                sink.by_category.get(c, 0) - sunk_baseline[c]
+                if sink is not None
+                else 0
+            )
+            assert h.count == emitted[c]
+            if c in ENABLED:
+                assert h.count == stored + sunk + h.dropped, (
+                    f"{c}: count={h.count} stored={stored} sunk={sunk} "
+                    f"dropped={h.dropped}"
+                )
+            else:
+                # Disabled categories count exactly, but never store,
+                # sink, or drop — records are opt-in.
+                assert stored == sunk == h.dropped == 0
+        # The aggregate is the per-channel sum, sourced exactly once.
+        per_channel = sum(t.handle(c).dropped for c in CATEGORIES)
+        assert t.dropped == per_channel
+        assert t.count(Tracer.DROPPED) == per_channel
+        assert t.counters.get(Tracer.DROPPED, 0) == per_channel
+        assert len(t.records) <= max_records

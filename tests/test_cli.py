@@ -64,6 +64,7 @@ GOLDEN_COMPONENTS = {
     "traffic": ["cbr", "poisson"],
     "propagation": ["free_space", "log_distance", "two_ray"],
     "energy": ["null", "wavelan"],
+    "observability": ["flight", "null", "probes", "trace"],
 }
 
 
@@ -139,6 +140,81 @@ class TestScenarioFile:
     def test_energy_command_requires_scenario(self):
         with pytest.raises(SystemExit):
             main(["energy"])
+
+    def test_trace_command_prints_records(self, capsys):
+        """Golden shape of `repro trace`: counters line + record rows."""
+        assert main(["trace", "--scenario", str(EXAMPLE_SPEC),
+                     "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "categories: app.tx, app.rx" in out
+        assert "counters: " in out
+        assert "app.tx=" in out
+        # Record rows render as "  <time>  n<node> <category> k=v ...".
+        assert any(" app.tx " in ln or " mac.handshake " in ln
+                   for ln in out.splitlines())
+
+    def test_trace_command_exports_jsonl(self, capsys, tmp_path):
+        """--out streams every record to disk and reports zero dropped."""
+        import json
+
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "--scenario", str(EXAMPLE_SPEC),
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "(dropped: 0)" in out
+        lines = out_path.read_text().splitlines()
+        assert lines
+        rec = json.loads(lines[0])
+        assert {"time", "category", "node"} <= rec.keys()
+
+    def test_trace_rejects_empty_categories(self, capsys):
+        assert main(["trace", "--scenario", str(EXAMPLE_SPEC),
+                     "--categories", ""]) == 2
+
+    def test_stats_command_prints_gauge_table(self, capsys):
+        """Golden shape of `repro stats`: one summary row per gauge."""
+        assert main(["stats", "--scenario", str(EXAMPLE_SPEC),
+                     "--interval", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "observability: probes(interval_s=1.0)" in out
+        assert "timeseries:" in out
+        for gauge in ("ifq_depth", "cw", "tx_power_w", "radio_state",
+                      "battery_j", "route_count"):
+            assert gauge in out
+
+    def test_stats_profile_prints_kernel_attribution(self, capsys):
+        assert main(["stats", "--scenario", str(EXAMPLE_SPEC),
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "observability: flight(" in out
+        assert "event kind" in out
+        assert "ev/s attributed" in out
+
+    def test_stats_node_drilldown(self, capsys):
+        assert main(["stats", "--scenario", str(EXAMPLE_SPEC),
+                     "--gauges", "cw", "--node", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "cw:" in out
+        assert "trend" in out
+
+    def test_campaign_live_streams_progress(self, capsys, tmp_path):
+        """--live renders heartbeat lines and persists runtime stats."""
+        from repro.campaign.store import ResultStore
+
+        store_dir = tmp_path / "store"
+        assert main([
+            "campaign", "--protocols", "basic", "--loads", "80",
+            "--seeds", "1", "--nodes", "6", "--duration", "4",
+            "--live", "--store", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "done " in out  # the final heartbeat line
+        assert "ev/s" in out
+        store = ResultStore(store_dir)
+        (key,) = store.keys()
+        stats = store.runtime_stats(key)
+        assert stats["events"] > 0
+        assert stats["wall_s"] > 0
 
     def test_scenario_key_matches_campaign_addressing(self, capsys, tmp_path):
         """quick --scenario and a RunSpec of the same spec share a key."""

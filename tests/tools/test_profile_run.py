@@ -1,0 +1,45 @@
+"""Smoke tests for tools/profile_run.py (the cProfile harness)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+TOOL = ROOT / "tools" / "profile_run.py"
+SPEC = ROOT / "examples" / "grid_poisson.spec.json"
+
+
+def run_tool(*extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(TOOL), "--scenario", str(SPEC),
+         "--duration", "1.0", "--top", "5", *extra],
+        capture_output=True, text=True, timeout=120, cwd=ROOT,
+    )
+
+
+class TestProfileRun:
+    def test_prints_hot_spots_and_rate(self):
+        proc = run_tool("--sort", "tottime")
+        assert proc.returncode == 0, proc.stderr
+        assert "events/s under the profiler" in proc.stdout
+        assert "ncalls" in proc.stdout  # the pstats table rendered
+
+    def test_out_writes_formatted_report(self, tmp_path):
+        out = tmp_path / "report.txt"
+        proc = run_tool("--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert f"report written to {out}" in proc.stdout
+        text = out.read_text()
+        assert "scenario: " in text
+        assert "ncalls" in text
+
+    def test_dump_writes_raw_pstats(self, tmp_path):
+        import pstats
+
+        dump = tmp_path / "run.prof"
+        proc = run_tool("--dump", str(dump))
+        assert proc.returncode == 0, proc.stderr
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0

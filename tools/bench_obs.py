@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Guard the observability layer's hot-path cost against ``BENCH_engine.json``.
+
+The flight recorder touches the two hottest paths in the simulator — the
+trace emit sites inside the MAC/PHY handlers and the kernel dispatch loop —
+so this harness proves three things about it:
+
+* **Bit-identity (null).** With the default ``null`` observability component
+  every ``BENCH_engine.json`` cell executes *exactly* the event count the
+  engine benchmark recorded: no events, no schedule change, the only cost is
+  the pre-existing ``h.store`` flag check.
+* **Passivity (trace).** A run with trace categories *enabled* must still
+  execute the identical event count — recording observes dispatch, it never
+  schedules.  Its throughput cost is reported informationally.
+* **Determinism (probes).** A probed run adds exactly the arithmetic number
+  of sampler ticks (``floor(duration/interval) + 1``) and nothing else.
+
+Throughput is judged on the **geometric mean across all cells** of the null
+cells vs the recorded PR-4 numbers (default budget 2 %) — per-cell wall
+clock on a shared machine swings ±10-15 % run to run.  Wall-clock checks
+are only meaningful on the machine that produced the baseline; the event
+-count identities are deterministic everywhere, which is what
+``--events-only`` runs in CI::
+
+    PYTHONPATH=src python tools/bench_obs.py               # report + BENCH_obs.json
+    PYTHONPATH=src python tools/bench_obs.py --check       # fail if >2% slower (geomean)
+    PYTHONPATH=src python tools/bench_obs.py --events-only --check   # CI: identities only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from dataclasses import replace  # noqa: E402
+
+from repro.config import ScenarioConfig  # noqa: E402
+from repro.scenariospec import ComponentSpec, ScenarioSpec  # noqa: E402
+
+#: Mirrors tools/bench_engine.py — the cells BENCH_engine.json records.
+DURATIONS_S = {10: 25.0, 50: 4.0, 200: 2.5}
+PROTOCOLS = ("basic", "pcmac")
+MOBILITIES = (("static", False), ("mobile", True))
+SEED = 7
+
+#: Categories for the passive-trace cell (the `repro trace` default set).
+TRACE_CATEGORIES = ("app.tx", "app.rx", "mac.drop", "net.drop", "mac.handshake")
+
+PROBE_INTERVAL_S = 1.0
+
+
+def _spec(protocol: str, mobile: bool, n: int, obs: ComponentSpec) -> ScenarioSpec:
+    cfg = replace(
+        ScenarioConfig(), node_count=n, duration_s=DURATIONS_S[n], seed=SEED
+    )
+    return ScenarioSpec(
+        cfg=cfg,
+        mac=ComponentSpec(protocol),
+        mobility=ComponentSpec("waypoint" if mobile else "static"),
+        observability=obs,
+    )
+
+
+def run_cell(
+    protocol: str, mobile: bool, n: int, repeat: int, obs: ComponentSpec
+) -> dict:
+    """Best-of-``repeat`` whole-run measurement for one cell."""
+    spec = _spec(protocol, mobile, n, obs)
+    duration = DURATIONS_S[n]
+    best = None
+    events = None
+    for _ in range(repeat):
+        net = spec.build()
+        t0 = time.perf_counter()
+        net.sim.run_until(duration)
+        wall = time.perf_counter() - t0
+        executed = net.sim.events_executed
+        if events is None:
+            events = executed
+        elif executed != events:
+            raise AssertionError(
+                f"non-deterministic run: {executed} events vs {events}"
+            )
+        if best is None or wall < best:
+            best = wall
+    return {
+        "scenario": f"{protocol}-{'mobile' if mobile else 'static'}-n{n}",
+        "observability": obs.name,
+        "events": events,
+        "wall_s": round(best, 4),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(ROOT / "BENCH_obs.json"))
+    ap.add_argument("--baseline", default=str(ROOT / "BENCH_engine.json"))
+    ap.add_argument("--repeat", type=int, default=3, help="best-of repeats")
+    ap.add_argument(
+        "--budget", type=float, default=2.0,
+        help="allowed null-observability slowdown vs the baseline [%%]",
+    )
+    ap.add_argument(
+        "--events-only", action="store_true",
+        help="single repeat, event-count identities only (deterministic on "
+             "any machine — the CI mode); skips the throughput budget",
+    )
+    ap.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on any event-count mismatch, or (unless --events-only) "
+             "a null geomean over budget",
+    )
+    args = ap.parse_args(argv)
+    repeat = 1 if args.events_only else args.repeat
+
+    base = json.loads(Path(args.baseline).read_text())
+    base_by_name = {r["scenario"]: r for r in base["results"]}
+
+    rows = []
+    failures = []
+    for protocol in PROTOCOLS:
+        for _mob_name, mobile in MOBILITIES:
+            for n in sorted(DURATIONS_S):
+                null_row = run_cell(
+                    protocol, mobile, n, repeat, ComponentSpec("null")
+                )
+                traced = run_cell(
+                    protocol, mobile, n, repeat,
+                    ComponentSpec("trace", categories=TRACE_CATEGORIES),
+                )
+                probed = run_cell(
+                    protocol, mobile, n, 1,
+                    ComponentSpec("probes", interval_s=PROBE_INTERVAL_S),
+                )
+                name = null_row["scenario"]
+                recorded = base_by_name.get(name)
+                if recorded is None:
+                    continue
+                if null_row["events"] != recorded["events"]:
+                    failures.append(
+                        f"{name}: null-observability event count "
+                        f"{null_row['events']} != recorded {recorded['events']}"
+                    )
+                if traced["events"] != recorded["events"]:
+                    failures.append(
+                        f"{name}: traced event count {traced['events']} != "
+                        f"recorded {recorded['events']} (recording must not "
+                        "schedule)"
+                    )
+                expected_samples = int(DURATIONS_S[n] // PROBE_INTERVAL_S) + 1
+                if probed["events"] != recorded["events"] + expected_samples:
+                    failures.append(
+                        f"{name}: probed event count {probed['events']} != "
+                        f"recorded {recorded['events']} + {expected_samples} "
+                        "sampler ticks"
+                    )
+                overhead = (
+                    1.0 - null_row["events_per_sec"] / recorded["events_per_sec"]
+                ) * 100.0
+                trace_cost = (
+                    1.0 - traced["events_per_sec"] / null_row["events_per_sec"]
+                ) * 100.0
+                rows.append(
+                    {
+                        "scenario": name,
+                        "events": null_row["events"],
+                        "baseline_events_per_sec": recorded["events_per_sec"],
+                        "null_events_per_sec": null_row["events_per_sec"],
+                        "null_overhead_pct": round(overhead, 2),
+                        "trace_events_per_sec": traced["events_per_sec"],
+                        "trace_overhead_pct": round(trace_cost, 2),
+                        "probe_events": probed["events"],
+                    }
+                )
+                print(
+                    f"{name:>20}  {null_row['events']:>9d} ev  "
+                    f"base {recorded['events_per_sec']:>9,.0f}  "
+                    f"null {null_row['events_per_sec']:>9,.0f} "
+                    f"({overhead:+5.1f}%)  trace "
+                    f"{traced['events_per_sec']:>9,.0f} ({trace_cost:+5.1f}%)"
+                )
+
+    def geomean_overhead(key: str) -> float:
+        """Geometric-mean slowdown [%] across cells for one ratio column."""
+        ratios = [r[key] / r["baseline_events_per_sec"] for r in rows]
+        gm = math.exp(sum(math.log(x) for x in ratios) / len(ratios))
+        return (1.0 - gm) * 100.0
+
+    null_gm = geomean_overhead("null_events_per_sec")
+    trace_gm = geomean_overhead("trace_events_per_sec")
+    print(
+        f"\ngeomean overhead vs baseline: null {null_gm:+.2f}%  "
+        f"trace {trace_gm:+.2f}%  (budget {args.budget:.1f}% on null"
+        + (", skipped: --events-only)" if args.events_only else ")")
+    )
+    if not args.events_only and null_gm > args.budget:
+        failures.append(
+            f"null observability geomean {null_gm:+.2f}% slower than "
+            f"baseline (budget {args.budget:.1f}%)"
+        )
+
+    payload = {
+        "benchmark": "observability_null_overhead",
+        "schema": 1,
+        "generated_by": "tools/bench_obs.py",
+        "config": {
+            "repeat": repeat,
+            "seed": SEED,
+            "budget_pct": args.budget,
+            "baseline": str(Path(args.baseline).name),
+            "trace_categories": list(TRACE_CATEGORIES),
+            "probe_interval_s": PROBE_INTERVAL_S,
+            "unit": "events per second of wall time, whole run (build excluded)",
+        },
+        "geomean_overhead_pct": {
+            "null": round(null_gm, 2),
+            "trace": round(trace_gm, 2),
+        },
+        "results": rows,
+    }
+    if not args.events_only:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if failures:
+        print("\nFAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        if args.check:
+            return 1
+        print("(informational — pass --check to make this fatal)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,10 @@ def main(argv=None) -> int:
         help="use the unfused peek+pop kernel loop (profile the oracle path)",
     )
     ap.add_argument("--dump", default=None, help="write raw pstats to this path")
+    ap.add_argument(
+        "--out", default=None,
+        help="also write the formatted report to this text file",
+    )
     args = ap.parse_args(argv)
 
     spec = ScenarioSpec.load(args.scenario)
@@ -83,16 +87,27 @@ def main(argv=None) -> int:
     wall = time.perf_counter() - t0
 
     events = net.sim.events_executed
-    print(
-        f"\n{events} events in {wall:.3f} s wall "
+    summary = (
+        f"{events} events in {wall:.3f} s wall "
         f"({events / wall:,.0f} events/s under the profiler — expect "
-        "~2x faster unprofiled)\n"
+        "~2x faster unprofiled)"
     )
+    print(f"\n{summary}\n")
     stats = pstats.Stats(profiler)
     if args.dump:
         stats.dump_stats(args.dump)
         print(f"raw stats written to {args.dump}")
     stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(
+                f"scenario: {args.scenario}  (content key {spec.key()[:16]})\n"
+                f"{summary}\n\n"
+            )
+            pstats.Stats(profiler, stream=fh).sort_stats(args.sort).print_stats(
+                args.top
+            )
+        print(f"report written to {args.out}")
     return 0
 
 
