@@ -40,6 +40,12 @@ validated params as keyword arguments.  What each slot must return:
     profiling), or ``None`` for the null component — then **no**
     instrumentation is attached and the run is bit-identical to an
     unobserved build.  Context: ``cfg`` only.
+``faults``
+    a :class:`~repro.faults.plan.FaultPlan` (crash churn, noise bursts,
+    link fades, packet corruption), or ``None`` for the null component —
+    then **no** injector or resilience monitor is wired and the run is
+    bit-identical to a fault-free build (``events_executed`` included).
+    Context: ``cfg``, ``rngs`` (the ``"faults"`` stream).
 
 The call order (and the named RNG streams each builtin consumes) reproduces
 the historical ``build_network`` exactly, which is what keeps the
@@ -67,6 +73,7 @@ from repro.sim.trace import NULL_TRACER, Tracer
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.energy.model import EnergyModel
     from repro.experiments.scenario import BuiltNetwork
+    from repro.faults.plan import FaultPlan
     from repro.net.node import Node
     from repro.phy.propagation import PropagationModel
 
@@ -142,6 +149,7 @@ class BuildContext:
     mobility_plan: MobilityPlan | None = None
     energy_plan: EnergyPlan | None = None
     obs_plan: ObservabilityPlan | None = None
+    fault_plan: "FaultPlan | None" = None
     data_channel: Channel | None = None
     control_channel: Channel | None = None
     positions: list[Position] = field(default_factory=list)
@@ -361,6 +369,9 @@ class NetworkBuilder:
         if ctx.obs_plan is not None:
             self._apply_observability(ctx)
 
+        faults_entry, faults_params = resolved["faults"]
+        ctx.fault_plan = faults_entry.factory(ctx, **faults_params)
+
         ctx.mobility_plan = mobility_entry.factory(ctx, **mobility_params)
         channel_kwargs = dict(
             interference_floor_w=cfg.phy.interference_floor_w,
@@ -440,6 +451,30 @@ class NetworkBuilder:
                 horizon_s=cfg.duration_s,
                 gauges=ctx.obs_plan.gauges,
             )
+
+        if ctx.fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+            from repro.faults.resilience import ResilienceMonitor
+
+            injector = FaultInjector(
+                ctx.sim,
+                nodes,
+                plan=ctx.fault_plan,
+                data_channel=ctx.data_channel,
+                control_channel=ctx.control_channel,
+                tracer=ctx.tracer,
+                rng=ctx.rngs.stream("faults.runtime"),
+            )
+            injector.arm(cfg.duration_s)
+            extras["faults"] = injector
+            if ctx.fault_plan.resilience_interval_s > 0:
+                extras["resilience"] = ResilienceMonitor(
+                    ctx.sim,
+                    metrics,
+                    ctx.fault_plan,
+                    interval_s=ctx.fault_plan.resilience_interval_s,
+                    horizon_s=cfg.duration_s,
+                )
 
         return BuiltNetwork(
             sim=ctx.sim,

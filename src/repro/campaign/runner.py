@@ -17,14 +17,32 @@ slices and streams :class:`~repro.obs.telemetry.RunProgress` heartbeats
 back to the parent (over a manager queue in the pooled case), which also
 records per-run runtime stats into the store.  Results are bit-identical
 either way — slicing ``run_until`` does not change the dispatch order.
+
+Failure containment
+-------------------
+A cell that raises does not kill the campaign: the worker catches the
+exception and ships a structured error back, the parent retries it up to
+``retries`` times with exponential backoff, and a cell that fails every
+attempt is recorded in the store as an error line (``ResultStore.put_error``
+— key, spec, exception kind/message/traceback, attempt count) while the
+remaining cells run to completion.  In the pooled path ``timeout_s`` bounds
+each cell's wall time; a hung (or hard-killed) worker is detected at the
+deadline, the pool is torn down and rebuilt, the overdue cell is charged an
+attempt, and innocent in-flight cells are resubmitted for free.  A
+``should_stop`` callback makes shutdown cooperative: once it returns True no
+new cell starts, in-flight cells drain, and the report covers everything
+that finished — the store then resumes the rest on the next invocation.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import signal
 import sys
 import threading
 import time
+import traceback as _traceback
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -36,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.scenario import ExperimentResult
 
 ProgressFn = Callable[[str], None]
+StopFn = Callable[[], bool]
 
 
 def _execute(spec: RunSpec) -> tuple[str, "ExperimentResult"]:
@@ -43,25 +62,67 @@ def _execute(spec: RunSpec) -> tuple[str, "ExperimentResult"]:
     return spec.key(), spec.run()
 
 
+def error_record(exc: BaseException, attempts: int) -> dict:
+    """Structured description of a cell's permanent failure.
+
+    This is the shape :meth:`ResultStore.put_error` persists and
+    :attr:`CampaignReport.errors` carries: exception kind, message, full
+    traceback, and how many attempts were made.
+    """
+    return {
+        "kind": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+        "attempts": attempts,
+    }
+
+
+def _execute_safe(
+    args: tuple[RunSpec, int | None],
+) -> tuple[str, str, object, dict | None]:
+    """Pooled worker entry point that never raises.
+
+    Runs one cell (with heartbeats when ``slices`` is not None) and returns
+    ``("ok", key, result, runtime)`` — or catches the exception and returns
+    ``("err", key, error_dict, None)`` so one bad cell cannot poison the
+    pool's result stream.
+    """
+    spec, slices = args
+    key = spec.key()
+    try:
+        if slices is None:
+            return ("ok", key, spec.run(), None)
+        queue = _WORKER_QUEUE
+        emit = queue.put if queue is not None else (lambda progress: None)
+        result, runtime = run_with_heartbeat(spec, emit, slices=slices)
+        return ("ok", key, result, runtime)
+    except Exception as exc:  # noqa: BLE001 - containment is the point
+        return ("err", key, error_record(exc, attempts=0), None)
+
+
 #: Per-worker heartbeat queue, installed by the pool initializer.
 _WORKER_QUEUE = None
 
 
-def _init_telemetry_worker(queue) -> None:
-    """Pool initializer: stash the parent's heartbeat queue in the worker."""
+def _init_worker(queue=None) -> None:
+    """Pool initializer: shield the worker from SIGINT and stash the
+    parent's heartbeat queue (None when telemetry is off).
+
+    Ctrl-C reaches the whole foreground process group; ignoring it in
+    workers lets in-flight cells finish while the parent's ``should_stop``
+    drains the campaign cooperatively.
+
+    SIGTERM must go back to SIG_DFL: forked workers inherit whatever
+    handler the parent CLI installed, and an inherited no-kill handler
+    would neuter ``Pool.terminate()`` — the parent would then block
+    forever in ``pool.join()`` waiting on an unkillable worker.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     global _WORKER_QUEUE
     _WORKER_QUEUE = queue
-
-
-def _execute_with_heartbeat(
-    args: tuple[RunSpec, int],
-) -> tuple[str, "ExperimentResult", dict]:
-    """Telemetry worker entry point: run one cell in slices, stream progress."""
-    spec, slices = args
-    queue = _WORKER_QUEUE
-    emit = queue.put if queue is not None else (lambda progress: None)
-    result, runtime = run_with_heartbeat(spec, emit, slices=slices)
-    return spec.key(), result, runtime
 
 
 def _start_method() -> str:
@@ -88,6 +149,11 @@ class CampaignReport:
     cached: int = 0
     #: Wall-clock time of the whole invocation [s].
     wallclock_s: float = 0.0
+    #: spec key → :func:`error_record` for cells that failed every attempt.
+    errors: dict[str, dict] = field(default_factory=dict)
+    #: True when a ``should_stop`` callback ended the campaign early —
+    #: cells neither in ``results`` nor ``errors`` were simply not started.
+    stopped: bool = False
 
     @property
     def total(self) -> int:
@@ -108,6 +174,10 @@ def run_specs(
     progress: ProgressFn | None = None,
     telemetry: TelemetryFn | None = None,
     slices: int = DEFAULT_SLICES,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    backoff_s: float = 0.5,
+    should_stop: StopFn | None = None,
 ) -> CampaignReport:
     """Execute every spec, reusing stored results where possible.
 
@@ -124,6 +194,17 @@ def run_specs(
             cells execute (live progress).  Enables per-run runtime stats
             in the store.  Called from a drainer thread when ``jobs > 1``.
         slices: heartbeats per run when telemetry is on.
+        timeout_s: per-cell wall-clock budget (pooled path only — a single
+            process cannot interrupt its own run).  An overdue cell is
+            treated as a crashed attempt: the pool is rebuilt and the cell
+            retried or recorded as an error.
+        retries: extra attempts per failing cell before it is recorded as
+            a permanent error (0 = record on the first failure).
+        backoff_s: base delay before a retry; attempt ``n`` waits
+            ``backoff_s * 2**(n-1)``.
+        should_stop: cooperative-shutdown poll — once it returns True no
+            new cell starts; in-flight cells drain and the report's
+            ``stopped`` flag is set.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs!r}")
@@ -162,55 +243,207 @@ def run_specs(
                 f"  seed={result.seed}"
             )
 
+    def record_error(spec: RunSpec, key: str, error: dict) -> None:
+        report.errors[key] = error
+        if store is not None:
+            store.put_error(spec, error)
+        if progress is not None:
+            progress(
+                f"[failed] {spec.protocol} load={spec.load_kbps} "
+                f"seed={spec.seed}: {error['kind']}: {error['message']} "
+                f"(attempts={error['attempts']})"
+            )
+
+    def stopping() -> bool:
+        if should_stop is not None and should_stop():
+            report.stopped = True
+            return True
+        return False
+
     if jobs == 1 or len(pending) <= 1:
         for spec in pending:
-            if telemetry is not None:
-                result, runtime = run_with_heartbeat(spec, telemetry, slices=slices)
-                record(spec, spec.key(), result, runtime)
-            else:
-                key, result = _execute(spec)
-                record(spec, key, result)
-    elif telemetry is None:
-        by_key = {spec.key(): spec for spec in pending}
-        ctx = multiprocessing.get_context(_start_method())
-        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-            for key, result in pool.imap_unordered(_execute, pending, chunksize=1):
-                record(by_key[key], key, result)
+            if stopping():
+                break
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    if telemetry is not None:
+                        result, runtime = run_with_heartbeat(
+                            spec, telemetry, slices=slices
+                        )
+                        record(spec, spec.key(), result, runtime)
+                    else:
+                        key, result = _execute(spec)
+                        record(spec, key, result)
+                    break
+                except Exception as exc:  # noqa: BLE001 - containment
+                    if attempt > retries or stopping():
+                        record_error(
+                            spec, spec.key(), error_record(exc, attempt)
+                        )
+                        break
+                    time.sleep(backoff_s * 2 ** (attempt - 1))
     else:
-        by_key = {spec.key(): spec for spec in pending}
-        ctx = multiprocessing.get_context(_start_method())
-        # Workers stream heartbeats over a manager queue; a drainer thread
-        # in the parent forwards them to the callback so the result loop
-        # below never blocks on telemetry.
-        with ctx.Manager() as manager:
-            queue = manager.Queue()
-
-            def drain() -> None:
-                while True:
-                    item = queue.get()
-                    if item is None:
-                        return
-                    telemetry(item)
-
-            drainer = threading.Thread(target=drain, daemon=True)
-            drainer.start()
-            try:
-                with ctx.Pool(
-                    processes=min(jobs, len(pending)),
-                    initializer=_init_telemetry_worker,
-                    initargs=(queue,),
-                ) as pool:
-                    work = [(spec, slices) for spec in pending]
-                    for key, result, runtime in pool.imap_unordered(
-                        _execute_with_heartbeat, work, chunksize=1
-                    ):
-                        record(by_key[key], key, result, runtime)
-            finally:
-                queue.put(None)
-                drainer.join()
+        _run_pooled(
+            pending,
+            jobs=jobs,
+            record=record,
+            record_error=record_error,
+            stopping=stopping,
+            telemetry=telemetry,
+            slices=slices,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+        )
 
     report.wallclock_s = time.perf_counter() - t0
     return report
+
+
+def _run_pooled(
+    pending: Sequence[RunSpec],
+    *,
+    jobs: int,
+    record: Callable,
+    record_error: Callable,
+    stopping: StopFn,
+    telemetry: TelemetryFn | None,
+    slices: int,
+    timeout_s: float | None,
+    retries: int,
+    backoff_s: float,
+) -> None:
+    """Bounded-submission pool loop with retry, timeout, and clean drain.
+
+    Cells are submitted via ``apply_async`` (at most ``jobs`` in flight) so
+    the parent can watch each cell's wall clock.  A cell whose worker
+    raised comes back as a structured error (see :func:`_execute_safe`) and
+    is retried with exponential backoff; a cell that blows ``timeout_s``
+    means a hung or hard-killed worker, which ``Pool`` cannot surface — the
+    whole pool is terminated and rebuilt, the overdue cell is charged an
+    attempt, and innocent in-flight cells are resubmitted without penalty.
+    """
+    ctx = multiprocessing.get_context(_start_method())
+    manager = queue = drainer = None
+    if telemetry is not None:
+        # Workers stream heartbeats over a manager queue; a drainer thread
+        # in the parent forwards them to the callback so the result loop
+        # below never blocks on telemetry.
+        manager = ctx.Manager()
+        queue = manager.Queue()
+
+        def drain() -> None:
+            while True:
+                item = queue.get()
+                if item is None:
+                    return
+                telemetry(item)
+
+        drainer = threading.Thread(target=drain, daemon=True)
+        drainer.start()
+
+    def make_pool():
+        return ctx.Pool(
+            processes=min(jobs, len(pending)),
+            initializer=_init_worker,
+            initargs=(queue,),
+        )
+
+    worker_slices = slices if telemetry is not None else None
+    attempts: dict[str, int] = {}
+    #: (spec, earliest monotonic submit time) — retries wait out backoff.
+    todo: deque[tuple[RunSpec, float]] = deque((s, 0.0) for s in pending)
+    #: key → (async result, spec, monotonic start time).
+    inflight: dict[str, tuple] = {}
+    pool = make_pool()
+    try:
+        draining = False
+        while todo or inflight:
+            if not draining and stopping():
+                # Cooperative shutdown: drop queued cells, drain in-flight.
+                draining = True
+                todo.clear()
+            now = time.monotonic()
+            while todo and len(inflight) < jobs:
+                spec, not_before = todo[0]
+                if not_before > now:
+                    break  # head is backing off; poll in-flight meanwhile
+                todo.popleft()
+                async_result = pool.apply_async(
+                    _execute_safe, ((spec, worker_slices),)
+                )
+                inflight[spec.key()] = (async_result, spec, time.monotonic())
+
+            done = [k for k, (ar, _, _) in inflight.items() if ar.ready()]
+            for k in done:
+                async_result, spec, _ = inflight.pop(k)
+                status, key, payload, runtime = async_result.get()
+                if status == "ok":
+                    record(spec, key, payload, runtime)
+                    continue
+                attempts[key] = attempts.get(key, 0) + 1
+                if attempts[key] > retries or draining:
+                    # Out of retries — or shutting down, where starting a
+                    # fresh attempt would silently restart work the user
+                    # just asked to stop.
+                    payload["attempts"] = attempts[key]
+                    record_error(spec, key, payload)
+                else:
+                    delay = backoff_s * 2 ** (attempts[key] - 1)
+                    todo.append((spec, time.monotonic() + delay))
+
+            if timeout_s is not None and inflight:
+                now = time.monotonic()
+                overdue = [
+                    (k, spec)
+                    for k, (_, spec, started) in inflight.items()
+                    if now - started > timeout_s
+                ]
+                if overdue:
+                    # A hung worker holds its pool slot forever; the only
+                    # recovery multiprocessing offers is a full teardown.
+                    pool.terminate()
+                    pool.join()
+                    victims = {k for k, _ in overdue}
+                    for k, (_, spec, _) in inflight.items():
+                        if k in victims:
+                            attempts[k] = attempts.get(k, 0) + 1
+                            if attempts[k] > retries or draining:
+                                record_error(
+                                    spec,
+                                    k,
+                                    {
+                                        "kind": "Timeout",
+                                        "message": (
+                                            f"cell exceeded timeout_s="
+                                            f"{timeout_s}"
+                                        ),
+                                        "traceback": "",
+                                        "attempts": attempts[k],
+                                    },
+                                )
+                                continue
+                            delay = backoff_s * 2 ** (attempts[k] - 1)
+                            todo.append((spec, time.monotonic() + delay))
+                        else:
+                            # Innocent bystander: resubmit without penalty.
+                            todo.appendleft((spec, 0.0))
+                    inflight.clear()
+                    pool = make_pool()
+
+            if inflight or todo:
+                time.sleep(0.02)
+        pool.close()
+        pool.join()
+    finally:
+        pool.terminate()
+        pool.join()
+        if queue is not None:
+            queue.put(None)
+            drainer.join()
+            manager.shutdown()
 
 
 def run_campaign(

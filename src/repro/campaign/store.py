@@ -13,17 +13,27 @@ is an audit record (protocol / load / seed plus the full serialized
 :class:`~repro.scenariospec.ScenarioSpec` under ``"scenario"`` — re-runnable
 via ``ScenarioSpec.from_dict``, though addressing is always by ``key``) and
 ``result`` the serialised
-:class:`~repro.experiments.scenario.ExperimentResult`.  Appending after every
+:class:`~repro.experiments.scenario.ExperimentResult`.  A run that failed
+permanently (worker crash after every retry) is recorded as a ``{"key",
+"spec", "error"}`` line instead — the error is inspectable via
+:meth:`ResultStore.error` but the key stays *absent* from the result index,
+so a resumed campaign re-runs it.  Appending after every
 finished run makes interruption safe: a killed campaign keeps every completed
-cell, and the next invocation against the same store resumes from there.  A
-torn final line (e.g. the process died mid-write) is detected and ignored on
-load.  When a key appears more than once the last line wins.
+cell, and the next invocation against the same store resumes from there.
+
+Unparseable lines (a torn tail from an interrupted write, or bytes mangled
+by a filesystem fault) are **quarantined** on load: they are moved to a
+``results.jsonl.corrupt`` sidecar, the main file is atomically rewritten
+without them, and a warning reports the counts — nothing is silently
+dropped, and the main file is clean again for the next append.  When a key
+appears more than once the last line wins.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
@@ -38,6 +48,8 @@ STORE_FORMAT_VERSION = 1
 
 RESULTS_FILE = "results.jsonl"
 META_FILE = "meta.json"
+#: Sidecar receiving lines the loader could not parse (never deleted).
+CORRUPT_SUFFIX = ".corrupt"
 
 
 def result_to_dict(result: "ExperimentResult") -> dict:
@@ -75,6 +87,14 @@ def result_from_dict(data: dict) -> "ExperimentResult":
     payload["profile"] = (
         ProfileReport.from_payload(profile) if profile is not None else None
     )
+    resilience = payload.get("resilience")
+    if resilience is not None:
+        from repro.faults.resilience import ResilienceReport
+
+        payload["resilience"] = ResilienceReport.from_payload(resilience)
+    else:
+        # Pre-faults store lines lack the key; null-faults runs store null.
+        payload["resilience"] = None
     return ExperimentResult(**payload)
 
 
@@ -93,6 +113,7 @@ class ResultStore:
         self._index: dict[str, "ExperimentResult"] = {}
         self._specs: dict[str, dict] = {}
         self._runtimes: dict[str, dict] = {}
+        self._errors: dict[str, dict] = {}
         self._write_meta()
         self._load()
 
@@ -118,23 +139,67 @@ class ResultStore:
     def _load(self) -> None:
         if not self.path.exists():
             return
+        good: list[str] = []
+        bad: list[str] = []
         with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
+            for raw in fh:
+                line = raw.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
+                    key = record["key"]
+                    if "error" in record:
+                        # A permanently failed run: remember why, but keep
+                        # the key out of the result index so resume retries.
+                        # A success for the same (deterministic) key always
+                        # outranks an error, whichever was written later.
+                        if key not in self._index:
+                            self._errors[key] = record["error"]
+                        self._specs.setdefault(key, record.get("spec", {}))
+                        good.append(line)
+                        continue
                     result = result_from_dict(record["result"])
                 except (json.JSONDecodeError, KeyError, TypeError):
-                    # Torn tail from an interrupted write; everything before
-                    # it is intact, so skip rather than fail the campaign.
+                    # Torn tail from an interrupted write, or a mangled
+                    # interior line: quarantine rather than silently drop.
+                    bad.append(line)
                     continue
-                self._index[record["key"]] = result
-                self._specs[record["key"]] = record.get("spec", {})
+                good.append(line)
+                self._index[key] = result
+                self._errors.pop(key, None)
+                self._specs[key] = record.get("spec", {})
                 runtime = record.get("runtime")
                 if runtime is not None:
-                    self._runtimes[record["key"]] = runtime
+                    self._runtimes[key] = runtime
+        if bad:
+            self._quarantine(good, bad)
+
+    def _quarantine(self, good: list[str], bad: list[str]) -> None:
+        """Move unparseable lines to the sidecar; rewrite the main file clean.
+
+        The rewrite is atomic (tmp + fsync + rename) so a crash mid-cleanup
+        leaves either the old file or the clean one, never a hybrid.
+        """
+        sidecar = self.path.with_name(self.path.name + CORRUPT_SUFFIX)
+        with sidecar.open("a", encoding="utf-8") as fh:
+            for line in bad:
+                fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for line in good:
+                fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(self.path)
+        warnings.warn(
+            f"result store {self.path}: quarantined {len(bad)} corrupt "
+            f"line(s) to {sidecar.name} (kept {len(good)} good line(s))",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     # ----------------------------------------------------------------- access
 
@@ -165,6 +230,41 @@ class ResultStore:
         ``key`` — empty for cells recorded without telemetry."""
         return self._runtimes.get(key, {})
 
+    def error(self, key: str) -> dict | None:
+        """The recorded permanent failure for ``key``, or None.
+
+        Errored keys are *not* in the result index (``get`` returns None,
+        ``in`` is False), so a resumed campaign re-runs them; the error
+        record survives for post-mortems until a success overwrites it.
+        """
+        return self._errors.get(key)
+
+    def errors(self) -> dict[str, dict]:
+        """Every recorded permanent failure, keyed by cell key."""
+        return dict(self._errors)
+
+    def _append(self, record: dict) -> None:
+        """Durably append one JSONL record (write, flush, fsync)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    @staticmethod
+    def _spec_summary(spec: RunSpec) -> dict:
+        return {
+            "protocol": spec.protocol,
+            "load_kbps": spec.load_kbps,
+            "seed": spec.seed,
+            "node_count": spec.cfg.node_count,
+            "duration_s": spec.cfg.duration_s,
+            # The full serialized scenario (the hash pre-image), so a
+            # store entry is auditable and re-runnable by *what* ran:
+            # feed it back through ScenarioSpec.from_dict.
+            "scenario": spec.scenario.to_dict(),
+        }
+
     def put(
         self,
         spec: RunSpec,
@@ -182,28 +282,31 @@ class ResultStore:
         key = spec.key()
         record = {
             "key": key,
-            "spec": {
-                "protocol": spec.protocol,
-                "load_kbps": spec.load_kbps,
-                "seed": spec.seed,
-                "node_count": spec.cfg.node_count,
-                "duration_s": spec.cfg.duration_s,
-                # The full serialized scenario (the hash pre-image), so a
-                # store entry is auditable and re-runnable by *what* ran:
-                # feed it back through ScenarioSpec.from_dict.
-                "scenario": spec.scenario.to_dict(),
-            },
+            "spec": self._spec_summary(spec),
             "result": result_to_dict(result),
         }
         if runtime is not None:
             record["runtime"] = runtime
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        self._append(record)
         self._index[key] = result
+        self._errors.pop(key, None)
         self._specs[key] = record["spec"]
         if runtime is not None:
             self._runtimes[key] = runtime
+        return key
+
+    def put_error(self, spec: RunSpec, error: dict) -> str:
+        """Record one permanently failed cell; returns its key.
+
+        ``error`` is a structured failure description (see
+        :func:`repro.campaign.runner.error_record` — kind, message,
+        traceback, attempts).  The key stays absent from the result index
+        so a later ``--resume`` re-runs the cell.
+        """
+        key = spec.key()
+        self._append(
+            {"key": key, "spec": self._spec_summary(spec), "error": error}
+        )
+        self._errors[key] = error
+        self._specs.setdefault(key, self._spec_summary(spec))
         return key

@@ -37,6 +37,8 @@ resumes from the cells already on disk.
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 from dataclasses import replace
 
@@ -75,6 +77,13 @@ def _add_campaign_flags(p: argparse.ArgumentParser) -> None:
                    help="reuse cells already in the store (default)")
     p.add_argument("--no-resume", dest="resume", action="store_false",
                    help="ignore stored cells and re-simulate everything")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="per-cell wall-clock budget [s] in the pooled path; "
+                        "an overdue (hung) cell is retried, then recorded "
+                        "as a failure (0 = no limit)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts per failing cell before its error "
+                        "is recorded and the campaign moves on")
 
 
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
@@ -449,19 +458,76 @@ def _run_campaign(args: argparse.Namespace) -> int:
             # Heartbeats overwrite one status line; the per-cell completion
             # lines from `progress` print over it with a trailing pad.
             print(f"  {p.line():<76}", end="\n" if p.done else "\r", flush=True)
-    report = run_specs(
-        campaign.specs(),
-        jobs=args.jobs,
-        store=store,
-        resume=args.resume,
-        progress=lambda s: print("  " + f"{s:<76}"),
-        telemetry=telemetry,
-    )
-    sweep = sweep_from_campaign(campaign, report.results)
+
+    # Graceful shutdown: the first SIGINT/SIGTERM stops submitting new
+    # cells and drains in-flight ones (every finished cell reaches the
+    # store); a second signal force-quits immediately.
+    signals_seen = {"count": 0}
+
+    def _on_signal(signum, frame) -> None:
+        # No print() here: the handler can fire while the main thread is
+        # mid-write on the same buffered stream, and CPython's io layer
+        # raises "reentrant call inside BufferedWriter" for that — which
+        # would abort the drain loop itself.  Raw os.write is safe.
+        signals_seen["count"] += 1
+        if signals_seen["count"] >= 2:
+            os.write(2, b"\nforce quit (second signal).\n")
+            raise SystemExit(130)
+        os.write(
+            2,
+            f"\n{signal.Signals(signum).name}: draining in-flight cells, "
+            "then stopping (signal again to force quit)...\n".encode(),
+        )
+
+    old_int = signal.signal(signal.SIGINT, _on_signal)
+    old_term = signal.signal(signal.SIGTERM, _on_signal)
+    try:
+        report = run_specs(
+            campaign.specs(),
+            jobs=args.jobs,
+            store=store,
+            resume=args.resume,
+            progress=lambda s: print("  " + f"{s:<76}"),
+            telemetry=telemetry,
+            timeout_s=args.timeout or None,
+            retries=args.retries,
+            should_stop=lambda: signals_seen["count"] > 0,
+        )
+    finally:
+        signal.signal(signal.SIGINT, old_int)
+        signal.signal(signal.SIGTERM, old_term)
+
     print(
         f"\ndone: {report.executed} simulated, {report.cached} cached, "
-        f"{report.wallclock_s:.1f}s wall"
+        f"{len(report.errors)} failed, {report.wallclock_s:.1f}s wall"
     )
+    for key, err in report.errors.items():
+        print(
+            f"  failed {key[:12]}: {err['kind']}: {err['message']} "
+            f"(attempts={err['attempts']})"
+        )
+    if report.stopped or report.errors:
+        resume_cmd = (
+            f"repro campaign --protocols {args.protocols} "
+            f"--loads {args.loads} --seeds {args.seeds} "
+            f"--nodes {args.nodes} --duration {args.duration} "
+            f"--jobs {args.jobs}"
+            + (f" --store {args.store}" if args.store else "")
+        )
+        if args.store:
+            print(f"resume with: {resume_cmd}")
+        else:
+            print(
+                "no --store was set, so finished cells were not persisted; "
+                f"re-run (ideally with --store DIR): {resume_cmd}"
+            )
+        if report.stopped:
+            return 130
+    if len(report.results) < campaign.size:
+        # Stopped or partially failed: the grid is incomplete, so the
+        # sweep charts/CSV below would KeyError — stop at the summary.
+        return 1 if report.errors else 0
+    sweep = sweep_from_campaign(campaign, report.results)
     for title, series, unit in (
         ("throughput [kbps]", sweep.throughput_series(), "kbps"),
         ("end-to-end delay [ms]", sweep.delay_series(), "ms"),

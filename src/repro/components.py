@@ -51,6 +51,7 @@ _traffic = registry("traffic")
 _propagation = registry("propagation")
 _energy = registry("energy")
 _observability = registry("observability")
+_faults = registry("faults")
 
 
 # ---------------------------------------------------------------------------
@@ -460,6 +461,157 @@ def _flight_observability(
         probe_interval_s=interval_s,
         gauges=_check_gauges(gauges),
         profile=profile,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Faults
+# ---------------------------------------------------------------------------
+
+
+@_faults.register(
+    "null",
+    doc="no fault injection (default; zero instrumentation, bit-identical)",
+)
+def _null_faults(ctx: BuildContext):
+    return None
+
+
+@_faults.register(
+    "churn",
+    params=(
+        Param("crash_count", int, 1),
+        Param("window_start_s", float, 0.0),
+        Param("window_end_s", float, 0.0),
+        Param("downtime_s", float, 5.0),
+        Param("rejoin", bool, True),
+        Param("exclude", (list, tuple), ()),
+        Param("resilience_interval_s", float, 1.0),
+    ),
+    doc="seeded node crash/recover churn: crash_count distinct nodes crash "
+        "at uniform times in [window_start_s, window_end_s] (0 = horizon) "
+        "and rejoin after downtime_s; exclude protects e.g. flow endpoints",
+)
+def _churn_faults(
+    ctx: BuildContext,
+    crash_count: int,
+    window_start_s: float,
+    window_end_s: float,
+    downtime_s: float,
+    rejoin: bool,
+    exclude,
+    resilience_interval_s: float,
+):
+    from repro.faults.plan import CrashEvent, FaultPlan
+
+    if crash_count < 0:
+        raise ValueError(f"crash_count must be >= 0, got {crash_count!r}")
+    if downtime_s <= 0:
+        raise ValueError(f"downtime_s must be positive, got {downtime_s!r}")
+    end = window_end_s if window_end_s > 0 else ctx.cfg.duration_s
+    if not (0.0 <= window_start_s < end):
+        raise ValueError(
+            f"churn window [{window_start_s}, {end}] is empty or negative"
+        )
+    excluded = {int(n) for n in exclude}
+    candidates = [
+        n for n in range(ctx.cfg.node_count) if n not in excluded
+    ]
+    if crash_count > len(candidates):
+        raise ValueError(
+            f"crash_count {crash_count} exceeds the {len(candidates)} "
+            "crashable nodes (after exclusions)"
+        )
+    # All draws come from the dedicated "faults" stream, so (a) the plan is
+    # a pure function of (seed, spec) and (b) every other stream — and with
+    # it the fault-free part of the run — is unperturbed.
+    rng = ctx.rngs.stream("faults")
+    picked = rng.choice(len(candidates), size=crash_count, replace=False)
+    times = rng.uniform(window_start_s, end, size=crash_count)
+    crashes = tuple(
+        sorted(
+            (
+                CrashEvent(
+                    node=candidates[int(i)],
+                    at_s=float(t),
+                    recover_at_s=float(t) + downtime_s if rejoin else None,
+                )
+                for i, t in zip(picked, times)
+            ),
+            key=lambda c: (c.at_s, c.node),
+        )
+    )
+    return FaultPlan(
+        crashes=crashes, resilience_interval_s=resilience_interval_s
+    )
+
+
+@_faults.register(
+    "scripted",
+    params=(
+        Param("crashes", (list, tuple), ()),
+        Param("noise_bursts", (list, tuple), ()),
+        Param("link_fades", (list, tuple), ()),
+        Param("corrupt", (list, tuple), ()),
+        Param("resilience_interval_s", float, 1.0),
+    ),
+    doc="explicit fault schedule: crashes [[node, at_s, recover_at_s<0=never]"
+        "], noise_bursts [[start_s, end_s, noise_w]], link_fades [[src, dst, "
+        "start_s, end_s, factor]], corrupt [[start_s, end_s, probability]]",
+)
+def _scripted_faults(
+    ctx: BuildContext,
+    crashes,
+    noise_bursts,
+    link_fades,
+    corrupt,
+    resilience_interval_s: float,
+):
+    from repro.faults.plan import (
+        CorruptionWindow,
+        CrashEvent,
+        FaultPlan,
+        LinkFade,
+        NoiseBurst,
+    )
+
+    def _rows(raw, width: int, what: str):
+        for row in raw:
+            if len(row) != width:
+                raise ValueError(
+                    f"scripted faults: each {what} row needs {width} "
+                    f"values, got {list(row)!r}"
+                )
+            yield row
+
+    return FaultPlan(
+        crashes=tuple(
+            CrashEvent(
+                node=int(node),
+                at_s=float(at),
+                recover_at_s=float(rec) if rec >= 0 else None,
+            )
+            for node, at, rec in _rows(crashes, 3, "crash")
+        ),
+        noise_bursts=tuple(
+            NoiseBurst(start_s=float(s), end_s=float(e), noise_w=float(w))
+            for s, e, w in _rows(noise_bursts, 3, "noise burst")
+        ),
+        link_fades=tuple(
+            LinkFade(
+                src=int(src),
+                dst=int(dst),
+                start_s=float(s),
+                end_s=float(e),
+                factor=float(f),
+            )
+            for src, dst, s, e, f in _rows(link_fades, 5, "link fade")
+        ),
+        corruption=tuple(
+            CorruptionWindow(start_s=float(s), end_s=float(e), probability=float(p))
+            for s, e, p in _rows(corrupt, 3, "corruption")
+        ),
+        resilience_interval_s=resilience_interval_s,
     )
 
 

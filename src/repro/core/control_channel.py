@@ -66,6 +66,16 @@ class ControlChannelAgent:
         self._dead = True
         self.radio.mute()
 
+    def restart(self) -> None:
+        """Node power-up (fault-injection rejoin): resume broadcasting.
+
+        Inverse of :meth:`shutdown`; the caller re-attaches the control
+        radio to its channel.  The active-receiver registry is kept —
+        stale entries expire on their own.
+        """
+        self._dead = False
+        self.radio.listener = self
+
     # ------------------------------------------------------------- transmit
 
     def announce_reception(self, tolerance_w: float, reception_end: float) -> None:

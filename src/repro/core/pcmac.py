@@ -97,6 +97,11 @@ class PcmacMac(DcfMac):
         super().shutdown(on_packet_drop)
         self.control.shutdown()
 
+    def restart(self) -> None:
+        """Power both the data MAC and the control-channel agent back up."""
+        super().restart()
+        self.control.restart()
+
     # ------------------------------------------------------------ power policy
 
     def power_for_rts(self, next_hop: int) -> float:

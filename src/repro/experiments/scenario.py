@@ -28,6 +28,7 @@ from typing import Iterator, Mapping, Sequence
 
 from repro.config import ScenarioConfig
 from repro.energy.report import EnergyReport
+from repro.faults.resilience import ResilienceReport
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.fairness import jain_index
 from repro.net.node import Node
@@ -122,6 +123,9 @@ class ExperimentResult:
     #: Kernel self-profiling attribution, present only when the scenario
     #: ran with profiling enabled (``flight`` observability).
     profile: ProfileReport | None = None
+    #: Delivery-under-faults curves and per-crash reaction times, present
+    #: only when the scenario ran with a non-null ``faults`` component.
+    resilience: ResilienceReport | None = None
 
     def row(self) -> str:
         """One formatted table row (load, throughput, delay, PDR)."""
@@ -192,6 +196,8 @@ class BuiltNetwork:
         sampler = self.extras.get("sampler")
         timeseries = sampler.timeseries() if sampler is not None else None
         profile = ProfileReport.from_sim(self.sim)
+        monitor = self.extras.get("resilience")
+        resilience = monitor.report() if monitor is not None else None
         per_flow = self.metrics.per_flow_throughput_kbps(window)
         flow_summaries = tuple(
             FlowSummary(
@@ -224,6 +230,7 @@ class BuiltNetwork:
             energy=energy,
             timeseries=timeseries,
             profile=profile,
+            resilience=resilience,
         )
 
     def node_by_id(self, node_id: int) -> Node:

@@ -1,0 +1,43 @@
+"""Deterministic fault injection: node churn, channel faults, corruption.
+
+The ``faults`` scenario slot (default ``null`` — zero wiring, bit-identical
+to a fault-free build, the energy/observability precedent) resolves to a
+:class:`~repro.faults.plan.FaultPlan`: a frozen, fully pre-computed schedule
+of node crash/recover churn, noise-floor bursts, per-link gain fades and
+probabilistic packet corruption.  The plan is *data* — it is derived from
+the scenario spec and the scenario seed alone, so the same (seed, spec)
+always injects the same faults, and fault scenarios hash into the campaign
+store's content keys like every other component choice.
+
+Runtime pieces:
+
+* :class:`~repro.faults.injector.FaultInjector` schedules the plan onto the
+  simulator and drives the existing power-down machinery (channel detach,
+  MAC shutdown, routing notification) plus the recover/rejoin path.
+* :class:`~repro.faults.resilience.ResilienceMonitor` bins delivery over
+  time and reduces it to a :class:`~repro.faults.resilience.ResilienceReport`
+  (delivery during vs. outside fault windows, per-crash reroute/recovery
+  times) that rides :class:`~repro.experiments.scenario.ExperimentResult`
+  through the campaign store.
+
+See ``docs/faults.md`` for the fault model and the determinism contract.
+"""
+
+from repro.faults.plan import (
+    CorruptionWindow,
+    CrashEvent,
+    FaultPlan,
+    LinkFade,
+    NoiseBurst,
+)
+from repro.faults.resilience import CrashRecovery, ResilienceReport
+
+__all__ = [
+    "CorruptionWindow",
+    "CrashEvent",
+    "CrashRecovery",
+    "FaultPlan",
+    "LinkFade",
+    "NoiseBurst",
+    "ResilienceReport",
+]

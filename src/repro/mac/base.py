@@ -324,6 +324,25 @@ class DcfMac:
                 on_packet_drop(packet)
         self.radio.mute()
 
+    def restart(self) -> None:
+        """Power a shut-down MAC back up (fault-injection rejoin).
+
+        The inverse of :meth:`shutdown` for recoverable crashes: clears
+        the dead flag, resets the sender/responder machines to a
+        cold-boot state (fresh contention window, no pending backoff,
+        expired NAV, no EIFS debt) and re-installs this MAC as the
+        radio's listener.  The caller must re-attach the radio to its
+        channel first.  Sequence numbers and the duplicate filter
+        survive — a rebooted node keeps its identity.
+        """
+        self._dead = False
+        self._state = MacState.IDLE
+        self._use_eifs = False
+        self.nav.reset()
+        # Cold-boot contention state: cw back to cw_min, nothing pending.
+        self.backoff.on_success()
+        self.radio.listener = self
+
     def enqueue_packet(self, packet: Any, next_hop: int, *, needs_ack: bool = True) -> bool:
         """Accept a network packet for transmission to ``next_hop``.
 

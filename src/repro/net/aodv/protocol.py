@@ -294,7 +294,7 @@ class AodvProtocol(RoutingProtocol):
         self.node.mac_send(packet, next_hop)
 
     def on_node_down(self) -> None:
-        """Battery death: drop buffered packets, go permanently silent."""
+        """Node power-down: drop buffered packets, go silent."""
         self._down = True
         for disc in list(self._discoveries.values()):
             if disc.timer is not None:
@@ -302,6 +302,16 @@ class AodvProtocol(RoutingProtocol):
             for pkt in disc.buffered:
                 self.node.metrics_drop(pkt, "node_dead")
         self._discoveries.clear()
+
+    def on_node_up(self) -> None:
+        """Rejoin after a recoverable crash: resume routing.
+
+        The routing table is deliberately kept — entries from before the
+        crash either still work or fail through the normal retry/RERR
+        path, exactly as after any topology change.  Discovery state was
+        already cleared on the way down.
+        """
+        self._down = False
 
     def stats(self) -> dict[str, int]:
         return dict(self._stats)

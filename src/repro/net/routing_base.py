@@ -39,11 +39,20 @@ class RoutingProtocol:
         raise NotImplementedError
 
     def on_node_down(self) -> None:
-        """This node's power source died (battery depletion).
+        """This node's power source died (battery depletion or a crash).
 
         Called once, after the MAC has been shut down.  Protocols should
         drop buffered traffic and stop originating packets; the default is
         a no-op so table-driven protocols need not care.
+        """
+
+    def on_node_up(self) -> None:
+        """This node rejoined after a recoverable crash (fault injection).
+
+        Called after the MAC has been restarted and the radios are back on
+        their channels.  Protocols should resume serving traffic; stale
+        routing state may be kept (entries age out through the protocol's
+        own expiry machinery).  Default no-op.
         """
 
     def stats(self) -> dict[str, int]:

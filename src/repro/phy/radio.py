@@ -93,6 +93,35 @@ class RadioError(RuntimeError):
     """Raised on protocol misuse of the radio (e.g. TX while TX)."""
 
 
+class RadioFaultState:
+    """Receiver-side fault-injection state (installed by the fault injector).
+
+    Only exists while at least one fault window is active at this radio —
+    ``Radio.faults`` is None otherwise, so the fault-free hot path pays a
+    single ``is not None`` check (the ``power_meter`` precedent).
+
+    Attributes:
+        gains: per-transmitter received-power multipliers (link fades);
+            sources not listed are unaffected.
+        corrupt_p: probability that an otherwise-successful decode is
+            flipped to a failure (0 = corruption off).
+        rng: the scenario's dedicated fault stream (draws happen in event
+            order, so the damage pattern is deterministic per seed).
+    """
+
+    __slots__ = ("gains", "corrupt_p", "rng")
+
+    def __init__(self, rng=None) -> None:
+        self.gains: dict[int, float] = {}
+        self.corrupt_p = 0.0
+        self.rng = rng
+
+    @property
+    def active(self) -> bool:
+        """True while any fade or corruption window is in force."""
+        return bool(self.gains) or self.corrupt_p > 0.0
+
+
 class Radio:
     """A single half-duplex radio attached to one channel.
 
@@ -134,6 +163,7 @@ class Radio:
         "_busy_saw_foreign",
         "_busy_last_decode",
         "power_meter",
+        "faults",
         "stats",
         "_tr_tx",
         "_tr_rx_ok",
@@ -190,6 +220,11 @@ class Radio:
         #: events, so unmetered runs are untouched and metered runs are
         #: event-schedule identical.
         self.power_meter = None
+        #: Optional :class:`RadioFaultState`.  Fault injection is opt-in with
+        #: the same contract as metering: a single ``is not None`` guard per
+        #: hook site, installed only while a fault window is active, so
+        #: fault-free runs are event-schedule bit-identical.
+        self.faults = None
         # Pre-bound trace handles: counters bump with one integer add and
         # the detail kwargs dict is only built for stored categories.
         self._tr_tx = tracer.handle("phy.tx")
@@ -213,6 +248,22 @@ class Radio:
         its channel; muting guarantees they can no longer drive the MAC.
         """
         self.listener = _NullListener()
+
+    def set_noise_floor_w(self, noise_w: float | None) -> None:
+        """Override the noise floor (fault injection); None restores ambient.
+
+        Only the decode-side SINR is affected — carrier sense keeps its
+        threshold semantics (the burst models front-end noise, not
+        sensable energy).  A rise can corrupt the lock currently being
+        decoded, exactly like an interference rise would.
+        """
+        self._noise_w = self.noise.constant_w() if noise_w is None else noise_w
+        if (
+            self._lock is not None
+            and not self._lock_corrupted
+            and self.sinr_of(self._lock.power_w) < self.capture_threshold
+        ):
+            self._lock_corrupted = True
 
     @property
     def position(self) -> tuple[float, float]:
@@ -348,6 +399,13 @@ class Radio:
 
     def signal_start(self, frame: PhyFrame, rx_power_w: float) -> None:
         """A signal's leading edge reached this radio (called by the channel)."""
+        faults = self.faults
+        if faults is not None:
+            # Link fade: attenuation-only, applied at the receiver so the
+            # channel's culling and gain caches stay untouched.
+            gain = faults.gains.get(frame.src)
+            if gain is not None:
+                rx_power_w *= gain
         arrival = _Arrival(frame, rx_power_w, self.sim.now + frame.duration_s)
         self._arrivals[frame.frame_id] = arrival
         self._total_power_w += rx_power_w
@@ -397,6 +455,22 @@ class Radio:
 
         if self._lock is arrival:
             ok = not self._lock_corrupted and self._tx_frame is None
+            faults = self.faults
+            if (
+                ok
+                and faults is not None
+                and faults.corrupt_p > 0.0
+                and faults.rng.random() < faults.corrupt_p
+            ):
+                # Injected frame damage: an otherwise-clean decode fails.
+                ok = False
+                self.tracer.emit(
+                    self.sim.now,
+                    "fault.corrupt",
+                    self.node_id,
+                    frame=arrival.frame.frame_id,
+                    src=arrival.frame.src,
+                )
             self._lock = None
             self._lock_corrupted = False
             self._busy_last_decode = ok

@@ -2,7 +2,8 @@
 
 Scenario construction is assembled from pluggable components, one per
 **slot**: ``mac``, ``mobility``, ``placement``, ``traffic``, ``routing``,
-``propagation``, ``energy`` and ``observability``.  Each slot owns a
+``propagation``, ``energy``, ``observability`` and ``faults``.  Each slot
+owns a
 :class:`Registry`; each
 registered
 component is a :class:`ComponentEntry` — a named factory plus a declared
@@ -48,6 +49,7 @@ SLOTS: tuple[str, ...] = (
     "propagation",
     "energy",
     "observability",
+    "faults",
 )
 
 

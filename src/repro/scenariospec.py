@@ -5,7 +5,7 @@ A :class:`ScenarioSpec` is the single input to
 :class:`~repro.config.ScenarioConfig` plus one :class:`ComponentSpec`
 (component name + params) per scenario slot — ``mac``, ``placement``,
 ``mobility``, ``routing``, ``traffic``, ``propagation``, ``energy``,
-``observability`` — and
+``observability``, ``faults`` — and
 optional explicit flow endpoints.  Because every field is an immutable value type the
 spec is hashable, picklable, and round-trips through JSON without loss::
 
@@ -44,14 +44,15 @@ from repro.registry import SLOTS as COMPONENT_SLOTS
 #: incompatibly — stored content keys then stop matching and are recomputed.
 #: 3: the ``energy`` component slot joined the spec (default ``null``).
 #: 4: the ``observability`` component slot joined the spec (default ``null``).
-SCENARIO_SCHEMA_VERSION = 4
+#: 5: the ``faults`` component slot joined the spec (default ``null``).
+SCENARIO_SCHEMA_VERSION = 5
 
-#: Older schemas :meth:`ScenarioSpec.from_dict` still reads.  Schema-2/3
-#: files simply lack the ``energy`` / ``observability`` slots, which
-#: default to ``null`` — the simulated scenario is identical, so old
+#: Older schemas :meth:`ScenarioSpec.from_dict` still reads.  Schema-2/3/4
+#: files simply lack the ``energy`` / ``observability`` / ``faults`` slots,
+#: which default to ``null`` — the simulated scenario is identical, so old
 #: spec.json files keep working (they hash, like everything this build
 #: loads, under the current schema).
-_READABLE_SCHEMAS = frozenset({2, 3, SCENARIO_SCHEMA_VERSION})
+_READABLE_SCHEMAS = frozenset({2, 3, 4, SCENARIO_SCHEMA_VERSION})
 
 
 def _freeze(value: Any) -> Any:
@@ -214,6 +215,7 @@ class ScenarioSpec:
     propagation: ComponentSpec = _component("two_ray")
     energy: ComponentSpec = _component("null")
     observability: ComponentSpec = _component("null")
+    faults: ComponentSpec = _component("null")
     #: Explicit (src, dst) flow endpoints; None = random distinct pairs.
     flow_pairs: tuple[tuple[int, int], ...] | None = None
 

@@ -59,6 +59,11 @@ Categories used by the stack:
 ``pcmac.pcn``         power-control notifications sent/heard
 ``net.route``         routing events (RREQ/RREP/RERR, route add/del)
 ``app.tx/app.rx``     application-layer send/deliver
+``fault.crash``       the fault injector crashed a node
+``fault.recover``     a crashed node rejoined the network
+``fault.noise``       a noise-floor burst opened/closed at a radio
+``fault.link``        a per-link gain fade opened/closed at a receiver
+``fault.corrupt``     a corruption window edge, or an injected frame loss
 ``trace.dropped``     records lost to the ``max_records`` cap (counter only)
 ====================  =====================================================
 """

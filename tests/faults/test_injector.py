@@ -1,0 +1,142 @@
+"""FaultInjector behaviour: crash/recover edges, channel faults, cleanup.
+
+Runs small end-to-end scenarios (the injector's contract is about what it
+does to a *wired* network) and asserts the observable consequences: edge
+counters, ``fault.*`` trace records, radio fault-state lifecycle, and
+exact determinism of the runtime corruption stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import MobilityConfig, ScenarioConfig, TrafficConfig
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+FAULT_CATEGORIES = (
+    "fault.crash",
+    "fault.recover",
+    "fault.noise",
+    "fault.link",
+    "fault.corrupt",
+)
+
+
+def line_spec(duration_s: float = 15.0, **fault_params) -> ScenarioSpec:
+    """One CBR flow across an 8-node line; node 3 is a mid-path relay."""
+    cfg = ScenarioConfig(
+        node_count=8,
+        duration_s=duration_s,
+        seed=7,
+        traffic=TrafficConfig(
+            flow_count=1, offered_load_bps=100e3, start_time_s=0.5
+        ),
+        mobility=MobilityConfig(
+            speed_mps=0.0, field_width_m=1400.0, field_height_m=100.0
+        ),
+    )
+    return ScenarioSpec(
+        cfg=cfg,
+        mac=ComponentSpec("basic"),
+        placement=ComponentSpec("line", spacing_m=180.0),
+        mobility=ComponentSpec("static"),
+        faults=ComponentSpec("scripted", **fault_params),
+        observability=ComponentSpec(
+            "trace", categories=FAULT_CATEGORIES, max_records=2000
+        ),
+        flow_pairs=((0, 7),),
+    )
+
+
+def strip_wallclock(result):
+    return replace(result, wallclock_s=0.0)
+
+
+class TestCrashRecover:
+    def test_crash_and_rejoin_edges(self):
+        net = line_spec(crashes=[[3, 4.0, 8.0]]).build()
+        injector = net.extras["faults"]
+        result = net.run()
+
+        assert injector.stats()["crashes"] == 1
+        assert injector.stats()["recoveries"] == 1
+        assert net.tracer.count("fault.crash") == 1
+        assert net.tracer.count("fault.recover") == 1
+        # The node came back: MAC alive, radio listening again.
+        mac = net.nodes[3].mac
+        assert not getattr(mac, "dead", True)
+        assert mac.radio.listener is mac
+        # Mid-path relay down on a line = delivery pauses, then resumes.
+        rep = result.resilience
+        assert rep is not None
+        assert len(rep.crashes) == 1
+        assert rep.crashes[0].reroute_s is not None
+        assert rep.delivery_during_faults < rep.delivery_outside_faults
+
+    def test_permanent_crash_severs_a_line(self):
+        result = line_spec(crashes=[[3, 4.0, -1]]).run()
+        rep = result.resilience
+        # A line has no alternate path: nothing is delivered after the
+        # relay dies for good.
+        post_crash_bins = [
+            r for t, r in zip(rep.times, rep.received) if t > 5.0
+        ]
+        assert sum(post_crash_bins) == 0
+
+    def test_resilience_bins_cover_the_horizon(self):
+        result = line_spec(crashes=[[3, 4.0, 8.0]]).run()
+        rep = result.resilience
+        assert rep.interval_s == 1.0
+        assert rep.times[-1] == pytest.approx(15.0)
+        assert len(rep.times) == len(rep.sent) == len(rep.received)
+        assert rep.fault_windows == ((4.0, 8.0),)
+
+
+class TestChannelFaults:
+    def test_corruption_kills_delivery_then_uninstalls(self):
+        clean = line_spec().run()
+        corrupted_spec = line_spec(corrupt=[[0.5, 13.0, 1.0]])
+        net = corrupted_spec.build()
+        result = net.run()
+        # p=1.0 during the window: nothing decodes until it closes.
+        assert result.resilience.delivery_during_faults == 0.0
+        assert result.received < clean.received
+        # Window closed before the horizon: every fault state was removed.
+        for node in net.nodes:
+            assert node.mac.radio.faults is None
+        assert net.tracer.count("fault.corrupt") > 0
+
+    def test_corruption_is_deterministic(self):
+        spec = line_spec(corrupt=[[0.5, 13.0, 0.4]])
+        first, second = spec.run(), spec.run()
+        assert strip_wallclock(first) == strip_wallclock(second)
+        assert first.events_executed == second.events_executed
+
+    def test_noise_burst_degrades_decoding(self):
+        clean = line_spec().run()
+        noisy = line_spec(noise_bursts=[[2.0, 13.0, 1e-9]]).run()
+        assert noisy.received < clean.received
+
+    def test_link_fade_breaks_one_hop(self):
+        clean = line_spec().run()
+        net = line_spec(link_fades=[[3, 4, 2.0, 13.0, 1e-6]]).build()
+        faded = net.run()
+        # The 3→4 hop is on the only path; fading it to nothing stalls
+        # the flow for the window.
+        assert faded.received < clean.received
+        assert net.tracer.count("fault.link") == 2  # on + off
+        for node in net.nodes:
+            assert node.mac.radio.faults is None
+
+
+class TestArming:
+    def test_double_arm_raises(self):
+        net = line_spec(crashes=[[3, 4.0, 8.0]]).build()
+        with pytest.raises(RuntimeError, match="armed"):
+            net.extras["faults"].arm(15.0)
+
+    def test_invalid_plan_rejected_at_build_time(self):
+        with pytest.raises(ValueError, match="out of range"):
+            line_spec(crashes=[[99, 4.0, 8.0]]).build()

@@ -1,0 +1,220 @@
+"""FaultPlan determinism and validation properties.
+
+The load-bearing regression is the hypothesis property: the ``churn``
+component's plan must be a pure function of (seed, params) — the whole
+BASIC-vs-PCM resilience comparison rests on both protocols seeing the
+identical crash schedule at a given seed.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ScenarioConfig
+from repro.faults.plan import (
+    CorruptionWindow,
+    CrashEvent,
+    FaultPlan,
+    LinkFade,
+    NoiseBurst,
+)
+from repro.registry import registry
+from repro.sim.rng import RngRegistry
+
+
+def churn_plan(
+    seed: int,
+    *,
+    node_count: int = 12,
+    duration_s: float = 30.0,
+    crash_count: int = 2,
+    window_start_s: float = 0.0,
+    window_end_s: float = 0.0,
+    downtime_s: float = 5.0,
+    rejoin: bool = True,
+    exclude: tuple[int, ...] = (),
+) -> FaultPlan:
+    """Invoke the churn factory the way the builder does — fresh streams."""
+    cfg = ScenarioConfig(node_count=node_count, duration_s=duration_s, seed=seed)
+    ctx = SimpleNamespace(cfg=cfg, rngs=RngRegistry(seed))
+    return registry("faults").get("churn").factory(
+        ctx,
+        crash_count=crash_count,
+        window_start_s=window_start_s,
+        window_end_s=window_end_s,
+        downtime_s=downtime_s,
+        rejoin=rejoin,
+        exclude=exclude,
+        resilience_interval_s=1.0,
+    )
+
+
+class TestChurnDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        crash_count=st.integers(min_value=0, max_value=5),
+        downtime_s=st.floats(min_value=0.5, max_value=10.0),
+        exclude=st.sets(st.integers(min_value=0, max_value=11), max_size=4),
+    )
+    def test_plan_is_pure_function_of_seed_and_params(
+        self, seed, crash_count, downtime_s, exclude
+    ):
+        kwargs = dict(
+            crash_count=crash_count,
+            downtime_s=downtime_s,
+            exclude=tuple(sorted(exclude)),
+        )
+        first = churn_plan(seed, **kwargs)
+        second = churn_plan(seed, **kwargs)
+        assert first == second
+
+        assert len(first.crashes) == crash_count
+        victims = [c.node for c in first.crashes]
+        assert len(set(victims)) == crash_count
+        for c in first.crashes:
+            assert c.node not in exclude
+            assert 0 <= c.node < 12
+            assert 0.0 <= c.at_s <= 30.0
+            assert c.recover_at_s == pytest.approx(c.at_s + downtime_s)
+        assert victims == [
+            c.node for c in sorted(first.crashes, key=lambda c: (c.at_s, c.node))
+        ]
+
+    def test_no_rejoin_means_permanent(self):
+        plan = churn_plan(7, crash_count=3, rejoin=False)
+        assert all(c.recover_at_s is None for c in plan.crashes)
+
+    def test_window_bounds_respected(self):
+        plan = churn_plan(5, crash_count=4, window_start_s=10.0, window_end_s=20.0)
+        assert all(10.0 <= c.at_s <= 20.0 for c in plan.crashes)
+
+    def test_spec_level_rebuild_yields_equal_plans(self):
+        from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+        spec = ScenarioSpec(
+            cfg=ScenarioConfig(node_count=10, duration_s=5.0, seed=11),
+            mac=ComponentSpec("basic"),
+            faults=ComponentSpec("churn", crash_count=2, downtime_s=1.5),
+        )
+        assert spec.build().extras["faults"].plan == (
+            spec.build().extras["faults"].plan
+        )
+
+
+class TestChurnValidation:
+    def test_too_many_crashes_for_candidates(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            churn_plan(1, node_count=6, crash_count=5, exclude=(0, 1, 2))
+
+    def test_nonpositive_downtime(self):
+        with pytest.raises(ValueError, match="downtime"):
+            churn_plan(1, downtime_s=0.0)
+
+    def test_empty_window(self):
+        with pytest.raises(ValueError, match="window"):
+            churn_plan(1, window_start_s=20.0, window_end_s=10.0)
+
+
+class TestScriptedRows:
+    def test_wrong_row_width_is_named(self):
+        factory = registry("faults").get("scripted").factory
+        ctx = SimpleNamespace()
+        with pytest.raises(ValueError, match="crash row needs 3"):
+            factory(
+                ctx,
+                crashes=[[1, 2.0]],
+                noise_bursts=(),
+                link_fades=(),
+                corrupt=(),
+                resilience_interval_s=1.0,
+            )
+
+    def test_negative_recovery_means_never(self):
+        factory = registry("faults").get("scripted").factory
+        plan = factory(
+            SimpleNamespace(),
+            crashes=[[4, 2.0, -1]],
+            noise_bursts=(),
+            link_fades=(),
+            corrupt=(),
+            resilience_interval_s=1.0,
+        )
+        assert plan.crashes == (CrashEvent(node=4, at_s=2.0, recover_at_s=None),)
+
+
+class TestPlanValidate:
+    def test_node_out_of_range(self):
+        plan = FaultPlan(crashes=(CrashEvent(node=9, at_s=1.0),))
+        with pytest.raises(ValueError, match="out of range"):
+            plan.validate(node_count=5, duration_s=10.0)
+
+    def test_crash_beyond_horizon(self):
+        plan = FaultPlan(crashes=(CrashEvent(node=0, at_s=99.0),))
+        with pytest.raises(ValueError, match="horizon"):
+            plan.validate(node_count=5, duration_s=10.0)
+
+    def test_recovery_must_follow_crash(self):
+        plan = FaultPlan(
+            crashes=(CrashEvent(node=0, at_s=5.0, recover_at_s=5.0),)
+        )
+        with pytest.raises(ValueError, match="does not follow"):
+            plan.validate(node_count=5, duration_s=10.0)
+
+    def test_permanent_crash_cannot_repeat(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashEvent(node=0, at_s=2.0, recover_at_s=None),
+                CrashEvent(node=0, at_s=5.0, recover_at_s=None),
+            )
+        )
+        with pytest.raises(ValueError, match="crashes again"):
+            plan.validate(node_count=5, duration_s=10.0)
+
+    def test_fade_factor_range(self):
+        plan = FaultPlan(
+            link_fades=(LinkFade(src=0, dst=1, start_s=1.0, end_s=2.0, factor=1.5),)
+        )
+        with pytest.raises(ValueError, match="factor"):
+            plan.validate(node_count=5, duration_s=10.0)
+
+    def test_corruption_probability_range(self):
+        plan = FaultPlan(
+            corruption=(CorruptionWindow(start_s=1.0, end_s=2.0, probability=1.5),)
+        )
+        with pytest.raises(ValueError, match="probability"):
+            plan.validate(node_count=5, duration_s=10.0)
+
+    def test_empty_noise_window(self):
+        plan = FaultPlan(
+            noise_bursts=(NoiseBurst(start_s=2.0, end_s=2.0, noise_w=1e-9),)
+        )
+        with pytest.raises(ValueError, match="empty"):
+            plan.validate(node_count=5, duration_s=10.0)
+
+
+class TestFaultWindows:
+    def test_windows_cover_all_kinds_and_clamp(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashEvent(node=0, at_s=1.0, recover_at_s=3.0),
+                CrashEvent(node=1, at_s=6.0, recover_at_s=None),
+            ),
+            noise_bursts=(NoiseBurst(start_s=2.0, end_s=99.0, noise_w=1e-9),),
+            corruption=(CorruptionWindow(start_s=0.5, end_s=1.5, probability=0.5),),
+        )
+        assert plan.fault_windows(10.0) == (
+            (0.5, 1.5),
+            (1.0, 3.0),
+            (2.0, 10.0),
+            (6.0, 10.0),
+        )
+
+    def test_empty_plan(self):
+        assert FaultPlan().empty
+        assert FaultPlan().fault_windows(10.0) == ()
+        assert not FaultPlan(crashes=(CrashEvent(node=0, at_s=1.0),)).empty

@@ -65,6 +65,7 @@ GOLDEN_COMPONENTS = {
     "propagation": ["free_space", "log_distance", "two_ray"],
     "energy": ["null", "wavelan"],
     "observability": ["flight", "null", "probes", "trace"],
+    "faults": ["churn", "null", "scripted"],
 }
 
 

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Guard the fault-injection layer's hot-path cost against ``BENCH_engine.json``.
+
+Fault injection touches the two hottest PHY paths — ``signal_start`` (link
+fades) and ``signal_end`` (packet corruption) — plus the kernel schedule
+(crash/recover edges, resilience sampler ticks), so this harness proves:
+
+* **Bit-identity (null).** With the default ``null`` faults component every
+  ``BENCH_engine.json`` cell executes *exactly* the event count the engine
+  benchmark recorded: no injector, no monitor, no schedule change — the
+  only cost is one ``radio.faults is None`` check per signal edge.
+* **Determinism (churn).** A churn cell run twice executes the identical
+  event count: the crash schedule is a pure function of (seed, spec) and
+  the runtime corruption stream is consumed in deterministic event order.
+* **Activity (churn).** The same churn cell executes a *different* event
+  count than the fault-free baseline — the injector genuinely reshapes the
+  schedule (its own edges and sampler ticks add events; nodes that are
+  down stop generating them), so a silent no-op injector cannot pass the
+  identity checks trivially.
+
+Throughput is judged on the **geometric mean across all cells** of the null
+cells vs the recorded PR-4 numbers (default budget 2 %) — per-cell wall
+clock on a shared machine swings ±10-15 % run to run.  Wall-clock checks
+are only meaningful on the machine that produced the baseline; the event
+-count identities are deterministic everywhere, which is what
+``--events-only`` runs in CI::
+
+    PYTHONPATH=src python tools/bench_faults.py             # report + BENCH_faults.json
+    PYTHONPATH=src python tools/bench_faults.py --check     # fail if >2% slower (geomean)
+    PYTHONPATH=src python tools/bench_faults.py --events-only --check   # CI: identities only
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from dataclasses import replace  # noqa: E402
+
+from repro.config import ScenarioConfig  # noqa: E402
+from repro.scenariospec import ComponentSpec, ScenarioSpec  # noqa: E402
+
+#: Mirrors tools/bench_engine.py — the cells BENCH_engine.json records.
+DURATIONS_S = {10: 25.0, 50: 4.0, 200: 2.5}
+PROTOCOLS = ("basic", "pcmac")
+MOBILITIES = (("static", False), ("mobile", True))
+SEED = 7
+
+#: The churn cell used for the determinism/activity checks.
+CHURN = dict(crash_count=2, downtime_s=2.0)
+
+
+def _spec(protocol: str, mobile: bool, n: int, faults: ComponentSpec) -> ScenarioSpec:
+    cfg = replace(
+        ScenarioConfig(), node_count=n, duration_s=DURATIONS_S[n], seed=SEED
+    )
+    return ScenarioSpec(
+        cfg=cfg,
+        mac=ComponentSpec(protocol),
+        mobility=ComponentSpec("waypoint" if mobile else "static"),
+        faults=faults,
+    )
+
+
+def run_cell(
+    protocol: str, mobile: bool, n: int, repeat: int, faults: ComponentSpec
+) -> dict:
+    """Best-of-``repeat`` whole-run measurement for one cell."""
+    spec = _spec(protocol, mobile, n, faults)
+    duration = DURATIONS_S[n]
+    best = None
+    events = None
+    for _ in range(repeat):
+        net = spec.build()
+        # This harness builds ~10x more networks per process than
+        # bench_engine did when the baseline was recorded; flush the
+        # previous builds' garbage so later cells are not timed under
+        # accumulated GC pressure the baseline never paid.
+        gc.collect()
+        t0 = time.perf_counter()
+        net.sim.run_until(duration)
+        wall = time.perf_counter() - t0
+        executed = net.sim.events_executed
+        if events is None:
+            events = executed
+        elif executed != events:
+            raise AssertionError(
+                f"non-deterministic run: {executed} events vs {events}"
+            )
+        if best is None or wall < best:
+            best = wall
+    return {
+        "scenario": f"{protocol}-{'mobile' if mobile else 'static'}-n{n}",
+        "faults": faults.name,
+        "events": events,
+        "wall_s": round(best, 4),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(ROOT / "BENCH_faults.json"))
+    ap.add_argument("--baseline", default=str(ROOT / "BENCH_engine.json"))
+    ap.add_argument("--repeat", type=int, default=3, help="best-of repeats")
+    ap.add_argument(
+        "--budget", type=float, default=2.0,
+        help="allowed null-faults slowdown vs the baseline [%%]",
+    )
+    ap.add_argument(
+        "--events-only", action="store_true",
+        help="single repeat, event-count identities only (deterministic on "
+             "any machine — the CI mode); skips the throughput budget",
+    )
+    ap.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on any event-count mismatch, or (unless --events-only) "
+             "a null geomean over budget",
+    )
+    args = ap.parse_args(argv)
+    repeat = 1 if args.events_only else args.repeat
+
+    base = json.loads(Path(args.baseline).read_text())
+    base_by_name = {r["scenario"]: r for r in base["results"]}
+
+    rows = []
+    failures = []
+    for protocol in PROTOCOLS:
+        for _mob_name, mobile in MOBILITIES:
+            for n in sorted(DURATIONS_S):
+                null_row = run_cell(
+                    protocol, mobile, n, repeat, ComponentSpec("null")
+                )
+                # The churn cell is always run twice: the repeat loop's
+                # event-count assertion is the determinism check.
+                churn = run_cell(
+                    protocol, mobile, n, max(repeat, 2),
+                    ComponentSpec("churn", **CHURN),
+                )
+                name = null_row["scenario"]
+                recorded = base_by_name.get(name)
+                if recorded is None:
+                    continue
+                if null_row["events"] != recorded["events"]:
+                    failures.append(
+                        f"{name}: null-faults event count "
+                        f"{null_row['events']} != recorded {recorded['events']}"
+                    )
+                if churn["events"] == recorded["events"]:
+                    failures.append(
+                        f"{name}: churn event count {churn['events']} == "
+                        f"recorded {recorded['events']} (injection changed "
+                        "nothing?)"
+                    )
+                overhead = (
+                    1.0 - null_row["events_per_sec"] / recorded["events_per_sec"]
+                ) * 100.0
+                rows.append(
+                    {
+                        "scenario": name,
+                        "events": null_row["events"],
+                        "baseline_events_per_sec": recorded["events_per_sec"],
+                        "null_events_per_sec": null_row["events_per_sec"],
+                        "null_overhead_pct": round(overhead, 2),
+                        "churn_events": churn["events"],
+                        "churn_events_per_sec": churn["events_per_sec"],
+                    }
+                )
+                print(
+                    f"{name:>20}  {null_row['events']:>9d} ev  "
+                    f"base {recorded['events_per_sec']:>9,.0f}  "
+                    f"null {null_row['events_per_sec']:>9,.0f} "
+                    f"({overhead:+5.1f}%)  churn {churn['events']:>9d} ev"
+                )
+
+    ratios = [
+        r["null_events_per_sec"] / r["baseline_events_per_sec"] for r in rows
+    ]
+    null_gm = (
+        1.0 - math.exp(sum(math.log(x) for x in ratios) / len(ratios))
+    ) * 100.0
+    print(
+        f"\ngeomean overhead vs baseline: null {null_gm:+.2f}%  "
+        f"(budget {args.budget:.1f}%"
+        + (", skipped: --events-only)" if args.events_only else ")")
+    )
+    if not args.events_only and null_gm > args.budget:
+        failures.append(
+            f"null faults geomean {null_gm:+.2f}% slower than baseline "
+            f"(budget {args.budget:.1f}%)"
+        )
+
+    payload = {
+        "benchmark": "faults_null_overhead",
+        "schema": 1,
+        "generated_by": "tools/bench_faults.py",
+        "config": {
+            "repeat": repeat,
+            "seed": SEED,
+            "budget_pct": args.budget,
+            "baseline": str(Path(args.baseline).name),
+            "churn": CHURN,
+            "unit": "events per second of wall time, whole run (build excluded)",
+        },
+        "geomean_overhead_pct": {"null": round(null_gm, 2)},
+        "results": rows,
+    }
+    if not args.events_only:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if failures:
+        print("\nFAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        if args.check:
+            return 1
+        print("(informational — pass --check to make this fatal)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

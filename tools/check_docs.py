@@ -32,7 +32,7 @@ DOC_GLOBS = ("README.md", "EXPERIMENTS.md", "CHANGES.md", "ROADMAP.md",
              "PAPER.md", "docs/*.md")
 
 #: Packages whose public API must be fully docstringed.
-DOCSTRING_ROOTS = ("src/repro/energy", "src/repro/obs")
+DOCSTRING_ROOTS = ("src/repro/energy", "src/repro/obs", "src/repro/faults")
 
 #: ``[text](target)`` — good enough for the links these docs use; image
 #: links (``![..](..)``) match too via the optional leading ``!``.
