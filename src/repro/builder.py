@@ -46,6 +46,15 @@ validated params as keyword arguments.  What each slot must return:
     then **no** injector or resilience monitor is wired and the run is
     bit-identical to a fault-free build (``events_executed`` included).
     Context: ``cfg``, ``rngs`` (the ``"faults"`` stream).
+``reception``
+    a :class:`~repro.phy.reception.plan.ReceptionPlan` (capture threshold,
+    receiver sensitivity), or ``None`` for the null component — then the
+    radios keep their inline threshold decode rules and the run is
+    bit-identical to a pre-reception build (``events_executed`` included).
+    A non-null plan installs one
+    :class:`~repro.phy.reception.sinr.SinrReceiver` per radio inside
+    :meth:`BuildContext.make_radio`, so data *and* PCMAC control radios get
+    the same receiver semantics.  Context: ``cfg`` only.
 
 The call order (and the named RNG streams each builtin consumes) reproduces
 the historical ``build_network`` exactly, which is what keeps the
@@ -76,6 +85,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
     from repro.net.node import Node
     from repro.phy.propagation import PropagationModel
+    from repro.phy.reception.plan import ReceptionPlan
 
 
 @dataclass(frozen=True)
@@ -150,6 +160,7 @@ class BuildContext:
     energy_plan: EnergyPlan | None = None
     obs_plan: ObservabilityPlan | None = None
     fault_plan: "FaultPlan | None" = None
+    reception_plan: "ReceptionPlan | None" = None
     data_channel: Channel | None = None
     control_channel: Channel | None = None
     positions: list[Position] = field(default_factory=list)
@@ -157,8 +168,14 @@ class BuildContext:
     def make_radio(
         self, node_id: int, mobility: MobilityModel, channel_name: str
     ) -> Radio:
-        """A radio with the scenario's PHY thresholds on ``channel_name``."""
-        return Radio(
+        """A radio with the scenario's PHY thresholds on ``channel_name``.
+
+        Every radio in the build — data and PCMAC control alike — comes
+        through here, which is what makes it the single wiring point for the
+        ``reception`` slot: a non-null plan installs a SINR receiver on the
+        radio before anything else sees it.
+        """
+        radio = Radio(
             self.sim,
             node_id,
             mobility=mobility,
@@ -169,6 +186,11 @@ class BuildContext:
             tracer=self.tracer,
             channel_name=channel_name,
         )
+        if self.reception_plan is not None:
+            from repro.phy.reception.sinr import SinrReceiver
+
+            radio.reception = SinrReceiver(radio, self.reception_plan)
+        return radio
 
 
 def pick_flow_pairs(
@@ -371,6 +393,9 @@ class NetworkBuilder:
 
         faults_entry, faults_params = resolved["faults"]
         ctx.fault_plan = faults_entry.factory(ctx, **faults_params)
+
+        reception_entry, reception_params = resolved["reception"]
+        ctx.reception_plan = reception_entry.factory(ctx, **reception_params)
 
         ctx.mobility_plan = mobility_entry.factory(ctx, **mobility_params)
         channel_kwargs = dict(

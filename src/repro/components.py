@@ -52,6 +52,7 @@ _propagation = registry("propagation")
 _energy = registry("energy")
 _observability = registry("observability")
 _faults = registry("faults")
+_reception = registry("reception")
 
 
 # ---------------------------------------------------------------------------
@@ -612,6 +613,51 @@ def _scripted_faults(
             for s, e, p in _rows(corrupt, 3, "corruption")
         ),
         resilience_interval_s=resilience_interval_s,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reception
+# ---------------------------------------------------------------------------
+
+
+@_reception.register(
+    "null",
+    doc="radio's inline threshold decode rules (default; bit-identical)",
+)
+def _null_reception(ctx: BuildContext):
+    return None
+
+
+@_reception.register(
+    "sinr",
+    params=(
+        Param("capture_threshold_db", float, None),
+        Param("rx_sensitivity_dbm", float, None),
+    ),
+    doc="cumulative-SINR receiver state machine with preamble capture and "
+        "typed loss reasons; unset params come from cfg.phy",
+)
+def _sinr_reception(
+    ctx: BuildContext, capture_threshold_db, rx_sensitivity_dbm
+):
+    from repro.phy.reception.plan import ReceptionPlan
+    from repro.units import db_to_ratio, dbm_to_watts
+
+    phy = ctx.cfg.phy
+    capture_threshold = (
+        phy.capture_threshold
+        if capture_threshold_db is None
+        else db_to_ratio(capture_threshold_db)
+    )
+    rx_sensitivity_w = (
+        phy.rx_threshold_w
+        if rx_sensitivity_dbm is None
+        else dbm_to_watts(rx_sensitivity_dbm)
+    )
+    return ReceptionPlan(
+        capture_threshold=capture_threshold,
+        rx_sensitivity_w=rx_sensitivity_w,
     )
 
 

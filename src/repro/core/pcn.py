@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import math
 
+from repro.units import dbm_to_watts, watts_to_dbm
+
 #: Quantisation step [dB].
 _STEP_DB = 0.01
 #: Offset applied before quantisation [dBm].
@@ -43,7 +45,7 @@ def encode_tolerance(tolerance_w: float) -> int:
     """
     if tolerance_w <= 0.0:
         return 0
-    dbm = 10.0 * math.log10(tolerance_w * 1000.0)
+    dbm = watts_to_dbm(tolerance_w)
     code = int(math.floor((dbm - _OFFSET_DBM + _EPS_DB) / _STEP_DB)) + 1
     return max(1, min(code, _MAX_CODE))
 
@@ -54,5 +56,4 @@ def decode_tolerance(code: int) -> float:
         raise ValueError(f"PCN tolerance code out of range: {code!r}")
     if code == 0:
         return 0.0
-    dbm = _OFFSET_DBM + (code - 1) * _STEP_DB
-    return 10.0 ** (dbm / 10.0) / 1000.0
+    return dbm_to_watts(_OFFSET_DBM + (code - 1) * _STEP_DB)

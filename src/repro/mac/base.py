@@ -156,6 +156,12 @@ class MacStats:
     #: protocol variants.
     airtime_control_s: float = 0.0
     airtime_data_s: float = 0.0
+    #: Typed receiver discards, reported by a (non-null) reception model
+    #: through ``on_rx_drop`` — zero under the inline threshold rules, which
+    #: classify nothing (see :mod:`repro.phy.reception`).
+    rx_drop_collision: int = 0
+    rx_drop_capture_lost: int = 0
+    rx_drop_below_sensitivity: int = 0
 
     def as_dict(self) -> dict[str, float]:
         """Counters as a plain dict."""
@@ -274,6 +280,16 @@ class DcfMac:
     def retry_timeouts(self) -> int:
         """Cumulative CTS+ACK timeouts (the ``retry_timeouts`` gauge)."""
         return self.stats.cts_timeouts + self.stats.ack_timeouts
+
+    @property
+    def rx_drops(self) -> int:
+        """Cumulative typed receiver discards (the ``rx_drops`` gauge)."""
+        stats = self.stats
+        return (
+            stats.rx_drop_collision
+            + stats.rx_drop_capture_lost
+            + stats.rx_drop_below_sensitivity
+        )
 
     @property
     def busy(self) -> bool:
@@ -619,6 +635,20 @@ class DcfMac:
 
     def on_rx_start(self, frame: PhyFrame) -> None:
         """Radio callback: locked onto an incoming frame (PCMAC hook point)."""
+
+    def on_rx_drop(self, phy_frame: PhyFrame, reason: str) -> None:
+        """Radio callback: a (non-null) reception model discarded an arrival.
+
+        ``reason`` is one of :data:`~repro.phy.reception.plan.DROP_REASONS`;
+        the counters feed the ``rx_drops`` gauge and ``repro stats``.  The
+        inline threshold rules never call this.
+        """
+        if reason == "collision":
+            self.stats.rx_drop_collision += 1
+        elif reason == "capture_lost":
+            self.stats.rx_drop_capture_lost += 1
+        else:
+            self.stats.rx_drop_below_sensitivity += 1
 
     def on_tx_end(self, phy_frame: PhyFrame) -> None:
         """Radio callback: our own transmission finished."""

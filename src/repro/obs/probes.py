@@ -25,6 +25,8 @@ Gauges
                         distinguish sleep)
 ``battery_j``           residual battery energy [J]; -1 = mains / unmetered
 ``route_count``         valid routing-table entries
+``rx_drops``            cumulative typed receiver discards (0 under the
+                        null ``reception`` model, which classifies nothing)
 ======================  ===================================================
 """
 
@@ -88,6 +90,10 @@ def _g_route_count(node: "Node", now: float) -> float:
     return float(node.routing.route_count())
 
 
+def _g_rx_drops(node: "Node", now: float) -> float:
+    return float(node.mac.rx_drops)
+
+
 GaugeFn = Callable[["Node", float], float]
 
 #: name → reader, in the canonical column order.
@@ -99,6 +105,7 @@ GAUGE_FNS: Mapping[str, GaugeFn] = {
     "radio_state": _g_radio_state,
     "battery_j": _g_battery,
     "route_count": _g_route_count,
+    "rx_drops": _g_rx_drops,
 }
 
 #: The default gauge set (every registered gauge, canonical order).

@@ -12,6 +12,16 @@ neither decoding nor carrier sense nor any SINR the capture threshold could
 care about.  This is the main scalability lever: a 1 mW transmission only
 generates events at radios within a few hundred metres.
 
+The channel is deliberately decode-agnostic: every edge above the
+interference floor is delivered whether or not the receiver could decode
+it, which is the contract the ``reception`` slot builds on — a
+:class:`~repro.phy.reception.sinr.SinrReceiver` sees the same arrival
+ledger the inline threshold rules do and only changes what the radio
+*concludes* from it.  At equal timestamps trailing edges dispatch before
+leading edges (``sig_end`` events tie-break ahead of ``sig_start``), so a
+back-to-back handoff never reads the departing frame's power as
+interference against the new one.
+
 Fan-out strategies
 ------------------
 The naive fan-out is a Python loop over *all* attached radios, recomputing

@@ -1,9 +1,16 @@
 """Receiver noise models.
 
 The paper's arithmetic needs a well-defined ambient noise power ``P_n`` at
-every receiver (noise tolerance is ``P_r / C_p − P_n``).  The default is a
-constant floor; :class:`ThermalNoise` derives the floor from bandwidth and a
-noise figure for sensitivity studies.
+every receiver (noise tolerance is ``P_r / C_p − P_n``); ``P_n`` is also
+the SINR denominator's floor in every decode rule.  The default is a
+constant floor; :class:`ThermalNoise` derives it from bandwidth and a
+receiver noise figure (kT₀B·F).
+
+Noise is *not* receiver sensitivity: the minimum decodable power is a
+separate threshold — ``PhyConfig.rx_threshold_w`` under the inline radio
+rules, ``rx_sensitivity_dbm`` under the ``sinr`` reception component — and
+stays fixed whichever noise model is plugged in.  A noise model only moves
+the SINR that signals above that threshold see.
 """
 
 from __future__ import annotations

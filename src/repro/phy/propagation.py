@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.units import wavelength
+from repro.units import db_to_ratio, wavelength
 
 Position = tuple[float, float]
 
@@ -226,7 +226,7 @@ class LogDistanceShadowing(PropagationModel):
             system_loss=self.system_loss,
         ).gain_at(self.reference_m)
         object.__setattr__(self, "_reference_gain_val", g0)
-        object.__setattr__(self, "_shadow_factor", 10.0 ** (self.shadowing_db / 10.0))
+        object.__setattr__(self, "_shadow_factor", db_to_ratio(self.shadowing_db))
 
     def gain_at(self, dist_m: float) -> float:
         d = dist_m if dist_m > MIN_DISTANCE_M else MIN_DISTANCE_M

@@ -22,6 +22,16 @@ Decode rules (NS-2 ``CPThresh`` semantics, made interference-cumulative):
   this is what drives the MAC's EIFS deferral, which the paper's
   asymmetric-link argument depends on.
 
+These inline rules are the ``null`` reception model.  A scenario whose
+``reception`` slot is non-null installs a
+:class:`~repro.phy.reception.sinr.SinrReceiver` on :attr:`Radio.reception`,
+which then owns every decode decision (preamble sync windows, mid-sync
+capture, typed loss reasons) while the radio keeps the interference ledger,
+carrier-sense edges and TX bookkeeping.  The default is ``None`` with a
+single ``is not None`` check per signal edge — the ``power_meter`` /
+``faults`` opt-in precedent — so null-reception runs are bit-identical to
+builds that predate the slot.
+
 Carrier-sense edge reporting to the MAC: ``on_carrier_idle(failed)`` carries
 whether the ending busy period should be followed by EIFS (it contained
 foreign energy and its last decode attempt did not succeed — "can sense but
@@ -43,7 +53,14 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 
 
 class RadioListener(Protocol):
-    """MAC-facing callbacks a radio invokes."""
+    """MAC-facing callbacks a radio invokes.
+
+    A listener may additionally implement ``on_rx_drop(frame, reason)`` —
+    called only under a non-null ``reception`` model for every arrival the
+    receiver discards, with ``reason`` one of
+    :data:`~repro.phy.reception.plan.DROP_REASONS`.  It is looked up
+    dynamically, so listeners that do not care simply omit it.
+    """
 
     def on_carrier_busy(self) -> None:
         """Total in-band power rose to the carrier-sense threshold."""
@@ -164,6 +181,7 @@ class Radio:
         "_busy_last_decode",
         "power_meter",
         "faults",
+        "reception",
         "stats",
         "_tr_tx",
         "_tr_rx_ok",
@@ -225,6 +243,11 @@ class Radio:
         #: hook site, installed only while a fault window is active, so
         #: fault-free runs are event-schedule bit-identical.
         self.faults = None
+        #: Optional :class:`~repro.phy.reception.sinr.SinrReceiver`.  Same
+        #: opt-in contract: when None the inline decode rules below apply
+        #: unchanged; when set, the receiver owns lock acquisition/loss and
+        #: the radio only keeps the ledger and carrier-sense edges.
+        self.reception = None
         # Pre-bound trace handles: counters bump with one integer add and
         # the detail kwargs dict is only built for stored categories.
         self._tr_tx = tracer.handle("phy.tx")
@@ -258,6 +281,10 @@ class Radio:
         decoded, exactly like an interference rise would.
         """
         self._noise_w = self.noise.constant_w() if noise_w is None else noise_w
+        reception = self.reception
+        if reception is not None:
+            reception.on_noise_change()
+            return
         if (
             self._lock is not None
             and not self._lock_corrupted
@@ -354,9 +381,13 @@ class Radio:
             # Transmitting stomps an ongoing reception; the lock is silently
             # abandoned (we are now deaf) and counted.  A correct MAC only
             # hits this through deliberate protocol choices.
-            self.stats["rx_aborted_by_tx"] += 1
-            self._lock = None
-            self._lock_corrupted = False
+            reception = self.reception
+            if reception is not None:
+                reception.on_tx_abort()
+            else:
+                self.stats["rx_aborted_by_tx"] += 1
+                self._lock = None
+                self._lock_corrupted = False
         was_busy = self._busy_reported
         self._tx_frame = frame
         self.stats["tx_frames"] += 1
@@ -411,6 +442,18 @@ class Radio:
         self._total_power_w += rx_power_w
         self._busy_saw_foreign = True
 
+        reception = self.reception
+        if reception is not None:
+            reception.on_arrival(arrival)
+            # Power only rose: the sole possible edge is idle -> busy (the
+            # own-TX case is already busy, so the check is false there).
+            if (
+                not self._busy_reported
+                and self._total_power_w >= self.cs_threshold_w
+            ):
+                self._report_busy()
+            return
+
         if self._tx_frame is not None:
             # Deaf while transmitting; energy still tracked above.  Already
             # carrier-busy by the own-TX invariant — no edge can fire here.
@@ -453,46 +496,13 @@ class Radio:
             # Kill accumulated float drift whenever the air goes quiet.
             self._total_power_w = 0.0
 
-        if self._lock is arrival:
-            ok = not self._lock_corrupted and self._tx_frame is None
-            faults = self.faults
-            if (
-                ok
-                and faults is not None
-                and faults.corrupt_p > 0.0
-                and faults.rng.random() < faults.corrupt_p
-            ):
-                # Injected frame damage: an otherwise-clean decode fails.
-                ok = False
-                self.tracer.emit(
-                    self.sim.now,
-                    "fault.corrupt",
-                    self.node_id,
-                    frame=arrival.frame.frame_id,
-                    src=arrival.frame.src,
-                )
-            self._lock = None
-            self._lock_corrupted = False
-            self._busy_last_decode = ok
-            meter = self.power_meter
-            if meter is not None:
-                meter.note_idle()
-            if ok:
-                self.stats["rx_ok"] += 1
-                tr = self._tr_rx_ok
-            else:
-                self.stats["rx_corrupted"] += 1
-                tr = self._tr_rx_err
-            tr.count += 1
-            if tr.store:
-                tr.record(
-                    self.sim.now,
-                    self.node_id,
-                    frame=arrival.frame.frame_id,
-                    power_w=arrival.power_w,
-                    chan=self.channel_name,
-                )
-            self.listener.on_rx_end(arrival.frame, ok, arrival.power_w)
+        reception = self.reception
+        if reception is not None:
+            reception.on_departure(arrival)
+        elif self._lock is arrival:
+            self._complete_lock(
+                arrival, not self._lock_corrupted and self._tx_frame is None
+            )
         # Power only fell: the sole possible carrier edge is busy -> idle
         # (own TX keeps the carrier busy regardless of arrivals).
         if (
@@ -501,6 +511,53 @@ class Radio:
             and self._total_power_w < self.cs_threshold_w
         ):
             self._report_idle()
+
+    def _complete_lock(self, arrival: _Arrival, ok: bool) -> None:
+        """Finish the locked reception ``arrival`` with decode outcome ``ok``.
+
+        Shared by the inline (null-reception) rules and the pluggable
+        receiver: applies the fault-injection corruption draw, clears the
+        lock, updates the EIFS flag, meters, stats and traces, and fires
+        ``listener.on_rx_end``.
+        """
+        faults = self.faults
+        if (
+            ok
+            and faults is not None
+            and faults.corrupt_p > 0.0
+            and faults.rng.random() < faults.corrupt_p
+        ):
+            # Injected frame damage: an otherwise-clean decode fails.
+            ok = False
+            self.tracer.emit(
+                self.sim.now,
+                "fault.corrupt",
+                self.node_id,
+                frame=arrival.frame.frame_id,
+                src=arrival.frame.src,
+            )
+        self._lock = None
+        self._lock_corrupted = False
+        self._busy_last_decode = ok
+        meter = self.power_meter
+        if meter is not None:
+            meter.note_idle()
+        if ok:
+            self.stats["rx_ok"] += 1
+            tr = self._tr_rx_ok
+        else:
+            self.stats["rx_corrupted"] += 1
+            tr = self._tr_rx_err
+        tr.count += 1
+        if tr.store:
+            tr.record(
+                self.sim.now,
+                self.node_id,
+                frame=arrival.frame.frame_id,
+                power_w=arrival.power_w,
+                chan=self.channel_name,
+            )
+        self.listener.on_rx_end(arrival.frame, ok, arrival.power_w)
 
     # ---------------------------------------------------------- carrier sense
 

@@ -1,0 +1,58 @@
+"""What a (non-null) ``reception`` component returns: a frozen receiver plan.
+
+The plan is pure data — the builder installs one
+:class:`~repro.phy.reception.sinr.SinrReceiver` per radio from it inside
+:meth:`~repro.builder.BuildContext.make_radio`, so data and (PCMAC) control
+radios get identical receiver semantics.  The ``null`` component returns
+``None`` instead, and then **no** receiver object exists anywhere: the radio
+keeps its inline threshold rules and the run is bit-identical to a
+pre-reception build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: A decodable-power arrival failed because of interference: it could not
+#: sync against the power already on air, or a mid-frame rise stomped the
+#: symbols after the receiver had latched.
+DROP_COLLISION = "collision"
+#: A frame the receiver was locked onto lost that lock before decode
+#: completed: a sufficiently stronger arrival captured the receiver during
+#: preamble sync, or the radio's own transmission went deaf on it.
+DROP_CAPTURE_LOST = "capture_lost"
+#: The arrival's received power never reached the receiver's sensitivity;
+#: it was pure interference from this radio's point of view.
+DROP_BELOW_SENSITIVITY = "below_sensitivity"
+
+#: Every typed loss reason, in the canonical (trace / stats) order.
+DROP_REASONS: tuple[str, ...] = (
+    DROP_COLLISION,
+    DROP_CAPTURE_LOST,
+    DROP_BELOW_SENSITIVITY,
+)
+
+
+@dataclass(frozen=True)
+class ReceptionPlan:
+    """Validated parameters for the SINR receiver state machine."""
+
+    #: Linear SINR a frame must hold over its whole airtime to decode, and
+    #: the margin a later arrival needs over everything on air to capture
+    #: the receiver mid-sync.  ``>= 1`` so a capturing frame is strictly the
+    #: strongest signal in the air.
+    capture_threshold: float
+    #: Minimum received power [W] for an arrival to be decodable at all;
+    #: weaker arrivals are interference only (``below_sensitivity``).
+    rx_sensitivity_w: float
+
+    def __post_init__(self) -> None:
+        if self.capture_threshold < 1.0:
+            raise ValueError(
+                "capture_threshold must be >= 1 (linear SINR), got "
+                f"{self.capture_threshold!r}"
+            )
+        if self.rx_sensitivity_w <= 0.0:
+            raise ValueError(
+                f"rx_sensitivity_w must be positive, got {self.rx_sensitivity_w!r}"
+            )

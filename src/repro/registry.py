@@ -2,7 +2,8 @@
 
 Scenario construction is assembled from pluggable components, one per
 **slot**: ``mac``, ``mobility``, ``placement``, ``traffic``, ``routing``,
-``propagation``, ``energy``, ``observability`` and ``faults``.  Each slot
+``propagation``, ``energy``, ``observability``, ``faults`` and
+``reception``.  Each slot
 owns a
 :class:`Registry`; each
 registered
@@ -50,6 +51,7 @@ SLOTS: tuple[str, ...] = (
     "energy",
     "observability",
     "faults",
+    "reception",
 )
 
 

@@ -5,7 +5,7 @@ A :class:`ScenarioSpec` is the single input to
 :class:`~repro.config.ScenarioConfig` plus one :class:`ComponentSpec`
 (component name + params) per scenario slot — ``mac``, ``placement``,
 ``mobility``, ``routing``, ``traffic``, ``propagation``, ``energy``,
-``observability``, ``faults`` — and
+``observability``, ``faults``, ``reception`` — and
 optional explicit flow endpoints.  Because every field is an immutable value type the
 spec is hashable, picklable, and round-trips through JSON without loss::
 
@@ -45,14 +45,15 @@ from repro.registry import SLOTS as COMPONENT_SLOTS
 #: 3: the ``energy`` component slot joined the spec (default ``null``).
 #: 4: the ``observability`` component slot joined the spec (default ``null``).
 #: 5: the ``faults`` component slot joined the spec (default ``null``).
-SCENARIO_SCHEMA_VERSION = 5
+#: 6: the ``reception`` component slot joined the spec (default ``null``).
+SCENARIO_SCHEMA_VERSION = 6
 
-#: Older schemas :meth:`ScenarioSpec.from_dict` still reads.  Schema-2/3/4
-#: files simply lack the ``energy`` / ``observability`` / ``faults`` slots,
-#: which default to ``null`` — the simulated scenario is identical, so old
-#: spec.json files keep working (they hash, like everything this build
-#: loads, under the current schema).
-_READABLE_SCHEMAS = frozenset({2, 3, 4, SCENARIO_SCHEMA_VERSION})
+#: Older schemas :meth:`ScenarioSpec.from_dict` still reads.  Schema-2/3/4/5
+#: files simply lack the ``energy`` / ``observability`` / ``faults`` /
+#: ``reception`` slots, which default to ``null`` — the simulated scenario is
+#: identical, so old spec.json files keep working (they hash, like everything
+#: this build loads, under the current schema).
+_READABLE_SCHEMAS = frozenset({2, 3, 4, 5, SCENARIO_SCHEMA_VERSION})
 
 
 def _freeze(value: Any) -> Any:
@@ -216,6 +217,7 @@ class ScenarioSpec:
     energy: ComponentSpec = _component("null")
     observability: ComponentSpec = _component("null")
     faults: ComponentSpec = _component("null")
+    reception: ComponentSpec = _component("null")
     #: Explicit (src, dst) flow endpoints; None = random distinct pairs.
     flow_pairs: tuple[tuple[int, int], ...] | None = None
 

@@ -1,0 +1,48 @@
+"""ReceptionPlan validation and the sinr component's param derivation."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import ScenarioConfig
+from repro.phy.reception import ReceptionPlan
+from repro.registry import registry
+from repro.units import db_to_ratio, dbm_to_watts
+
+
+class TestPlanValidation:
+    def test_valid_plan(self):
+        plan = ReceptionPlan(capture_threshold=10.0, rx_sensitivity_w=1e-10)
+        assert plan.capture_threshold == 10.0
+
+    def test_threshold_below_unity_rejected(self):
+        with pytest.raises(ValueError, match="capture_threshold"):
+            ReceptionPlan(capture_threshold=0.5, rx_sensitivity_w=1e-10)
+
+    def test_nonpositive_sensitivity_rejected(self):
+        with pytest.raises(ValueError, match="rx_sensitivity_w"):
+            ReceptionPlan(capture_threshold=10.0, rx_sensitivity_w=0.0)
+
+
+class TestSinrComponent:
+    def factory(self, **params):
+        entry = registry("reception").get("sinr")
+        ctx = SimpleNamespace(cfg=ScenarioConfig())
+        return entry.factory(ctx, **entry.validate(params))
+
+    def test_defaults_come_from_phy_config(self):
+        cfg = ScenarioConfig()
+        plan = self.factory()
+        assert plan.capture_threshold == cfg.phy.capture_threshold
+        assert plan.rx_sensitivity_w == cfg.phy.rx_threshold_w
+
+    def test_explicit_params_convert_units(self):
+        plan = self.factory(capture_threshold_db=3.0, rx_sensitivity_dbm=-90.0)
+        assert plan.capture_threshold == pytest.approx(db_to_ratio(3.0))
+        assert plan.rx_sensitivity_w == pytest.approx(dbm_to_watts(-90.0))
+
+    def test_null_component_returns_none(self):
+        entry = registry("reception").get("null")
+        assert entry.factory(SimpleNamespace(cfg=ScenarioConfig())) is None

@@ -66,6 +66,7 @@ GOLDEN_COMPONENTS = {
     "energy": ["null", "wavelan"],
     "observability": ["flight", "null", "probes", "trace"],
     "faults": ["churn", "null", "scripted"],
+    "reception": ["null", "sinr"],
 }
 
 
@@ -180,7 +181,7 @@ class TestScenarioFile:
         assert "observability: probes(interval_s=1.0)" in out
         assert "timeseries:" in out
         for gauge in ("ifq_depth", "cw", "tx_power_w", "radio_state",
-                      "battery_j", "route_count"):
+                      "battery_j", "route_count", "rx_drops"):
             assert gauge in out
 
     def test_stats_profile_prints_kernel_attribution(self, capsys):

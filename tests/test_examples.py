@@ -34,10 +34,44 @@ class TestExamplesExist:
         assert (EXAMPLES_DIR / f"{name}.py").is_file()
 
     @pytest.mark.parametrize(
-        "name", ["grid_poisson.spec.json", "battery_lifetime.spec.json"]
+        "name",
+        [
+            "grid_poisson.spec.json",
+            "battery_lifetime.spec.json",
+            "dense_capture.spec.json",
+        ],
     )
     def test_spec_file_present(self, name):
         assert (EXAMPLES_DIR / name).is_file()
+
+
+class TestDenseCaptureSpec:
+    """The SINR-reception example stays honest."""
+
+    def load(self):
+        from repro.scenariospec import ScenarioSpec
+
+        return ScenarioSpec.load(EXAMPLES_DIR / "dense_capture.spec.json")
+
+    def test_spec_declares_the_sinr_scenario(self):
+        from repro.scenariospec import ScenarioSpec
+
+        spec = self.load()
+        assert spec.reception.name == "sinr"
+        assert spec.placement.name == "cluster"
+        assert spec.mobility.name == "static"
+        assert ScenarioSpec.from_json(spec.to_json()).key() == spec.key()
+
+    def test_run_classifies_drops(self):
+        result = self.load().run()
+        totals = result.mac_totals
+        drops = (
+            totals["rx_drop_collision"]
+            + totals["rx_drop_capture_lost"]
+            + totals["rx_drop_below_sensitivity"]
+        )
+        assert drops > 0
+        assert result.received > 0
 
 
 class TestBatteryLifetimeSpec:

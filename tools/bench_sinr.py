@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Guard the reception layer's hot-path cost against ``BENCH_engine.json``.
+
+The ``reception`` slot touches the two hottest PHY paths — every signal
+edge now passes a ``radio.reception is None`` branch — so this harness
+proves:
+
+* **Bit-identity (null).** With the default ``null`` reception component
+  every ``BENCH_engine.json`` cell executes *exactly* the event count the
+  engine benchmark recorded: no receiver object, no schedule change — the
+  only cost is the per-edge ``is None`` check.
+* **Determinism (sinr).** A sinr cell run twice executes the identical
+  event count: the receiver schedules no events of its own and evaluates
+  SINR lazily in deterministic event order.
+* **Activity (sinr).** Across the whole grid at least one sinr cell
+  executes a *different* event count than its baseline — the model
+  genuinely changes decode outcomes somewhere (per-cell it may legitimately
+  coincide: sparse fields rarely overlap transmissions, and both models
+  then make identical decisions).
+
+Throughput is judged on the **geometric mean across all cells** of the null
+cells vs the recorded BENCH_engine numbers (default budget 2 %) — per-cell
+wall clock on a shared machine swings ±10-15 % run to run.  Wall-clock
+checks are only meaningful on the machine that produced the baseline; the
+event-count identities are deterministic everywhere, which is what
+``--events-only`` runs in CI::
+
+    PYTHONPATH=src python tools/bench_sinr.py             # report + BENCH_sinr.json
+    PYTHONPATH=src python tools/bench_sinr.py --check     # fail if >2% slower (geomean)
+    PYTHONPATH=src python tools/bench_sinr.py --events-only --check   # CI: identities only
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from dataclasses import replace  # noqa: E402
+
+from repro.config import ScenarioConfig  # noqa: E402
+from repro.scenariospec import ComponentSpec, ScenarioSpec  # noqa: E402
+
+#: Mirrors tools/bench_engine.py — the cells BENCH_engine.json records.
+DURATIONS_S = {10: 25.0, 50: 4.0, 200: 2.5}
+PROTOCOLS = ("basic", "pcmac")
+MOBILITIES = (("static", False), ("mobile", True))
+SEED = 7
+
+
+def _spec(
+    protocol: str, mobile: bool, n: int, reception: ComponentSpec
+) -> ScenarioSpec:
+    cfg = replace(
+        ScenarioConfig(), node_count=n, duration_s=DURATIONS_S[n], seed=SEED
+    )
+    return ScenarioSpec(
+        cfg=cfg,
+        mac=ComponentSpec(protocol),
+        mobility=ComponentSpec("waypoint" if mobile else "static"),
+        reception=reception,
+    )
+
+
+def run_cell(
+    protocol: str, mobile: bool, n: int, repeat: int, reception: ComponentSpec
+) -> dict:
+    """Best-of-``repeat`` whole-run measurement for one cell."""
+    spec = _spec(protocol, mobile, n, reception)
+    duration = DURATIONS_S[n]
+    best = None
+    events = None
+    for _ in range(repeat):
+        net = spec.build()
+        # Flush the previous builds' garbage so later cells are not timed
+        # under accumulated GC pressure the baseline never paid.
+        gc.collect()
+        t0 = time.perf_counter()
+        net.sim.run_until(duration)
+        wall = time.perf_counter() - t0
+        executed = net.sim.events_executed
+        if events is None:
+            events = executed
+        elif executed != events:
+            raise AssertionError(
+                f"non-deterministic run: {executed} events vs {events}"
+            )
+        if best is None or wall < best:
+            best = wall
+    return {
+        "scenario": f"{protocol}-{'mobile' if mobile else 'static'}-n{n}",
+        "reception": reception.name,
+        "events": events,
+        "wall_s": round(best, 4),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(ROOT / "BENCH_sinr.json"))
+    ap.add_argument("--baseline", default=str(ROOT / "BENCH_engine.json"))
+    ap.add_argument("--repeat", type=int, default=3, help="best-of repeats")
+    ap.add_argument(
+        "--budget", type=float, default=2.0,
+        help="allowed null-reception slowdown vs the baseline [%%]",
+    )
+    ap.add_argument(
+        "--events-only", action="store_true",
+        help="single repeat, event-count identities only (deterministic on "
+             "any machine — the CI mode); skips the throughput budget",
+    )
+    ap.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on any event-count mismatch, or (unless --events-only) "
+             "a null geomean over budget",
+    )
+    args = ap.parse_args(argv)
+    repeat = 1 if args.events_only else args.repeat
+
+    base = json.loads(Path(args.baseline).read_text())
+    base_by_name = {r["scenario"]: r for r in base["results"]}
+
+    rows = []
+    failures = []
+    sinr_diverged = 0
+    for protocol in PROTOCOLS:
+        for _mob_name, mobile in MOBILITIES:
+            for n in sorted(DURATIONS_S):
+                null_row = run_cell(
+                    protocol, mobile, n, repeat, ComponentSpec("null")
+                )
+                # The sinr cell is always run twice: the repeat loop's
+                # event-count assertion is the determinism check.
+                sinr = run_cell(
+                    protocol, mobile, n, max(repeat, 2), ComponentSpec("sinr")
+                )
+                name = null_row["scenario"]
+                recorded = base_by_name.get(name)
+                if recorded is None:
+                    continue
+                if null_row["events"] != recorded["events"]:
+                    failures.append(
+                        f"{name}: null-reception event count "
+                        f"{null_row['events']} != recorded {recorded['events']}"
+                    )
+                if sinr["events"] != recorded["events"]:
+                    sinr_diverged += 1
+                overhead = (
+                    1.0 - null_row["events_per_sec"] / recorded["events_per_sec"]
+                ) * 100.0
+                rows.append(
+                    {
+                        "scenario": name,
+                        "events": null_row["events"],
+                        "baseline_events_per_sec": recorded["events_per_sec"],
+                        "null_events_per_sec": null_row["events_per_sec"],
+                        "null_overhead_pct": round(overhead, 2),
+                        "sinr_events": sinr["events"],
+                        "sinr_events_per_sec": sinr["events_per_sec"],
+                    }
+                )
+                print(
+                    f"{name:>20}  {null_row['events']:>9d} ev  "
+                    f"base {recorded['events_per_sec']:>9,.0f}  "
+                    f"null {null_row['events_per_sec']:>9,.0f} "
+                    f"({overhead:+5.1f}%)  sinr {sinr['events']:>9d} ev"
+                )
+
+    # The activity guard is deliberately *global*: a sparse cell where the
+    # SINR model makes the same calls as the thresholds is fine, but a
+    # model that coincides everywhere would be a silent no-op.
+    if rows and sinr_diverged == 0:
+        failures.append(
+            "sinr reception matched the baseline event count in every cell "
+            "(receiver changed nothing anywhere?)"
+        )
+
+    ratios = [
+        r["null_events_per_sec"] / r["baseline_events_per_sec"] for r in rows
+    ]
+    null_gm = (
+        1.0 - math.exp(sum(math.log(x) for x in ratios) / len(ratios))
+    ) * 100.0
+    print(
+        f"\ngeomean overhead vs baseline: null {null_gm:+.2f}%  "
+        f"(budget {args.budget:.1f}%"
+        + (", skipped: --events-only)" if args.events_only else ")")
+        + f"; sinr diverged in {sinr_diverged}/{len(rows)} cells"
+    )
+    if not args.events_only and null_gm > args.budget:
+        failures.append(
+            f"null reception geomean {null_gm:+.2f}% slower than baseline "
+            f"(budget {args.budget:.1f}%)"
+        )
+
+    payload = {
+        "benchmark": "reception_null_overhead",
+        "schema": 1,
+        "generated_by": "tools/bench_sinr.py",
+        "config": {
+            "repeat": repeat,
+            "seed": SEED,
+            "budget_pct": args.budget,
+            "baseline": str(Path(args.baseline).name),
+            "unit": "events per second of wall time, whole run (build excluded)",
+        },
+        "geomean_overhead_pct": {"null": round(null_gm, 2)},
+        "sinr_diverged_cells": sinr_diverged,
+        "results": rows,
+    }
+    if not args.events_only:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if failures:
+        print("\nFAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        if args.check:
+            return 1
+        print("(informational — pass --check to make this fatal)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,7 +32,12 @@ DOC_GLOBS = ("README.md", "EXPERIMENTS.md", "CHANGES.md", "ROADMAP.md",
              "PAPER.md", "docs/*.md")
 
 #: Packages whose public API must be fully docstringed.
-DOCSTRING_ROOTS = ("src/repro/energy", "src/repro/obs", "src/repro/faults")
+DOCSTRING_ROOTS = (
+    "src/repro/energy",
+    "src/repro/obs",
+    "src/repro/faults",
+    "src/repro/phy/reception",
+)
 
 #: ``[text](target)`` — good enough for the links these docs use; image
 #: links (``![..](..)``) match too via the optional leading ``!``.
