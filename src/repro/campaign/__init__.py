@@ -10,7 +10,9 @@ resume where they stopped and repeated invocations are pure cache hits.
 
 This is the architectural seam for scaling the reproduction: every future
 backend (remote executors, sharded stores) plugs in behind the same
-``specs → runner → store`` contract.
+``specs → runner → store`` contract.  :mod:`repro.fleet` is the first such
+backend — lease-based work-stealing workers over a sharded store, reached
+through ``run_specs(fleet=True)`` or the ``repro fleet`` CLI.
 """
 
 from repro.campaign.runner import CampaignReport, run_campaign, run_specs

@@ -32,6 +32,21 @@ attempt, and innocent in-flight cells are resubmitted for free.  A
 ``should_stop`` callback makes shutdown cooperative: once it returns True no
 new cell starts, in-flight cells drain, and the report covers everything
 that finished — the store then resumes the rest on the next invocation.
+
+Fleet mode
+----------
+``fleet=True`` swaps the worker pool for the fault-tolerant fleet
+(:mod:`repro.fleet`): pending cells are **enqueued** into the store's
+durable work queue, ``jobs`` supervised worker processes claim them under
+expiring leases, and the parent **drains** — polling the store and
+recording results/errors exactly as the serial and pooled paths do, so
+``run_specs``' API, progress lines, and telemetry are preserved.  The
+difference is what survives: a SIGKILLed worker's lease lapses and a
+sibling steals the run; a dead worker process is respawned (bounded) by
+the parent; external ``repro fleet work`` processes — same machine or a
+shared filesystem — can join the same queue and their results are picked
+up here; and identical cells from overlapping campaigns are executed once
+and shared through the content-addressed store.
 """
 
 from __future__ import annotations
@@ -62,21 +77,55 @@ def _execute(spec: RunSpec) -> tuple[str, "ExperimentResult"]:
     return spec.key(), spec.run()
 
 
-def error_record(exc: BaseException, attempts: int) -> dict:
+#: Largest traceback stored in an error record [chars].  Hung or killed
+#: workers can surface tracebacks through arbitrarily deep retry wrappers;
+#: bounding keeps the store's JSONL lines small and greppable.
+MAX_TRACEBACK_CHARS = 4000
+
+
+def _bound_traceback(text: str, limit: int = MAX_TRACEBACK_CHARS) -> str:
+    """Cap ``text`` at ``limit`` chars, keeping the head and the tail.
+
+    The head names the call site, the tail names the exception — the middle
+    frames are the expendable part, replaced by an elision marker that
+    records how much was cut.
+    """
+    if len(text) <= limit:
+        return text
+    half = (limit - 60) // 2
+    elided = len(text) - 2 * half
+    return (
+        text[:half]
+        + f"\n... [{elided} chars elided] ...\n"
+        + text[-half:]
+    )
+
+
+def error_record(
+    exc: BaseException, attempts: int, *, label: str | None = None
+) -> dict:
     """Structured description of a cell's permanent failure.
 
     This is the shape :meth:`ResultStore.put_error` persists and
-    :attr:`CampaignReport.errors` carries: exception kind, message, full
-    traceback, and how many attempts were made.
+    :attr:`CampaignReport.errors` carries: exception kind, message,
+    bounded traceback (head + tail, capped at
+    :data:`MAX_TRACEBACK_CHARS`), how many attempts were made, and — when
+    the caller knows it — the spec's human label, so error lines from
+    hung or killed workers stay greppable by cell.
     """
-    return {
+    record = {
         "kind": type(exc).__name__,
         "message": str(exc),
-        "traceback": "".join(
-            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        "traceback": _bound_traceback(
+            "".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
         ),
         "attempts": attempts,
     }
+    if label is not None:
+        record["label"] = label
+    return record
 
 
 def _execute_safe(
@@ -99,7 +148,7 @@ def _execute_safe(
         result, runtime = run_with_heartbeat(spec, emit, slices=slices)
         return ("ok", key, result, runtime)
     except Exception as exc:  # noqa: BLE001 - containment is the point
-        return ("err", key, error_record(exc, attempts=0), None)
+        return ("err", key, error_record(exc, attempts=0, label=spec.label()), None)
 
 
 #: Per-worker heartbeat queue, installed by the pool initializer.
@@ -178,6 +227,8 @@ def run_specs(
     retries: int = 0,
     backoff_s: float = 0.5,
     should_stop: StopFn | None = None,
+    fleet: bool = False,
+    lease_ttl_s: float | None = None,
 ) -> CampaignReport:
     """Execute every spec, reusing stored results where possible.
 
@@ -205,9 +256,19 @@ def run_specs(
         should_stop: cooperative-shutdown poll — once it returns True no
             new cell starts; in-flight cells drain and the report's
             ``stopped`` flag is set.
+        fleet: route pending cells through the durable fleet queue
+            (lease-based work-stealing, supervised workers, shared
+            content-addressed cache) instead of a plain pool.  Requires a
+            ``store``; ``retries`` maps to the fleet's per-run attempt
+            budget (``retries + 1`` claims) and ``timeout_s`` is
+            subsumed by lease expiry.
+        lease_ttl_s: fleet-mode lease validity window [s] (None = the
+            fleet default); leases are renewed every telemetry slice.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+    if fleet and store is None:
+        raise ValueError("fleet=True requires a store (the queue lives in it)")
     t0 = time.perf_counter()
     report = CampaignReport()
 
@@ -232,10 +293,12 @@ def run_specs(
         key: str,
         result: "ExperimentResult",
         runtime: dict | None = None,
+        *,
+        persist: bool = True,
     ) -> None:
         report.results[key] = result
         report.executed += 1
-        if store is not None:
+        if store is not None and persist:
             store.put(spec, result, runtime=runtime)
         if progress is not None:
             progress(
@@ -243,9 +306,11 @@ def run_specs(
                 f"  seed={result.seed}"
             )
 
-    def record_error(spec: RunSpec, key: str, error: dict) -> None:
+    def record_error(
+        spec: RunSpec, key: str, error: dict, *, persist: bool = True
+    ) -> None:
         report.errors[key] = error
-        if store is not None:
+        if store is not None and persist:
             store.put_error(spec, error)
         if progress is not None:
             progress(
@@ -260,7 +325,21 @@ def run_specs(
             return True
         return False
 
-    if jobs == 1 or len(pending) <= 1:
+    if fleet:
+        _run_fleet(
+            pending,
+            jobs=jobs,
+            store=store,
+            report=report,
+            record=record,
+            record_error=record_error,
+            stopping=stopping,
+            telemetry=telemetry,
+            slices=slices,
+            retries=retries,
+            lease_ttl_s=lease_ttl_s,
+        )
+    elif jobs == 1 or len(pending) <= 1:
         for spec in pending:
             if stopping():
                 break
@@ -280,7 +359,9 @@ def run_specs(
                 except Exception as exc:  # noqa: BLE001 - containment
                     if attempt > retries or stopping():
                         record_error(
-                            spec, spec.key(), error_record(exc, attempt)
+                            spec,
+                            spec.key(),
+                            error_record(exc, attempt, label=spec.label()),
                         )
                         break
                     time.sleep(backoff_s * 2 ** (attempt - 1))
@@ -300,6 +381,173 @@ def run_specs(
 
     report.wallclock_s = time.perf_counter() - t0
     return report
+
+
+def _fleet_worker_entry(
+    store_root: str,
+    options: dict,
+    queue=None,
+) -> None:
+    """Entry point of one fleet worker process (module-level: picklable).
+
+    Reconstructs the shared store/queue from the filesystem and runs the
+    claim loop until the queue drains or a STOP is requested.  Signal
+    policy matches the pool workers: SIGINT ignored (the parent drains
+    cooperatively), SIGTERM back to SIG_DFL so the parent can reap a
+    stuck worker.
+    """
+    from repro.fleet.queue import WorkQueue
+    from repro.fleet.shards import open_store
+    from repro.fleet.worker import FleetWorker
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    store = open_store(store_root)
+    work_queue = WorkQueue(store.root / "fleet")
+    telemetry = queue.put if queue is not None else None
+    FleetWorker(
+        store,
+        work_queue,
+        lease_ttl_s=options["lease_ttl_s"],
+        max_attempts=options["max_attempts"],
+        slices=options["slices"],
+        telemetry=telemetry,
+    ).run()
+
+
+def _run_fleet(
+    pending: Sequence[RunSpec],
+    *,
+    jobs: int,
+    store: ResultStore,
+    report: CampaignReport,
+    record: Callable,
+    record_error: Callable,
+    stopping: StopFn,
+    telemetry: TelemetryFn | None,
+    slices: int,
+    retries: int,
+    lease_ttl_s: float | None,
+) -> None:
+    """Enqueue-then-drain through the durable fleet queue.
+
+    The parent never executes cells: it enqueues them, spawns ``jobs``
+    supervised worker processes, and polls the store — recording each key
+    the moment some worker (ours or anyone else's on the shared
+    filesystem) lands its result.  Worker death is survivable twice over:
+    the dead worker's leases lapse and are stolen by siblings, and the
+    parent respawns missing processes (bounded) while claimable work
+    remains.  A cooperative stop raises the queue's STOP flag: workers
+    finish their current run and exit; unclaimed tasks stay queued for
+    the next invocation to resume.
+    """
+    from repro.fleet.queue import DEFAULT_LEASE_TTL_S, WorkQueue
+
+    work_queue = WorkQueue(store.root / "fleet")
+    work_queue.clear_stop()
+    for spec in pending:
+        work_queue.enqueue(spec)
+    by_key = {spec.key(): spec for spec in pending}
+
+    options = {
+        "lease_ttl_s": lease_ttl_s or DEFAULT_LEASE_TTL_S,
+        "max_attempts": retries + 1,
+        "slices": slices,
+    }
+    ctx = multiprocessing.get_context(_start_method())
+    manager = queue = drainer = None
+    if telemetry is not None:
+        manager = ctx.Manager()
+        queue = manager.Queue()
+
+        def drain() -> None:
+            while True:
+                item = queue.get()
+                if item is None:
+                    return
+                telemetry(item)
+
+        drainer = threading.Thread(target=drain, daemon=True)
+        drainer.start()
+
+    def spawn():
+        proc = ctx.Process(
+            target=_fleet_worker_entry,
+            args=(str(store.root), options, queue),
+        )
+        proc.start()
+        return proc
+
+    workers = [spawn() for _ in range(max(1, min(jobs, len(pending))))]
+    #: Supervision budget: a crashed worker is replaced, but a hard fault
+    #: that kills every replacement cannot respawn forever.
+    respawns_left = 2 * len(workers)
+    done: set[str] = set()
+    stop_sent = False
+    try:
+        while len(done) < len(by_key):
+            if not stop_sent and stopping():
+                work_queue.request_stop()
+                stop_sent = True
+            store.refresh()
+            for key, spec in by_key.items():
+                if key in done:
+                    continue
+                result = store.get(key)
+                if result is not None:
+                    # The worker already persisted it — report only.
+                    record(
+                        spec, key, result,
+                        store.runtime_stats(key) or None,
+                        persist=False,
+                    )
+                    done.add(key)
+                    continue
+                error = store.error(key)
+                if error is not None and work_queue.task(key) is None:
+                    # Terminal: the error is recorded AND the task retired
+                    # (an error line alone may predate a re-enqueue).  The
+                    # worker already persisted it — report only.
+                    record_error(spec, key, error, persist=False)
+                    done.add(key)
+            alive = [w for w in workers if w.is_alive()]
+            if not stop_sent and len(done) < len(by_key):
+                for i, proc in enumerate(workers):
+                    if (
+                        not proc.is_alive()
+                        and not work_queue.drained()
+                        and respawns_left > 0
+                    ):
+                        respawns_left -= 1
+                        workers[i] = spawn()
+                        alive.append(workers[i])
+            if not alive:
+                if stop_sent:
+                    break
+                if not work_queue.drained() and respawns_left <= 0:
+                    # Every worker (and every replacement) died with work
+                    # still queued: stop rather than spin forever.  The
+                    # unfinished cells stay queued for a resume.
+                    report.stopped = True
+                    break
+                # Queue drained with workers gone: the remaining keys are
+                # terminal on disk — the next refresh records them.
+            if len(done) < len(by_key):
+                time.sleep(0.05)
+    finally:
+        for proc in workers:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - defensive teardown
+                proc.terminate()
+                proc.join()
+        # Our STOP must not wedge external `repro fleet work` processes
+        # that outlive this invocation.
+        if stop_sent:
+            work_queue.clear_stop()
+        if queue is not None:
+            queue.put(None)
+            drainer.join()
+            manager.shutdown()
 
 
 def _run_pooled(
@@ -422,6 +670,7 @@ def _run_pooled(
                                         ),
                                         "traceback": "",
                                         "attempts": attempts[k],
+                                        "label": spec.label(),
                                     },
                                 )
                                 continue

@@ -21,12 +21,26 @@ so a resumed campaign re-runs it.  Appending after every
 finished run makes interruption safe: a killed campaign keeps every completed
 cell, and the next invocation against the same store resumes from there.
 
+Writes are durable before they are visible: ``_append`` flushes and fsyncs
+the line (and, on file creation, the containing directory) *before* the
+in-memory index is updated, so a crash mid-put leaves either a complete
+line on disk or nothing — never an indexed-but-unwritten cell.
+
+The store also supports **concurrent readers**: :meth:`ResultStore.refresh`
+ingests lines appended by other processes since the last read (tracked by
+per-file byte offsets; a file that shrank or changed inode — compaction or
+quarantine by another process — triggers a full reload).  A trailing line
+without a newline during ``refresh`` is treated as an in-flight append by
+another writer and held back until it completes.
+
 Unparseable lines (a torn tail from an interrupted write, or bytes mangled
 by a filesystem fault) are **quarantined** on load: they are moved to a
 ``results.jsonl.corrupt`` sidecar, the main file is atomically rewritten
 without them, and a warning reports the counts — nothing is silently
-dropped, and the main file is clean again for the next append.  When a key
-appears more than once the last line wins.
+dropped, and the main file is clean again for the next append.  Lines
+already present in the sidecar are not appended twice, and a sidecar that
+merely persists across loads (without gaining new lines) does not re-warn.
+When a key appears more than once the last line wins.
 """
 
 from __future__ import annotations
@@ -101,9 +115,10 @@ def result_from_dict(data: dict) -> "ExperimentResult":
 class ResultStore:
     """Append-only JSONL store of finished campaign cells.
 
-    The in-memory index mirrors the file, so lookups never touch disk after
-    construction; ``put`` appends one line and fsyncs so a crash loses at
-    most the cell being written.
+    The in-memory index mirrors the file; ``put`` appends one durable line
+    *then* updates the index, so a crash loses at most the cell being
+    written and never leaves the index ahead of the disk.  ``refresh``
+    ingests lines other processes appended since the last read.
     """
 
     def __init__(self, root: str | os.PathLike) -> None:
@@ -114,17 +129,23 @@ class ResultStore:
         self._specs: dict[str, dict] = {}
         self._runtimes: dict[str, dict] = {}
         self._errors: dict[str, dict] = {}
+        #: path → (inode, byte offset) of the last ingested position.
+        self._offsets: dict[Path, tuple[int, int]] = {}
         self._write_meta()
         self._load()
 
     # ------------------------------------------------------------------ disk
 
-    def _write_meta(self) -> None:
-        meta_path = self.root / META_FILE
-        meta = {
+    def _meta(self) -> dict:
+        """The store's self-description, persisted as ``meta.json``."""
+        return {
             "store_format": STORE_FORMAT_VERSION,
             "spec_schema": SPEC_SCHEMA_VERSION,
         }
+
+    def _write_meta(self) -> None:
+        meta_path = self.root / META_FILE
+        meta = self._meta()
         if meta_path.exists():
             try:
                 if json.loads(meta_path.read_text()) == meta:
@@ -136,70 +157,175 @@ class ResultStore:
             # store's self-description matches what gets appended from now on.
         meta_path.write_text(json.dumps(meta, indent=2) + "\n")
 
+    def _result_files(self) -> list[Path]:
+        """Every JSONL file holding result lines (one for the flat layout)."""
+        return [self.path]
+
+    def _file_for(self, key: str) -> Path:
+        """The JSONL file new lines for ``key`` are appended to."""
+        return self.path
+
     def _load(self) -> None:
-        if not self.path.exists():
+        for path in self._result_files():
+            self._read_file(path, tail_is_torn=True)
+
+    def refresh(self) -> None:
+        """Ingest lines appended by other processes since the last read.
+
+        Cheap when nothing changed (one ``stat`` per file).  A file that
+        shrank or changed inode — rewritten by another process's compaction
+        or quarantine — is fully reloaded, which is safe because ingesting
+        a file's lines in order is idempotent.  A trailing line with no
+        newline is an append in flight: it is held back, not quarantined.
+        """
+        for path in self._result_files():
+            self._read_file(path, tail_is_torn=False)
+
+    def refresh_key(self, key: str) -> None:
+        """Like :meth:`refresh`, but only for the file holding ``key``.
+
+        The cheap single-key staleness check fleet workers use on the
+        cache-hit path — one ``stat`` for a sharded store instead of one
+        per shard.
+        """
+        self._read_file(self._file_for(key), tail_is_torn=False)
+
+    def _read_file(self, path: Path, *, tail_is_torn: bool) -> None:
+        """Ingest ``path`` from its last-read offset.
+
+        ``tail_is_torn`` selects how a trailing newline-less fragment is
+        treated: on initial load it is a torn write from a crash (parse it,
+        quarantine on failure); on refresh it may be another writer's
+        in-flight append (hold it back until the newline lands).
+        """
+        if not path.exists():
+            self._offsets.pop(path, None)
             return
+        st = path.stat()
+        ino, offset = self._offsets.get(path, (None, 0))
+        if ino is not None and (st.st_ino != ino or st.st_size < offset):
+            offset = 0  # rewritten behind our back: full (idempotent) reload
+        if st.st_size == offset and st.st_ino == ino:
+            return
+        with path.open("rb") as fh:
+            fh.seek(offset)
+            data = fh.read()
+        consumed = len(data)
+        text = data.decode("utf-8", errors="replace")
+        if text and not text.endswith("\n") and not tail_is_torn:
+            cut = text.rfind("\n") + 1
+            held_back = text[cut:]
+            consumed -= len(held_back.encode("utf-8", errors="replace"))
+            text = text[:cut]
+        bad: list[str] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if line and not self._ingest_line(line):
+                bad.append(line)
+        self._offsets[path] = (st.st_ino, offset + consumed)
+        if bad:
+            self._quarantine(path)
+
+    def _ingest_line(self, line: str) -> bool:
+        """Index one JSONL line; False when it does not parse."""
+        try:
+            record = json.loads(line)
+            key = record["key"]
+            if "error" in record:
+                # A permanently failed run: remember why, but keep
+                # the key out of the result index so resume retries.
+                # A success for the same (deterministic) key always
+                # outranks an error, whichever was written later.
+                if key not in self._index:
+                    self._errors[key] = record["error"]
+                self._specs.setdefault(key, record.get("spec", {}))
+                return True
+            result = result_from_dict(record["result"])
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return False
+        self._index[key] = result
+        self._errors.pop(key, None)
+        self._specs[key] = record.get("spec", {})
+        runtime = record.get("runtime")
+        if runtime is not None:
+            self._runtimes[key] = runtime
+        return True
+
+    def _quarantine(self, path: Path) -> None:
+        """Move unparseable lines to the sidecar; rewrite the file clean.
+
+        The rewrite is atomic (tmp + fsync + rename) so a crash mid-cleanup
+        leaves either the old file or the clean one, never a hybrid.  Lines
+        the sidecar already holds are not appended twice, and no warning is
+        emitted unless the sidecar actually grew — so reloading a store
+        whose corruption was already quarantined stays silent.
+        """
         good: list[str] = []
         bad: list[str] = []
-        with self.path.open("r", encoding="utf-8") as fh:
+        with path.open("r", encoding="utf-8") as fh:
             for raw in fh:
                 line = raw.strip()
                 if not line:
                     continue
-                try:
-                    record = json.loads(line)
-                    key = record["key"]
-                    if "error" in record:
-                        # A permanently failed run: remember why, but keep
-                        # the key out of the result index so resume retries.
-                        # A success for the same (deterministic) key always
-                        # outranks an error, whichever was written later.
-                        if key not in self._index:
-                            self._errors[key] = record["error"]
-                        self._specs.setdefault(key, record.get("spec", {}))
-                        good.append(line)
-                        continue
-                    result = result_from_dict(record["result"])
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    # Torn tail from an interrupted write, or a mangled
-                    # interior line: quarantine rather than silently drop.
-                    bad.append(line)
-                    continue
-                good.append(line)
-                self._index[key] = result
-                self._errors.pop(key, None)
-                self._specs[key] = record.get("spec", {})
-                runtime = record.get("runtime")
-                if runtime is not None:
-                    self._runtimes[key] = runtime
-        if bad:
-            self._quarantine(good, bad)
-
-    def _quarantine(self, good: list[str], bad: list[str]) -> None:
-        """Move unparseable lines to the sidecar; rewrite the main file clean.
-
-        The rewrite is atomic (tmp + fsync + rename) so a crash mid-cleanup
-        leaves either the old file or the clean one, never a hybrid.
-        """
-        sidecar = self.path.with_name(self.path.name + CORRUPT_SUFFIX)
-        with sidecar.open("a", encoding="utf-8") as fh:
-            for line in bad:
-                fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        tmp = self.path.with_name(self.path.name + ".tmp")
+                (good if self._parseable(line) else bad).append(line)
+        sidecar = path.with_name(path.name + CORRUPT_SUFFIX)
+        already: set[str] = set()
+        if sidecar.exists():
+            already = {
+                line.strip()
+                for line in sidecar.read_text(encoding="utf-8").splitlines()
+                if line.strip()
+            }
+        fresh = [line for line in bad if line not in already]
+        if fresh:
+            with sidecar.open("a", encoding="utf-8") as fh:
+                for line in fresh:
+                    fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        tmp = path.with_name(path.name + ".tmp")
         with tmp.open("w", encoding="utf-8") as fh:
             for line in good:
                 fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
-        tmp.replace(self.path)
-        warnings.warn(
-            f"result store {self.path}: quarantined {len(bad)} corrupt "
-            f"line(s) to {sidecar.name} (kept {len(good)} good line(s))",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+        tmp.replace(path)
+        self._dirsync(path.parent)
+        self._offsets[path] = (path.stat().st_ino, path.stat().st_size)
+        if fresh:
+            warnings.warn(
+                f"result store {path}: quarantined {len(fresh)} corrupt "
+                f"line(s) to {sidecar.name} (kept {len(good)} good line(s), "
+                f"sidecar now holds {len(already) + len(fresh)})",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    @staticmethod
+    def _parseable(line: str) -> bool:
+        """True when ``line`` is a loadable store record."""
+        try:
+            record = json.loads(line)
+            record["key"]
+            if "error" not in record:
+                result_from_dict(record["result"])
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return False
+        return True
+
+    @staticmethod
+    def _dirsync(directory: Path) -> None:
+        """fsync a directory so a just-created/renamed entry is durable."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fsync on dirs unsupported
+            pass
+        finally:
+            os.close(fd)
 
     # ----------------------------------------------------------------- access
 
@@ -244,12 +370,26 @@ class ResultStore:
         return dict(self._errors)
 
     def _append(self, record: dict) -> None:
-        """Durably append one JSONL record (write, flush, fsync)."""
+        """Durably append one JSONL record to its home file."""
+        self._append_to(self._file_for(record["key"]), record)
+
+    def _append_to(self, path: Path, record: dict) -> None:
+        """Durably append one JSONL record (write, flush, fsync).
+
+        The containing directory is fsynced when the file is created, so
+        the new directory entry survives a crash too.  Callers update the
+        in-memory index only *after* this returns — disk first, index
+        second — which is what makes a mid-put crash recoverable.
+        """
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        with self.path.open("a", encoding="utf-8") as fh:
+        created = not path.exists()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as fh:
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+        if created:
+            self._dirsync(path.parent)
 
     @staticmethod
     def _spec_summary(spec: RunSpec) -> dict:

@@ -22,6 +22,13 @@ Experiments:
   campaign runner, with an optional content-addressed result store;
   ``--live`` streams a per-cell progress line (events/sec, ETA, peak RSS)
   while cells execute and records runtime stats into the store
+* ``fleet`` — the fault-tolerant campaign fleet (see ``docs/campaigns.md``):
+  ``serve`` enqueues a grid into a store's durable work queue and drains it
+  with supervised lease-holding workers; ``work`` runs one standalone
+  worker against any fleet store (same machine or shared filesystem);
+  ``status`` prints the structured liveness snapshot (tasks, leases,
+  worker heartbeats, stalls); ``compact`` folds each result shard to one
+  line per key, crash-safely
 
 ``--scale quick`` (default) runs a reduced configuration; ``--scale full``
 uses the paper's 50 nodes / 400 s / 8 loads.
@@ -185,11 +192,93 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
                         "runtime stats into the store")
     _add_campaign_flags(c)
 
+    f = sub.add_parser(
+        "fleet",
+        help="fault-tolerant campaign fleet: lease-based work queue over "
+             "a sharded, content-addressed result store",
+    )
+    fsub = f.add_subparsers(dest="fleet_cmd", required=True)
+
+    fs = fsub.add_parser(
+        "serve",
+        help="enqueue a protocol × load × seed grid and drain it with "
+             "supervised lease-holding workers",
+    )
+    fs.add_argument("store", help="fleet store directory (created if new)")
+    fs.add_argument("--protocols", type=str, default=",".join(PROTOCOLS),
+                    help="comma-separated MAC protocols")
+    fs.add_argument("--loads", type=str, default="300,500,700",
+                    help="comma-separated offered loads [kbps]")
+    fs.add_argument("--seeds", type=str, default="1",
+                    help="comma-separated replication seeds")
+    fs.add_argument("--nodes", type=int, default=30)
+    fs.add_argument("--duration", type=float, default=60.0)
+    fs.add_argument("--jobs", type=int, default=2,
+                    help="supervised worker processes to spawn")
+    fs.add_argument("--retries", type=int, default=0,
+                    help="extra attempts per failing cell before its error "
+                         "is recorded permanently")
+    fs.add_argument("--lease-ttl", type=float, default=0.0,
+                    help="lease time-to-live [s]; a worker silent this "
+                         "long forfeits its run to the fleet (0 = default)")
+    fs.add_argument("--shards", type=int, default=0,
+                    help="shard count when creating a new store "
+                         "(0 = default; existing stores keep theirs)")
+    fs.add_argument("--live", action="store_true",
+                    help="stream per-cell progress heartbeats")
+
+    fw = fsub.add_parser(
+        "work",
+        help="run one standalone worker against a fleet store (any "
+             "machine sharing the filesystem)",
+    )
+    fw.add_argument("store", help="fleet store directory")
+    fw.add_argument("--lease-ttl", type=float, default=0.0,
+                    help="lease time-to-live [s] (0 = default)")
+    fw.add_argument("--max-attempts", type=int, default=0,
+                    help="attempt budget per run before its error is "
+                         "recorded permanently (0 = default)")
+    fw.add_argument("--max-runs", type=int, default=0,
+                    help="exit after claiming this many runs (0 = no cap)")
+    fw.add_argument("--wait", action="store_true",
+                    help="idle when the queue is empty instead of exiting "
+                         "(service mode; stop with `repro fleet status` "
+                         "STOP or a signal)")
+
+    fst = fsub.add_parser(
+        "status",
+        help="liveness snapshot: queued tasks, lease owners, worker "
+             "heartbeats, stalls",
+    )
+    fst.add_argument("store", help="fleet store directory")
+    fst.add_argument("--stall-after", type=float, default=0.0,
+                     help="flag workers whose heartbeat is older than "
+                          "this [s] (0 = default)")
+    fst.add_argument("--stop", action="store_true",
+                     help="request a cooperative fleet-wide stop (workers "
+                          "finish their current run, then exit)")
+    fst.add_argument("--clear-stop", action="store_true",
+                     help="withdraw a previously requested stop")
+
+    fc = fsub.add_parser(
+        "compact",
+        help="fold each result shard to one line per key (crash-safe; "
+             "concurrent readers and writers are unaffected)",
+    )
+    fc.add_argument("store", help="fleet store directory")
+
     return parser.parse_args(argv)
 
 
 def _open_store(args: argparse.Namespace) -> ResultStore | None:
-    return ResultStore(args.store) if args.store else None
+    if not args.store:
+        return None
+    # The factory respects an existing layout: a fleet-created sharded
+    # store opens sharded here too, so `repro campaign` and `repro fleet`
+    # share one content-addressed cache.
+    from repro.fleet.shards import open_store
+
+    return open_store(args.store)
 
 
 def _scale_config(scale: str) -> tuple[ScenarioConfig, tuple[float, ...]]:
@@ -549,6 +638,184 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet_serve(args: argparse.Namespace) -> int:
+    from repro.fleet import DEFAULT_LEASE_TTL_S, DEFAULT_SHARDS, open_store
+
+    base = ScenarioConfig(node_count=args.nodes, duration_s=args.duration)
+    campaign = Campaign.build(
+        base,
+        tuple(args.protocols.split(",")),
+        tuple(float(x) for x in args.loads.split(",")),
+        tuple(int(s) for s in args.seeds.split(",")),
+    )
+    # Fleet stores default to sharded; an existing flat store is migrated
+    # into shards in place, an existing sharded store keeps its count.
+    store = open_store(args.store, shards=args.shards or DEFAULT_SHARDS)
+    ttl = args.lease_ttl or DEFAULT_LEASE_TTL_S
+    print(
+        f"fleet serve: {campaign.size} cells, jobs={args.jobs}, "
+        f"lease ttl={ttl:.0f}s, store={args.store}"
+    )
+    telemetry = None
+    if args.live:
+        def telemetry(p) -> None:
+            print(f"  {p.line():<76}", end="\n" if p.done else "\r", flush=True)
+
+    # Same two-stage shutdown as `repro campaign`: first signal requests a
+    # cooperative stop (workers finish their current run; the queue keeps
+    # the rest for a resume), second force-quits.
+    signals_seen = {"count": 0}
+
+    def _on_signal(signum, frame) -> None:
+        signals_seen["count"] += 1
+        if signals_seen["count"] >= 2:
+            os.write(2, b"\nforce quit (second signal).\n")
+            raise SystemExit(130)
+        os.write(
+            2,
+            f"\n{signal.Signals(signum).name}: stopping the fleet after "
+            "in-flight runs (signal again to force quit)...\n".encode(),
+        )
+
+    old_int = signal.signal(signal.SIGINT, _on_signal)
+    old_term = signal.signal(signal.SIGTERM, _on_signal)
+    try:
+        report = run_specs(
+            campaign.specs(),
+            jobs=args.jobs,
+            store=store,
+            progress=lambda s: print("  " + f"{s:<76}"),
+            telemetry=telemetry,
+            retries=args.retries,
+            should_stop=lambda: signals_seen["count"] > 0,
+            fleet=True,
+            lease_ttl_s=ttl,
+        )
+    finally:
+        signal.signal(signal.SIGINT, old_int)
+        signal.signal(signal.SIGTERM, old_term)
+
+    print(
+        f"\ndone: {report.executed} simulated, {report.cached} cached, "
+        f"{len(report.errors)} failed, {report.wallclock_s:.1f}s wall"
+    )
+    for key, err in report.errors.items():
+        owners = err.get("owners") or ()
+        extra = f", owners={len(owners)}" if owners else ""
+        print(
+            f"  failed {key[:12]}: {err['kind']}: {err['message']} "
+            f"(attempts={err['attempts']}{extra})"
+        )
+    if report.stopped:
+        print(
+            f"unfinished runs remain queued; resume with: "
+            f"repro fleet serve {args.store} --protocols {args.protocols} "
+            f"--loads {args.loads} --seeds {args.seeds} "
+            f"--nodes {args.nodes} --duration {args.duration}"
+        )
+        return 130
+    return 1 if report.errors else 0
+
+
+def _run_fleet_work(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        DEFAULT_LEASE_TTL_S,
+        DEFAULT_MAX_ATTEMPTS,
+        FleetWorker,
+        WorkQueue,
+        open_store,
+    )
+
+    store = open_store(args.store)
+    queue = WorkQueue(store.root / "fleet")
+    worker = FleetWorker(
+        store,
+        queue,
+        lease_ttl_s=args.lease_ttl or DEFAULT_LEASE_TTL_S,
+        max_attempts=args.max_attempts or DEFAULT_MAX_ATTEMPTS,
+    )
+    print(f"worker {worker.worker_id} on {args.store}")
+
+    signals_seen = {"count": 0}
+
+    def _on_signal(signum, frame) -> None:
+        signals_seen["count"] += 1
+        if signals_seen["count"] >= 2:
+            os.write(2, b"\nforce quit (second signal).\n")
+            raise SystemExit(130)
+        os.write(2, b"\nfinishing current run, then exiting...\n")
+
+    old_int = signal.signal(signal.SIGINT, _on_signal)
+    old_term = signal.signal(signal.SIGTERM, _on_signal)
+    try:
+        report = worker.run(
+            max_runs=args.max_runs or None,
+            wait_for_work=args.wait,
+            should_stop=lambda: signals_seen["count"] > 0,
+        )
+    finally:
+        signal.signal(signal.SIGINT, old_int)
+        signal.signal(signal.SIGTERM, old_term)
+    print(report.line())
+    return 0
+
+
+def _run_fleet_status(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        DEFAULT_STALL_AFTER_S,
+        WorkQueue,
+        fleet_status,
+        open_store,
+    )
+
+    store = open_store(args.store)
+    queue = WorkQueue(store.root / "fleet")
+    if args.stop:
+        queue.request_stop()
+        print("stop requested: workers exit after their current run")
+    if args.clear_stop:
+        queue.clear_stop()
+        print("stop cleared")
+    status = fleet_status(
+        store, queue, stall_after_s=args.stall_after or DEFAULT_STALL_AFTER_S
+    )
+    print(status.render())
+    return 0
+
+
+def _run_fleet_compact(args: argparse.Namespace) -> int:
+    from repro.fleet import ShardedResultStore, open_store
+
+    store = open_store(args.store)
+    if not isinstance(store, ShardedResultStore):
+        print(
+            f"error: {args.store} is a flat (unsharded) store; open it "
+            "once with `repro fleet serve` to migrate it into shards, "
+            "then compact",
+            file=sys.stderr,
+        )
+        return 2
+    stats = store.compact()
+    print(
+        f"compacted {stats.shards} shard(s): {stats.lines_before} -> "
+        f"{stats.lines_after} line(s), {stats.folded} folded, "
+        f"{stats.quarantined} quarantined"
+    )
+    return 0
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_cmd == "serve":
+        return _run_fleet_serve(args)
+    if args.fleet_cmd == "work":
+        return _run_fleet_work(args)
+    if args.fleet_cmd == "status":
+        return _run_fleet_status(args)
+    if args.fleet_cmd == "compact":
+        return _run_fleet_compact(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _parse_args(argv)
@@ -570,6 +837,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_stats(args)
     if args.experiment == "campaign":
         return _run_campaign(args)
+    if args.experiment == "fleet":
+        return _run_fleet(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -1,0 +1,68 @@
+"""error_record: bounded tracebacks and spec labels on failure lines."""
+
+from __future__ import annotations
+
+from repro.campaign.runner import (
+    MAX_TRACEBACK_CHARS,
+    _bound_traceback,
+    error_record,
+)
+
+
+def deep_failure(depth: int) -> Exception:
+    """An exception whose traceback has ``depth`` frames."""
+
+    def recurse(n: int) -> None:
+        if n == 0:
+            raise ValueError("bottom of the well")
+        recurse(n - 1)
+
+    try:
+        recurse(depth)
+    except ValueError as exc:
+        return exc
+    raise AssertionError("unreachable")
+
+
+class TestBoundTraceback:
+    def test_short_text_untouched(self):
+        assert _bound_traceback("tiny") == "tiny"
+
+    def test_long_text_keeps_head_and_tail(self):
+        text = "HEAD" + "x" * 20000 + "TAIL"
+        bounded = _bound_traceback(text)
+        assert len(bounded) <= MAX_TRACEBACK_CHARS
+        assert bounded.startswith("HEAD")
+        assert bounded.endswith("TAIL")
+        assert "chars elided" in bounded
+
+    def test_elision_marker_counts_the_cut(self):
+        text = "a" * 10000
+        bounded = _bound_traceback(text, limit=1000)
+        half = (1000 - 60) // 2
+        assert f"[{10000 - 2 * half} chars elided]" in bounded
+
+
+class TestErrorRecord:
+    def test_basic_shape(self):
+        record = error_record(deep_failure(2), attempts=3)
+        assert record["kind"] == "ValueError"
+        assert record["message"] == "bottom of the well"
+        assert record["attempts"] == 3
+        assert record["traceback"].startswith("Traceback")
+        assert "label" not in record
+
+    def test_label_carried_when_known(self):
+        record = error_record(deep_failure(1), attempts=1, label="basic@300kbps/seed9")
+        assert record["label"] == "basic@300kbps/seed9"
+
+    def test_huge_traceback_is_bounded(self):
+        try:
+            raise ValueError("long story: " + "x" * 20000)
+        except ValueError as exc:
+            record = error_record(exc, attempts=1)
+        assert len(record["traceback"]) <= MAX_TRACEBACK_CHARS
+        # Head names the call site, tail ends with the exception text.
+        assert record["traceback"].startswith("Traceback")
+        assert record["traceback"].rstrip().endswith("x")
+        assert "chars elided" in record["traceback"]

@@ -113,3 +113,42 @@ class TestErrorLines:
         reloaded_b = ResultStore(tmp_path / "b")
         assert reloaded_b.get(spec.key()) == result
         assert reloaded_b.error(spec.key()) is None
+
+
+class TestSidecarDedupe:
+    """A sidecar that sees the same torn line twice records it once, and a
+    load that adds nothing new to the sidecar stays silent."""
+
+    def test_repeat_corruption_is_not_duplicated(self, tmp_path):
+        store = populated_store(tmp_path)
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("same garbage\n")
+        with pytest.warns(RuntimeWarning, match="quarantined 1 corrupt"):
+            ResultStore(tmp_path / "store")
+        # The identical bad line lands again (a crash-looping writer).
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("same garbage\n")
+        # It is removed from the main file but NOT re-counted: the
+        # sidecar already holds it, so the load warns about nothing.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            reloaded = ResultStore(tmp_path / "store")
+        assert len(reloaded) == 2
+        sidecar = store.path.with_name(store.path.name + CORRUPT_SUFFIX)
+        assert sidecar.read_text().splitlines() == ["same garbage"]
+
+    def test_growing_sidecar_reports_the_total(self, tmp_path):
+        store = populated_store(tmp_path)
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("first garbage\n")
+        with pytest.warns(RuntimeWarning, match="sidecar now holds 1"):
+            ResultStore(tmp_path / "store")
+        with store.path.open("a", encoding="utf-8") as fh:
+            fh.write("second garbage\n")
+        with pytest.warns(RuntimeWarning, match="sidecar now holds 2"):
+            ResultStore(tmp_path / "store")
+        sidecar = store.path.with_name(store.path.name + CORRUPT_SUFFIX)
+        assert sidecar.read_text().splitlines() == [
+            "first garbage",
+            "second garbage",
+        ]

@@ -1,0 +1,147 @@
+"""Property test: lease lifecycle invariants under arbitrary interleavings.
+
+Hypothesis drives a small fleet (three workers, two runs) through random
+sequences of claim / advance-clock / complete / fail operations and
+checks the two safety properties the whole design rests on, after every
+step:
+
+* **single ownership** — no run is ever covered by two live leases, and
+  a worker whose lease lapsed and was stolen gets ``LeaseLost`` (never a
+  silent double-completion) on its next owner-side move;
+* **liveness** — whatever the interleaving, the queue can always be
+  driven to drained: every enqueued key reaches a terminal state
+  (completed or retired-with-error), none is lost and none is stuck.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.spec import RunSpec
+from repro.config import ScenarioConfig, TrafficConfig
+from repro.fleet.lease import LeaseLost
+from repro.fleet.queue import WorkQueue
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+TTL = 10.0
+MAX_ATTEMPTS = 3
+WORKERS = ("w0", "w1", "w2")
+
+
+def cell(seed: int) -> RunSpec:
+    cfg = ScenarioConfig(
+        node_count=4,
+        duration_s=1.0,
+        seed=seed,
+        traffic=TrafficConfig(flow_count=1, offered_load_bps=50e3),
+    )
+    return RunSpec(scenario=ScenarioSpec(cfg=cfg, mac=ComponentSpec("basic")))
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["claim", "advance", "complete", "fail"]),
+        st.integers(min_value=0, max_value=len(WORKERS) - 1),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=ops)
+def test_interleaved_lease_lifecycle(ops):
+    with tempfile.TemporaryDirectory() as td:
+        clock = FakeClock()
+        queue = WorkQueue(td, clock=clock)
+        specs = [cell(seed) for seed in (1, 2)]
+        keys = {spec.key() for spec in specs}
+        for spec in specs:
+            queue.enqueue(spec)
+
+        held: dict[str, object] = {}  # worker -> its Claimed
+        retired: set[str] = set()
+
+        def check_single_ownership() -> None:
+            for key in keys:
+                current = queue.lease_of(key)
+                live_holders = [
+                    w
+                    for w, c in held.items()
+                    if c.key == key
+                    and current is not None
+                    and current.token == c.lease.token
+                    and not current.expired(clock.now)
+                ]
+                assert len(live_holders) <= 1
+
+        for op, idx in ops:
+            worker = WORKERS[idx]
+            if op == "advance":
+                # 0.6 × TTL: two advances lapse a lease, one does not.
+                clock.now += TTL * 0.6
+            elif op == "claim":
+                if worker in held:
+                    continue
+                claimed = queue.claim(
+                    worker, ttl_s=TTL, max_attempts=MAX_ATTEMPTS
+                )
+                if claimed is None:
+                    continue
+                if claimed.exhausted:
+                    queue.discard(claimed)
+                    retired.add(claimed.key)
+                else:
+                    held[worker] = claimed
+            else:  # complete / fail: an owner-side move with a held lease
+                if worker not in held:
+                    continue
+                claimed = held.pop(worker)
+                current = queue.lease_of(claimed.key)
+                ours = (
+                    current is not None
+                    and current.token == claimed.lease.token
+                )
+                if not ours:
+                    # Stolen (or retired) behind our back: the move MUST
+                    # raise, never silently double-apply.
+                    with pytest.raises(LeaseLost):
+                        if op == "complete":
+                            queue.complete(claimed.lease)
+                        else:
+                            queue.release(claimed.lease, reason="Boom")
+                elif op == "complete":
+                    queue.complete(claimed.lease)
+                    retired.add(claimed.key)
+                else:
+                    queue.release(claimed.lease, reason="Boom")
+            check_single_ownership()
+
+        # Liveness: a diligent finisher can always drain what remains.
+        for _ in range(4 * MAX_ATTEMPTS * len(keys)):
+            if queue.drained():
+                break
+            clock.now += TTL + 1.0  # lapse every outstanding lease
+            claimed = queue.claim(
+                "finisher", ttl_s=TTL, max_attempts=MAX_ATTEMPTS
+            )
+            if claimed is None:
+                continue
+            if claimed.exhausted:
+                queue.discard(claimed)
+            else:
+                queue.complete(claimed.lease)
+            retired.add(claimed.key)
+        assert queue.drained()
+        assert retired == keys

@@ -1,0 +1,57 @@
+"""Fleet lock primitives: mutual exclusion, atomic JSON, torn reads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.locks import FileLock, LockTimeout, atomic_write_json, read_json
+
+
+class TestFileLock:
+    def test_reacquire_after_release(self, tmp_path):
+        lock = tmp_path / "a.lock"
+        with FileLock(lock):
+            pass
+        with FileLock(lock):
+            pass
+
+    def test_contended_lock_times_out(self, tmp_path):
+        lock = tmp_path / "a.lock"
+        with FileLock(lock):
+            with pytest.raises(LockTimeout):
+                with FileLock(lock, timeout_s=0.05):
+                    pass  # pragma: no cover - never entered
+
+    def test_distinct_paths_do_not_contend(self, tmp_path):
+        with FileLock(tmp_path / "a.lock"):
+            with FileLock(tmp_path / "b.lock", timeout_s=0.05):
+                pass
+
+
+class TestAtomicJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"key": "abc", "n": 3})
+        assert read_json(path) == {"key": "abc", "n": 3}
+
+    def test_replace_leaves_no_tmp_behind(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert read_json(path) == {"v": 2}
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_missing_file_reads_none(self, tmp_path):
+        assert read_json(tmp_path / "nope.json") is None
+
+    def test_torn_file_reads_none(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"key": "abc", "n"')
+        assert read_json(path) is None
+
+    def test_valid_json_still_parses(self, tmp_path):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps({"a": [1, 2]}))
+        assert read_json(path) == {"a": [1, 2]}

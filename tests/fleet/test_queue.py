@@ -1,0 +1,200 @@
+"""Work-queue lifecycle: enqueue, claim, renew, expire, steal, retire.
+
+Every test drives the queue with an injectable fake clock, so lease
+expiry and steals are exact, not sleep-based.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import RunSpec
+from repro.config import ScenarioConfig, TrafficConfig
+from repro.fleet.lease import LeaseLost
+from repro.fleet.queue import WorkQueue
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+TTL = 10.0
+
+
+def cell(seed: int = 1) -> RunSpec:
+    cfg = ScenarioConfig(
+        node_count=4,
+        duration_s=1.0,
+        seed=seed,
+        traffic=TrafficConfig(flow_count=1, offered_load_bps=50e3),
+    )
+    return RunSpec(scenario=ScenarioSpec(cfg=cfg, mac=ComponentSpec("basic")))
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock) -> WorkQueue:
+    return WorkQueue(tmp_path / "fleet", clock=clock)
+
+
+class TestEnqueue:
+    def test_enqueue_then_duplicate(self, queue):
+        spec = cell()
+        assert queue.enqueue(spec) is True
+        assert queue.enqueue(spec) is False
+        assert queue.pending_count() == 1
+
+    def test_task_document_carries_audit_fields(self, queue):
+        spec = cell()
+        queue.enqueue(spec)
+        task = queue.task(spec.key())
+        assert task["label"] == spec.label()
+        assert task["attempts"] == 0
+        assert task["owners"] == []
+        assert task["steals"] == []
+
+    def test_task_round_trips_the_scenario(self, queue):
+        spec = cell(seed=7)
+        queue.enqueue(spec)
+        claimed = queue.claim("w1")
+        assert claimed.spec.key() == spec.key()
+        assert claimed.spec.seed == 7
+
+
+class TestClaim:
+    def test_claim_leases_the_run(self, queue):
+        spec = cell()
+        queue.enqueue(spec)
+        claimed = queue.claim("w1", ttl_s=TTL)
+        assert claimed.key == spec.key()
+        assert claimed.lease.owner == "w1"
+        assert claimed.lease.attempt == 1
+        assert claimed.stolen is None
+        assert claimed.task["owners"] == ["w1"]
+
+    def test_live_lease_blocks_other_claims(self, queue):
+        queue.enqueue(cell())
+        assert queue.claim("w1", ttl_s=TTL) is not None
+        assert queue.claim("w2", ttl_s=TTL) is None
+        assert not queue.drained()
+
+    def test_empty_queue_claims_none(self, queue):
+        assert queue.claim("w1") is None
+        assert queue.drained()
+
+    def test_oldest_task_claimed_first(self, queue, clock):
+        first, second = cell(seed=1), cell(seed=2)
+        queue.enqueue(first)
+        clock.advance(1.0)
+        queue.enqueue(second)
+        assert queue.claim("w1", ttl_s=TTL).key == first.key()
+        assert queue.claim("w2", ttl_s=TTL).key == second.key()
+
+
+class TestLeaseLifecycle:
+    def test_renew_extends_expiry(self, queue, clock):
+        queue.enqueue(cell())
+        claimed = queue.claim("w1", ttl_s=TTL)
+        clock.advance(TTL * 0.9)
+        renewed = queue.renew(claimed.lease, ttl_s=TTL)
+        assert renewed.expires_at == clock.now + TTL
+        clock.advance(TTL * 0.9)  # past the original expiry, not the renewal
+        assert queue.claim("w2", ttl_s=TTL) is None
+
+    def test_complete_retires_task_and_lease(self, queue):
+        spec = cell()
+        queue.enqueue(spec)
+        claimed = queue.claim("w1", ttl_s=TTL)
+        queue.complete(claimed.lease)
+        assert queue.drained()
+        assert queue.lease_of(spec.key()) is None
+        assert queue.task(spec.key()) is None
+
+    def test_release_requeues_immediately_with_error_note(self, queue):
+        spec = cell()
+        queue.enqueue(spec)
+        claimed = queue.claim("w1", ttl_s=TTL)
+        queue.release(
+            claimed.lease, reason="ValueError", error={"message": "boom"}
+        )
+        task = queue.task(spec.key())
+        assert task["last_error"]["reason"] == "ValueError"
+        again = queue.claim("w2", ttl_s=TTL)
+        assert again is not None
+        assert again.lease.attempt == 2
+        assert again.stolen is None  # released, not stolen
+
+    def test_expired_lease_is_stolen_with_audit(self, queue, clock):
+        spec = cell()
+        queue.enqueue(spec)
+        queue.claim("w1", ttl_s=TTL)
+        clock.advance(TTL + 0.1)
+        stolen = queue.claim("w2", ttl_s=TTL)
+        assert stolen is not None
+        assert stolen.lease.owner == "w2"
+        assert stolen.lease.attempt == 2
+        assert stolen.stolen["from"] == "w1"
+        assert stolen.stolen["reason"] == "lease-expired"
+        assert stolen.task["owners"] == ["w1", "w2"]
+
+    def test_stale_owner_mutations_raise_lease_lost(self, queue, clock):
+        spec = cell()
+        queue.enqueue(spec)
+        old = queue.claim("w1", ttl_s=TTL)
+        clock.advance(TTL + 0.1)
+        queue.claim("w2", ttl_s=TTL)
+        with pytest.raises(LeaseLost):
+            queue.renew(old.lease, ttl_s=TTL)
+        with pytest.raises(LeaseLost):
+            queue.complete(old.lease)
+        with pytest.raises(LeaseLost):
+            queue.release(old.lease, reason="late")
+        # The thief's work is untouched by the dead owner's attempts.
+        assert queue.task(spec.key()) is not None
+        assert queue.lease_of(spec.key()).owner == "w2"
+
+
+class TestExhaustion:
+    def test_spent_budget_surfaces_exhausted_claim(self, queue, clock):
+        spec = cell()
+        queue.enqueue(spec)
+        for owner in ("w1", "w2"):
+            queue.claim(owner, ttl_s=TTL, max_attempts=2)
+            clock.advance(TTL + 0.1)
+        claimed = queue.claim("w3", ttl_s=TTL, max_attempts=2)
+        assert claimed.exhausted
+        assert claimed.lease is None
+        meta = claimed.error_metadata()
+        assert meta["attempts"] == 2
+        assert meta["owners"] == ["w1", "w2"]
+        assert [s["from"] for s in meta["steals"]] == ["w1", "w2"]
+        queue.discard(claimed)
+        assert queue.drained()
+
+
+class TestHeartbeatsAndStop:
+    def test_heartbeat_round_trip_and_clear(self, queue, clock):
+        queue.heartbeat("w1", {"state": "running", "key": "abc"})
+        beats = queue.heartbeats()
+        assert beats["w1"]["state"] == "running"
+        assert beats["w1"]["time"] == clock.now
+        queue.clear_heartbeat("w1")
+        assert queue.heartbeats() == {}
+
+    def test_stop_flag_round_trip(self, queue):
+        assert not queue.stop_requested()
+        queue.request_stop()
+        assert queue.stop_requested()
+        queue.clear_stop()
+        assert not queue.stop_requested()

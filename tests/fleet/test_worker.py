@@ -1,0 +1,180 @@
+"""FleetWorker paths: execute, cache-hit, release-retry, retire, abandon."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import RunSpec
+from repro.config import ScenarioConfig, TrafficConfig
+from repro.fleet.lease import LeaseLost
+from repro.fleet.queue import WorkQueue
+from repro.fleet.shards import ShardedResultStore
+from repro.fleet.worker import FleetWorker
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+TTL = 30.0
+
+
+def cell(seed: int = 1) -> RunSpec:
+    cfg = ScenarioConfig(
+        node_count=4,
+        duration_s=2.0,
+        seed=seed,
+        traffic=TrafficConfig(flow_count=1, offered_load_bps=50e3),
+    )
+    return RunSpec(scenario=ScenarioSpec(cfg=cfg, mac=ComponentSpec("basic")))
+
+
+def doomed(seed: int = 99) -> RunSpec:
+    """Raises ValueError in the builder: one position for six nodes."""
+    cfg = ScenarioConfig(node_count=6, duration_s=2.0, seed=seed)
+    return RunSpec(
+        scenario=ScenarioSpec(
+            cfg=cfg,
+            mac=ComponentSpec("basic"),
+            placement=ComponentSpec("explicit", positions=((0.0, 0.0),)),
+        )
+    )
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def store(tmp_path) -> ShardedResultStore:
+    return ShardedResultStore(tmp_path / "store", shards=4)
+
+
+@pytest.fixture
+def queue(store) -> WorkQueue:
+    return WorkQueue(store.root / "fleet")
+
+
+class TestExecutePath:
+    def test_drains_queue_and_stores_results(self, store, queue):
+        specs = [cell(1), cell(2)]
+        for spec in specs:
+            queue.enqueue(spec)
+        report = FleetWorker(store, queue, lease_ttl_s=TTL).run()
+        assert report.executed == 2
+        assert report.claims == 2
+        assert queue.drained()
+        for spec in specs:
+            assert store.get(spec.key()) is not None
+            assert store.runtime_stats(spec.key())  # persisted alongside
+
+    def test_exit_heartbeat_left_behind(self, store, queue):
+        worker = FleetWorker(store, queue, lease_ttl_s=TTL)
+        worker.run()
+        beat = queue.heartbeats()[worker.worker_id]
+        assert beat["state"] == "exited"
+
+    def test_max_runs_bounds_the_loop(self, store, queue):
+        for seed in (1, 2, 3):
+            queue.enqueue(cell(seed))
+        report = FleetWorker(store, queue, lease_ttl_s=TTL).run(max_runs=1)
+        assert report.claims == 1
+        assert queue.pending_count() == 2
+
+    def test_stop_request_ends_the_loop(self, store, queue):
+        queue.enqueue(cell(1))
+        queue.request_stop()
+        report = FleetWorker(store, queue, lease_ttl_s=TTL).run()
+        assert report.claims == 0
+        assert not queue.drained()
+
+
+class TestCachePath:
+    def test_stored_key_completes_without_execution(self, store, queue):
+        spec = cell(1)
+        store.put(spec, spec.scenario.run())
+        lines_before = store._file_for(spec.key()).read_text()
+        queue.enqueue(spec)
+        report = FleetWorker(store, queue, lease_ttl_s=TTL).run()
+        assert report.cache_hits == 1
+        assert report.executed == 0
+        assert queue.drained()
+        assert store._file_for(spec.key()).read_text() == lines_before
+
+    def test_hit_written_by_another_instance_is_seen(self, store, queue):
+        spec = cell(1)
+        other = ShardedResultStore(store.root)
+        other.put(spec, spec.scenario.run())
+        queue.enqueue(spec)
+        # `store` has not refreshed; the worker's per-key refresh must see it.
+        report = FleetWorker(store, queue, lease_ttl_s=TTL).run()
+        assert report.cache_hits == 1
+
+
+class TestFailurePath:
+    def test_release_then_retire_with_audit(self, store, queue):
+        spec = doomed()
+        queue.enqueue(spec)
+        report = FleetWorker(
+            store, queue, lease_ttl_s=TTL, max_attempts=2
+        ).run()
+        assert report.released == 1  # first attempt went back to the queue
+        assert report.failed == 1  # second attempt retired it
+        assert queue.drained()
+        error = store.error(spec.key())
+        assert error["kind"] == "ValueError"
+        assert error["attempts"] == 2
+        assert len(error["owners"]) == 2  # same worker claimed twice
+        assert error["label"] == spec.label()
+
+    def test_last_error_noted_on_release(self, store, queue):
+        spec = doomed()
+        queue.enqueue(spec)
+        FleetWorker(store, queue, lease_ttl_s=TTL, max_attempts=3).run(
+            max_runs=1
+        )
+        task = queue.task(spec.key())
+        assert task["last_error"]["reason"] == "ValueError"
+        assert "positions" in task["last_error"]["message"]
+
+
+class TestExhaustedPath:
+    def test_retires_on_behalf_of_dead_owners(self, tmp_path):
+        clock = FakeClock()
+        store = ShardedResultStore(tmp_path / "store", shards=4)
+        queue = WorkQueue(store.root / "fleet", clock=clock)
+        spec = cell(1)
+        queue.enqueue(spec)
+        # Two owners claim and silently die (their leases lapse unrenewed).
+        for owner in ("dead1", "dead2"):
+            queue.claim(owner, ttl_s=1.0, max_attempts=2)
+            clock.now += 2.0
+        report = FleetWorker(
+            store, queue, lease_ttl_s=TTL, max_attempts=2
+        ).run()
+        assert report.retired == 1
+        assert report.executed == 0
+        assert queue.drained()
+        error = store.error(spec.key())
+        assert error["kind"] == "LeaseExpired"
+        assert error["owners"] == ["dead1", "dead2"]
+        assert error["steal_reason"] == "lease-expired"
+        assert "dead2" in error["message"]
+
+
+class TestStealAbandonment:
+    def test_stolen_lease_abandons_the_run(self, store, queue, monkeypatch):
+        spec = cell(1)
+        queue.enqueue(spec)
+
+        def stolen(lease, *, ttl_s):
+            raise LeaseLost("stolen mid-run")
+
+        monkeypatch.setattr(queue, "renew", stolen)
+        report = FleetWorker(store, queue, lease_ttl_s=TTL).run(max_runs=1)
+        assert report.abandoned == 1
+        assert report.executed == 0
+        # The thief (or the exactly-once store) owns the outcome; this
+        # worker must not have recorded anything.
+        assert store.get(spec.key()) is None
+        assert store.error(spec.key()) is None

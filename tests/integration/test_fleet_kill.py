@@ -1,0 +1,117 @@
+"""Kill-safety: SIGKILL a fleet worker mid-run; nothing lost, nothing doubled.
+
+The fleet's whole reason to exist is this scenario: a worker process is
+destroyed with ``kill -9`` — no cleanup handler, no exception path — in
+the middle of a simulation.  Its lease must lapse, a second worker must
+steal the run, and the campaign must end with **exactly** the enqueued
+key set in the store, each key recorded exactly once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.campaign.spec import RunSpec
+from repro.config import ScenarioConfig, TrafficConfig
+from repro.fleet.queue import WorkQueue
+from repro.fleet.shards import ShardedResultStore
+from repro.fleet.worker import FleetWorker
+from repro.scenariospec import ComponentSpec, ScenarioSpec
+
+#: Short enough that the steal happens within the test, long enough that
+#: a healthy worker (renewing every telemetry slice) never lapses.
+LEASE_TTL_S = 1.0
+
+
+def slow_cell(seed: int = 1) -> RunSpec:
+    """A run that takes a few wall seconds — a window to be killed in."""
+    cfg = ScenarioConfig(
+        node_count=20,
+        duration_s=30.0,
+        seed=seed,
+        traffic=TrafficConfig(flow_count=4, offered_load_bps=300e3),
+    )
+    return RunSpec(scenario=ScenarioSpec(cfg=cfg, mac=ComponentSpec("basic")))
+
+
+def _victim_entry(store_root: str) -> None:
+    store = ShardedResultStore(store_root)
+    queue = WorkQueue(store.root / "fleet")
+    FleetWorker(
+        store, queue, worker_id="victim", lease_ttl_s=LEASE_TTL_S, slices=60
+    ).run()
+
+
+def _wait_for(predicate, timeout_s: float, what: str) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    pytest.fail(f"timed out waiting for {what}")
+
+
+class TestSigkillMidRun:
+    def test_killed_worker_loses_nothing(self, tmp_path):
+        store = ShardedResultStore(tmp_path / "store", shards=4)
+        queue = WorkQueue(store.root / "fleet")
+        spec = slow_cell()
+        key = spec.key()
+        queue.enqueue(spec)
+
+        ctx = multiprocessing.get_context("fork")
+        victim = ctx.Process(target=_victim_entry, args=(str(store.root),))
+        victim.start()
+        try:
+            # Wait until the victim is verifiably mid-simulation: its
+            # heartbeat says "running" with sim-time progress reported.
+            _wait_for(
+                lambda: queue.heartbeats()
+                .get("victim", {})
+                .get("sim_time_s", 0.0)
+                > 0.0,
+                timeout_s=30.0,
+                what="the victim to be mid-simulation",
+            )
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10.0)
+            assert not victim.is_alive()
+
+            # The murder left the lease behind: the run is still owned by
+            # a corpse, and the task is still queued — nothing was lost.
+            assert store.get(key) is None
+            assert queue.task(key) is not None
+            lease = queue.lease_of(key)
+            assert lease is not None and lease.owner == "victim"
+
+            # A second worker steals the run once the lease lapses and
+            # completes it.
+            rescue = FleetWorker(
+                store,
+                queue,
+                worker_id="rescue",
+                lease_ttl_s=LEASE_TTL_S,
+                max_attempts=5,
+            )
+            report = rescue.run()
+            assert report.executed == 1
+        finally:
+            if victim.is_alive():  # pragma: no cover - defensive teardown
+                victim.kill()
+                victim.join()
+
+        # Exactly-once, exactly-complete: the enqueued key set and the
+        # stored key set coincide, one line per key across every shard.
+        assert queue.drained()
+        store.refresh()
+        assert set(store.keys()) == {key}
+        lines = []
+        for path in store._result_files():
+            if path.exists():
+                lines.extend(path.read_text().splitlines())
+        assert len(lines) == 1

@@ -228,3 +228,82 @@ class TestScenarioFile:
         out = capsys.readouterr().out
         (key_line,) = [ln for ln in out.splitlines() if "key: " in ln]
         assert key_line.split("key: ")[1].strip() == RunSpec(scenario=spec).key()
+
+
+class TestFleetCli:
+    """`repro fleet serve|work|status|compact` end to end on a tmp store."""
+
+    GRID = ["--protocols", "basic", "--loads", "80", "--seeds", "1",
+            "--nodes", "6", "--duration", "4"]
+
+    def test_serve_then_status_then_compact(self, capsys, tmp_path):
+        from repro.fleet import ShardedResultStore
+
+        store_dir = str(tmp_path / "store")
+        assert main(["fleet", "serve", store_dir, *self.GRID,
+                     "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet serve: 1 cells" in out
+        assert "done: 1 simulated" in out
+        store = ShardedResultStore(store_dir)
+        assert len(store) == 1
+
+        assert main(["fleet", "status", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 0 task(s) queued" in out
+        assert "1 result(s)" in out
+        assert "exited" in out  # the serve worker's last heartbeat
+
+        assert main(["fleet", "compact", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out
+        assert set(ShardedResultStore(store_dir).keys()) == set(store.keys())
+
+    def test_serve_resume_is_cached(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        assert main(["fleet", "serve", store_dir, *self.GRID,
+                     "--jobs", "1"]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "serve", store_dir, *self.GRID,
+                     "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "done: 0 simulated, 1 cached" in out
+
+    def test_work_drains_an_enqueued_run(self, capsys, tmp_path):
+        from repro.campaign.spec import Campaign
+        from repro.config import ScenarioConfig
+        from repro.fleet import WorkQueue, enqueue_specs, open_store
+
+        store = open_store(tmp_path / "store", shards=4)
+        queue = WorkQueue(store.root / "fleet")
+        campaign = Campaign.build(
+            ScenarioConfig(node_count=6, duration_s=4.0),
+            ["basic"], [80.0], [1],
+        )
+        enqueue_specs(campaign.specs(), store, queue)
+        assert main(["fleet", "work", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "executed=1" in out
+        assert queue.drained()
+
+    def test_work_on_empty_queue_exits_cleanly(self, capsys, tmp_path):
+        assert main(["fleet", "work", str(tmp_path / "store")]) == 0
+        assert "executed=0" in capsys.readouterr().out
+
+    def test_status_stop_round_trip(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        assert main(["fleet", "status", store_dir, "--stop"]) == 0
+        assert "STOP requested" in capsys.readouterr().out
+        assert main(["fleet", "status", store_dir, "--clear-stop"]) == 0
+        assert "STOP requested" not in capsys.readouterr().out
+
+    def test_compact_refuses_flat_store(self, capsys, tmp_path):
+        from repro.campaign.store import ResultStore
+
+        ResultStore(tmp_path / "flat")
+        assert main(["fleet", "compact", str(tmp_path / "flat")]) == 2
+        assert "flat" in capsys.readouterr().err
+
+    def test_fleet_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["fleet"])

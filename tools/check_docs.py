@@ -37,6 +37,7 @@ DOCSTRING_ROOTS = (
     "src/repro/obs",
     "src/repro/faults",
     "src/repro/phy/reception",
+    "src/repro/fleet",
 )
 
 #: ``[text](target)`` — good enough for the links these docs use; image
