@@ -1,14 +1,15 @@
-"""Transmit fan-out benchmarks: brute-force scan vs the spatial index.
+"""Transmit fan-out benchmarks: brute scan vs spatial index vs SoA pass.
 
 Measures the cost of ``Channel.transmit`` (fan-out plus dispatch of the
-scheduled signal edges) at N ∈ {10, 50, 200, 800} radios for two placement
-regimes:
+scheduled signal edges) over the shared ``bench_grid`` sweep — classic
+sizes N ∈ {10, 50, 200, 800} plus the mega-scale columns N ∈ {2000,
+10000} — for two placement regimes:
 
 * **sparse** — 5·10⁻⁶ nodes/m²: a handful of radios per interference disk,
   the regime the spatial index targets (fan-out should approach O(degree)).
 * **dense** — 5·10⁻⁵ nodes/m², the paper's Section IV density: most of the
   field is inside one 3×3 cell block, so the index's win comes from the
-  epoch gain cache rather than culling.
+  epoch gain cache and the struct-of-arrays vector pass rather than culling.
 
 Radios are inert sinks so the numbers isolate the channel (the radio state
 machine is benchmarked separately in ``test_engine_microbench.py``).
@@ -22,6 +23,7 @@ import math
 
 import numpy as np
 import pytest
+from bench_grid import DENSITIES, MEGA_SIZES, SIZES, TX_SAMPLE
 
 from repro.config import PhyConfig
 from repro.mobility.static import StaticMobility
@@ -31,12 +33,6 @@ from repro.phy.propagation import TwoRayGround
 from repro.sim.kernel import Simulator
 
 PHY = PhyConfig()
-#: Placement regimes, nodes per square metre.
-DENSITIES = {"sparse": 5e-6, "dense": 5e-5}
-#: Network sizes under test.
-SIZES = (10, 50, 200, 800)
-#: Transmitters sampled per measured round.
-TX_SAMPLE = 16
 
 
 class _SinkRadio:
@@ -63,16 +59,33 @@ class _SinkRadio:
         pass
 
 
-def build_fanout_world(n: int, density: float, spatial: bool, seed: int = 7):
-    """A static world of ``n`` sink radios at the given node density."""
+def build_fanout_world(
+    n: int,
+    density: float,
+    spatial: bool,
+    seed: int = 7,
+    *,
+    fanout: str = "scalar",
+    scheduler: str = "heap",
+    pool_events: bool = False,
+):
+    """A static world of ``n`` sink radios at the given node density.
+
+    The keyword knobs mirror the ``engine`` registry slot so the bench can
+    A/B the vectorized core: ``fanout="soa"`` turns on the struct-of-arrays
+    pass (requires ``spatial``), ``scheduler="calendar"`` swaps the kernel's
+    binary heap for the calendar queue, ``pool_events`` recycles transient
+    ``Event`` objects through the kernel freelist.
+    """
     side = math.sqrt(n / density)
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler, pool_events=pool_events)
     chan = Channel(
         sim,
         TwoRayGround(),
         interference_floor_w=PHY.interference_floor_w,
         spatial_index=spatial,
         max_tx_power_w=PHY.max_power_w,
+        fanout=fanout,
     )
     rng = np.random.default_rng(seed)
     radios = []
@@ -103,14 +116,45 @@ def fanout_round(sim: Simulator, chan: Channel, srcs, frame: PhyFrame) -> None:
     sim.run_until(sim.now + 1.0)
 
 
-@pytest.mark.parametrize("mode", ("brute", "indexed"))
+#: mode name -> (spatial_index, fanout) for the world builder.
+MODES = {
+    "brute": (False, "scalar"),
+    "indexed": (True, "scalar"),
+    "soa": (True, "soa"),
+}
+
+
+def build_mode_world(n: int, density: float, mode: str, seed: int = 7):
+    """A fan-out world configured for one named bench mode."""
+    spatial, fanout = MODES[mode]
+    return build_fanout_world(n, density, spatial, seed, fanout=fanout)
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
 @pytest.mark.parametrize("placement", sorted(DENSITIES))
 @pytest.mark.parametrize("n", SIZES)
 def test_transmit_fanout(benchmark, n, placement, mode):
-    sim, chan, radios = build_fanout_world(n, DENSITIES[placement], mode == "indexed")
+    sim, chan, radios = build_mode_world(n, DENSITIES[placement], mode)
     srcs = radios[:TX_SAMPLE]
     frame = make_frame()
     benchmark.group = f"fanout-{placement}-n{n}"
+    benchmark(fanout_round, sim, chan, srcs, frame)
+
+
+@pytest.mark.parametrize("mode", ("indexed", "soa"))
+@pytest.mark.parametrize("placement", sorted(DENSITIES))
+@pytest.mark.parametrize("n", MEGA_SIZES)
+def test_transmit_fanout_mega(benchmark, n, placement, mode):
+    """Mega-scale columns: spatial index vs the SoA vector pass.
+
+    The brute O(N) scan is omitted here — at N = 10 000 it is the
+    pathology the vectorized core exists to avoid, and timing it adds
+    minutes without information (its classic-size scaling is linear).
+    """
+    sim, chan, radios = build_mode_world(n, DENSITIES[placement], mode)
+    srcs = radios[:TX_SAMPLE]
+    frame = make_frame()
+    benchmark.group = f"fanout-mega-{placement}-n{n}"
     benchmark(fanout_round, sim, chan, srcs, frame)
 
 

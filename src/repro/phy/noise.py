@@ -49,9 +49,11 @@ class ConstantNoise(NoiseModel):
             raise ValueError(f"noise floor must be positive, got {self.floor_w!r}")
 
     def noise_w(self) -> float:
+        """The configured floor [W]."""
         return self.floor_w
 
     def constant_w(self) -> float | None:
+        """Always the floor — a constant model is always cacheable."""
         return self.floor_w
 
 
@@ -63,8 +65,9 @@ class ThermalNoise(NoiseModel):
     noise_figure_db: float = 10.0
 
     def noise_w(self) -> float:
+        """kT₀B·F for the configured bandwidth and noise figure [W]."""
         return thermal_noise_watts(self.bandwidth_hz, self.noise_figure_db)
 
     def constant_w(self) -> float | None:
-        # All inputs are frozen fields, so the floor never changes.
+        """Cacheable: all inputs are frozen fields, the floor never changes."""
         return self.noise_w()

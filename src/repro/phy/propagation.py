@@ -18,10 +18,26 @@ candidate receiver per frame), so every derived quantity — wavelength,
 crossover distance, numerator products, the embedded Friis model — is
 precomputed in ``__post_init__`` rather than rebuilt per call.  The extra
 attributes are set with ``object.__setattr__`` so the dataclasses stay
-frozen, hashable and comparable on their declared fields only, and the
-arithmetic keeps the exact expression shapes of the naive formulas so gains
-are bit-identical to the pre-cached implementation.  ``gain_at_many`` is the
-numpy bulk counterpart for vectorised callers (benchmarks, analysis).
+frozen, hashable and comparable on their declared fields only.
+
+Exactness contract (``bulk_exact``)
+-----------------------------------
+``gain_at_many`` is the numpy bulk counterpart of ``gain_at``, used by the
+channel's vectorised fan-out.  A model that sets ``bulk_exact = True``
+guarantees the bulk path is **bit-identical** to the scalar path for every
+distance: both sides are written as the *same sequence* of individually
+correctly-rounded IEEE-754 operations (multiply, divide, sqrt, compare —
+never ``**`` with a float exponent, whose libm/numpy implementations may
+disagree by 1 ulp).  :class:`FreeSpace` and :class:`TwoRayGround` (the
+paper's models) are ``bulk_exact``; the channel may then schedule received
+powers straight from a bulk evaluation.  :class:`LogDistanceShadowing`
+needs a non-integer power and stays ``bulk_exact = False`` — its bulk gains
+match the scalar path only to ~1 ulp, so callers must use them for
+conservative culling only (the tolerance contract is enforced by
+``tests/phy/test_propagation_exactness.py``).  For the same reason
+:func:`distance` is ``sqrt(dx² + dy²)`` rather than ``math.hypot`` —
+CPython's hypot uses its own rounding algorithm that a numpy expression
+cannot reproduce bit-for-bit.
 """
 
 from __future__ import annotations
@@ -46,12 +62,23 @@ _FOUR_PI = 4.0 * math.pi
 
 
 def distance(a: Position, b: Position) -> float:
-    """Euclidean distance between two planar positions [m]."""
-    return math.hypot(a[0] - b[0], a[1] - b[1])
+    """Euclidean distance between two planar positions [m].
+
+    Spelled ``sqrt(dx*dx + dy*dy)`` — three correctly-rounded operations a
+    numpy array expression reproduces bit-for-bit (see the module docstring;
+    ``math.hypot`` would not).  Overflow is not a concern at field scale.
+    """
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return math.sqrt(dx * dx + dy * dy)
 
 
 class PropagationModel:
     """Interface: linear gain between two positions, and its inverse."""
+
+    #: Whether :meth:`gain_at_many` is bit-identical to :meth:`gain_at`
+    #: (see the module docstring).  Models must opt in explicitly.
+    bulk_exact = False
 
     def gain(self, tx_pos: Position, rx_pos: Position) -> float:
         """Linear power ratio P_rx / P_tx between the two positions."""
@@ -65,10 +92,10 @@ class PropagationModel:
         """Vectorised :meth:`gain_at` over an array of distances [m].
 
         The base implementation loops; models override it with closed-form
-        numpy expressions.  Bulk results match the scalar path to within
-        1 ulp (not necessarily bit-exact: ``**`` routes through CPython's
-        libm in the scalar path but numpy's pow in the bulk path).  The
-        channel fan-out only ever uses the scalar :meth:`gain_at`.
+        numpy expressions.  When :attr:`bulk_exact` is True the override is
+        bit-identical to the scalar path; otherwise results match only to
+        ~1 ulp and callers must treat them as approximate (cull-only in the
+        channel fan-out).
         """
         d = np.asarray(distances_m, dtype=float)
         out = np.fromiter(
@@ -88,12 +115,21 @@ class PropagationModel:
 
 @dataclass(frozen=True)
 class FreeSpace(PropagationModel):
-    """Friis free-space model: ``Pr = Pt·Gt·Gr·λ² / ((4π d)² L)``."""
+    """Friis free-space model: ``Pr = Pt·Gt·Gr·λ² / ((4π d)² L)``.
+
+    The ``(4πd)²`` factor is computed as ``fpd * fpd`` in both the scalar
+    and bulk paths: each step is a single correctly-rounded multiply, so the
+    two paths are bit-identical (``bulk_exact``).  ``x ** 2`` would give the
+    same values on a correctly-rounded libm but ties the contract to the
+    platform's pow; the explicit multiply does not.
+    """
 
     frequency_hz: float = 914e6
     gain_tx: float = 1.0
     gain_rx: float = 1.0
     system_loss: float = 1.0
+
+    bulk_exact = True
 
     def __post_init__(self) -> None:
         lam = wavelength(self.frequency_hz)
@@ -106,17 +142,24 @@ class FreeSpace(PropagationModel):
         return self._wavelength_m
 
     def gain_at(self, dist_m: float) -> float:
+        """Friis gain at ``dist_m`` (clamped to ``MIN_DISTANCE_M``)."""
         d = dist_m if dist_m > MIN_DISTANCE_M else MIN_DISTANCE_M
-        return self._numerator / ((_FOUR_PI * d) ** 2 * self.system_loss)
+        fpd = _FOUR_PI * d
+        return self._numerator / (fpd * fpd * self.system_loss)
 
     def gain_at_many(self, distances_m) -> np.ndarray:
+        """Vectorized Friis gains, bit-identical to ``gain_at`` per element."""
+        # Bit-identical to gain_at: same operations, same order (bulk_exact).
         d = np.maximum(np.asarray(distances_m, dtype=float), MIN_DISTANCE_M)
-        return self._numerator / ((_FOUR_PI * d) ** 2 * self.system_loss)
+        fpd = _FOUR_PI * d
+        return self._numerator / (fpd * fpd * self.system_loss)
 
     def gain(self, tx_pos: Position, rx_pos: Position) -> float:
+        """Gain between two positions (Euclidean distance, then Friis)."""
         return self.gain_at(distance(tx_pos, rx_pos))
 
     def range_for(self, tx_power_w: float, threshold_w: float) -> float:
+        """Closed-form Friis inverse: ``d = sqrt(Pt·num / ((4π)²·L·Pth))``."""
         if tx_power_w <= 0 or threshold_w <= 0:
             raise ValueError("powers must be positive")
         num = tx_power_w * self._numerator
@@ -129,7 +172,10 @@ class TwoRayGround(PropagationModel):
     """NS-2 two-ray ground model: Friis below the crossover, ``1/d⁴`` above.
 
     The crossover distance is ``d_c = 4π·ht·hr / λ``; at ``d_c`` the two
-    branches agree, so the gain is continuous.
+    branches agree, so the gain is continuous.  ``d⁴`` is computed as
+    ``(d·d)·(d·d)`` in both the scalar and bulk paths — see the module
+    docstring — making the model ``bulk_exact`` (branch selection is an
+    exact float comparison, identical either way).
     """
 
     frequency_hz: float = 914e6
@@ -138,6 +184,8 @@ class TwoRayGround(PropagationModel):
     height_tx_m: float = 1.5
     height_rx_m: float = 1.5
     system_loss: float = 1.0
+
+    bulk_exact = True
 
     def __post_init__(self) -> None:
         lam = wavelength(self.frequency_hz)
@@ -171,23 +219,31 @@ class TwoRayGround(PropagationModel):
         return self._crossover_m
 
     def gain_at(self, dist_m: float) -> float:
+        """Two-ray gain: Friis below the crossover, ``1/d⁴`` at or above."""
         d = dist_m if dist_m > MIN_DISTANCE_M else MIN_DISTANCE_M
         if d < self._crossover_m:
             return self._friis.gain_at(d)
-        return self._numerator / (d**4 * self.system_loss)
+        d2 = d * d
+        return self._numerator / (d2 * d2 * self.system_loss)
 
     def gain_at_many(self, distances_m) -> np.ndarray:
+        """Vectorized two-ray gains, bit-identical to ``gain_at``."""
+        # Bit-identical to gain_at: both branches use the scalar path's
+        # exact operation sequence and the branch test is an exact compare.
         d = np.maximum(np.asarray(distances_m, dtype=float), MIN_DISTANCE_M)
+        d2 = d * d
         return np.where(
             d < self._crossover_m,
             self._friis.gain_at_many(d),
-            self._numerator / (d**4 * self.system_loss),
+            self._numerator / (d2 * d2 * self.system_loss),
         )
 
     def gain(self, tx_pos: Position, rx_pos: Position) -> float:
+        """Gain between two positions (Euclidean distance, then two-ray)."""
         return self.gain_at(distance(tx_pos, rx_pos))
 
     def range_for(self, tx_power_w: float, threshold_w: float) -> float:
+        """Analytic inverse, branch-aware (Friis first, ``d⁴`` beyond)."""
         if tx_power_w <= 0 or threshold_w <= 0:
             raise ValueError("powers must be positive")
         # Try the Friis branch first; if its solution lands beyond the
@@ -229,6 +285,7 @@ class LogDistanceShadowing(PropagationModel):
         object.__setattr__(self, "_shadow_factor", db_to_ratio(self.shadowing_db))
 
     def gain_at(self, dist_m: float) -> float:
+        """Log-distance gain ``G0·(d0/d)^n·10^(X/10)`` at ``dist_m``."""
         d = dist_m if dist_m > MIN_DISTANCE_M else MIN_DISTANCE_M
         return (
             self._reference_gain_val
@@ -237,6 +294,10 @@ class LogDistanceShadowing(PropagationModel):
         )
 
     def gain_at_many(self, distances_m) -> np.ndarray:
+        """Vectorized gains; *not* ``bulk_exact`` (numpy ``**`` may differ
+        in the last ulp from libm ``pow``), so the SoA fan-out uses this
+        for conservative culling only and recomputes survivors scalar-ly.
+        """
         d = np.maximum(np.asarray(distances_m, dtype=float), MIN_DISTANCE_M)
         return (
             self._reference_gain_val
@@ -245,9 +306,11 @@ class LogDistanceShadowing(PropagationModel):
         )
 
     def gain(self, tx_pos: Position, rx_pos: Position) -> float:
+        """Gain between two positions (Euclidean distance, then log-distance)."""
         return self.gain_at(distance(tx_pos, rx_pos))
 
     def range_for(self, tx_power_w: float, threshold_w: float) -> float:
+        """Analytic inverse of the power law: ``d = d0·(Pt·g0/Pth)^(1/n)``."""
         if tx_power_w <= 0 or threshold_w <= 0:
             raise ValueError("powers must be positive")
         g0 = self._reference_gain_val * self._shadow_factor

@@ -2,8 +2,8 @@
 
 Scenario construction is assembled from pluggable components, one per
 **slot**: ``mac``, ``mobility``, ``placement``, ``traffic``, ``routing``,
-``propagation``, ``energy``, ``observability``, ``faults`` and
-``reception``.  Each slot
+``propagation``, ``energy``, ``observability``, ``faults``, ``reception``
+and ``engine``.  Each slot
 owns a
 :class:`Registry`; each
 registered
@@ -52,6 +52,7 @@ SLOTS: tuple[str, ...] = (
     "observability",
     "faults",
     "reception",
+    "engine",
 )
 
 

@@ -1,9 +1,20 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures, hypothesis profiles and helpers for the test suite."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# Property-test budgets.  The ``dev`` profile keeps local iteration fast;
+# CI's differential job selects the heavier sweep with
+# ``--hypothesis-profile=ci`` (the hypothesis pytest plugin applies the CLI
+# choice after this module loads, so the flag wins over the default below).
+# Tests that pin ``@settings(max_examples=...)`` inline keep their pinned
+# budget under either profile.
+settings.register_profile("dev", max_examples=12, deadline=None)
+settings.register_profile("ci", max_examples=40, deadline=None)
+settings.load_profile("dev")
 
 from repro.config import MacConfig, PhyConfig, PowerControlConfig
 from repro.mac.timing import MacTiming

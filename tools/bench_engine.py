@@ -10,10 +10,16 @@ MAC timers, PHY fan-out, radio bookkeeping, tracing and metrics.
 
 Grid: protocol (basic, pcmac) × mobility (static, mobile) × N ∈ {10, 50,
 200}, matching the paper's Section IV environment (the sim horizon shrinks
-as N grows so every cell costs roughly the same wall time).
+as N grows so every cell costs roughly the same wall time), plus
+mega-scale rows at N ∈ {2000, 10000} (static, paper density — the field
+side grows ∝ √(N/50)) where each cell is run under both the ``default``
+engine (binary heap, scalar fan-out) and the ``turbo`` engine (calendar
+queue, SoA fan-out, pooled events) and the event counts are asserted
+identical — the bench doubles as a mega-scale identity gate.
 
     PYTHONPATH=src python tools/bench_engine.py                 # writes BENCH_engine.json
     PYTHONPATH=src python tools/bench_engine.py --repeat 5 --out /tmp/e.json
+    PYTHONPATH=src python tools/bench_engine.py --smoke-mega    # CI: one N=2000 round
     # compare against a previous run (e.g. one taken on an older commit):
     PYTHONPATH=src python tools/bench_engine.py --baseline OLD.json
 
@@ -27,17 +33,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
 
 from dataclasses import replace  # noqa: E402
 
-from repro.config import ScenarioConfig  # noqa: E402
+from bench_grid import MEGA_SIZES  # noqa: E402
+
+from repro.builder import NetworkBuilder  # noqa: E402
+from repro.config import MobilityConfig, ScenarioConfig  # noqa: E402
 from repro.experiments.scenario import build_network  # noqa: E402
+from repro.scenariospec import ComponentSpec, ScenarioSpec  # noqa: E402
 
 #: Simulated horizon per network size [s] — sized so each cell takes on the
 #: order of a second of wall time and the grid stays runnable in CI-ish time.
@@ -45,6 +57,12 @@ DURATIONS_S = {10: 25.0, 50: 4.0, 200: 2.5}
 PROTOCOLS = ("basic", "pcmac")
 MOBILITIES = (("static", False), ("mobile", True))
 SEED = 7
+
+#: Mega-scale horizons [s]: traffic starts at t=1.0 s, so these buy a short
+#: steady-state window while keeping a 10k-node cell to ~a minute of wall.
+MEGA_DURATIONS_S = {2000: 1.6, 10000: 1.3}
+#: Engines A/B-ed on every mega cell.
+MEGA_ENGINES = ("default", "turbo")
 
 
 def run_cell(protocol: str, mobile: bool, n: int, repeat: int) -> dict:
@@ -78,16 +96,94 @@ def run_cell(protocol: str, mobile: bool, n: int, repeat: int) -> dict:
     }
 
 
+def run_mega_cell(protocol: str, n: int, repeat: int) -> dict:
+    """One mega row: both engines, best-of-``repeat``, identical events.
+
+    Fields are density-matched to the paper's Section IV (the field side
+    scales ∝ √(N/50) from the 50-node 1000 m square).
+    """
+    duration = MEGA_DURATIONS_S[n]
+    side = 1000.0 * math.sqrt(n / 50.0)
+    events = None
+    rates: dict[str, float] = {}
+    for engine in MEGA_ENGINES:
+        best = None
+        for _ in range(repeat):
+            cfg = replace(
+                ScenarioConfig(),
+                node_count=n,
+                duration_s=duration,
+                seed=SEED,
+                mobility=MobilityConfig(field_width_m=side, field_height_m=side),
+            )
+            spec = replace(
+                ScenarioSpec.from_legacy(cfg, protocol, mobile=False),
+                engine=ComponentSpec(engine),
+            )
+            net = NetworkBuilder(spec).build()
+            t0 = time.perf_counter()
+            net.sim.run_until(duration)
+            wall = time.perf_counter() - t0
+            executed = net.sim.events_executed
+            if events is None:
+                events = executed
+            elif executed != events:
+                raise AssertionError(
+                    f"engine divergence at n={n}: {executed} events vs {events}"
+                )
+            if best is None or wall < best:
+                best = wall
+        rates[engine] = events / best
+    return {
+        "scenario": f"{protocol}-static-n{n}",
+        "protocol": protocol,
+        "mobile": False,
+        "n": n,
+        "mega": True,
+        "sim_duration_s": duration,
+        "field_side_m": round(side, 1),
+        "events": events,
+        "default_events_per_sec": round(rates["default"], 1),
+        "turbo_events_per_sec": round(rates["turbo"], 1),
+        "turbo_speedup": round(rates["turbo"] / rates["default"], 2),
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default=str(ROOT / "BENCH_engine.json"))
     ap.add_argument("--repeat", type=int, default=3, help="best-of repeats")
+    ap.add_argument(
+        "--mega-repeat", type=int, default=2,
+        help="best-of repeats for the mega-scale rows",
+    )
+    ap.add_argument(
+        "--no-mega", action="store_true",
+        help="skip the N in {2000, 10000} rows (quick classic-grid run)",
+    )
+    ap.add_argument(
+        "--smoke-mega", action="store_true",
+        help="CI smoke: one single-repeat N=2000 mega cell (both engines, "
+        "event counts asserted identical), no file written unless --out is "
+        "given explicitly",
+    )
     ap.add_argument(
         "--baseline",
         default=None,
         help="previous bench_engine JSON to embed and compute speedups against",
     )
     args = ap.parse_args(argv)
+
+    if args.smoke_mega:
+        row = run_mega_cell("basic", 2000, repeat=1)
+        print(
+            f"{row['scenario']:>20}  {row['events']:>9d} events  "
+            f"default {row['default_events_per_sec']:>10,.0f} ev/s  "
+            f"turbo {row['turbo_events_per_sec']:>10,.0f} ev/s  "
+            f"({row['turbo_speedup']:.2f}x)"
+        )
+        print("mega smoke OK: engines dispatched identical event counts")
+        return 0
 
     results = []
     for protocol in PROTOCOLS:
@@ -99,16 +195,36 @@ def main(argv=None) -> int:
                     f"{row['scenario']:>20}  {row['events']:>9d} events  "
                     f"{row['wall_s']:7.3f} s  {row['events_per_sec']:>10,.0f} ev/s"
                 )
+    if not args.no_mega:
+        for protocol in PROTOCOLS:
+            for n in MEGA_SIZES:
+                row = run_mega_cell(protocol, n, args.mega_repeat)
+                results.append(row)
+                print(
+                    f"{row['scenario']:>20}  {row['events']:>9d} events  "
+                    f"default {row['default_events_per_sec']:>10,.0f} ev/s  "
+                    f"turbo {row['turbo_events_per_sec']:>10,.0f} ev/s  "
+                    f"({row['turbo_speedup']:.2f}x)"
+                )
 
     payload = {
         "benchmark": "engine_whole_run",
-        "schema": 1,
+        "schema": 2,
         "generated_by": "tools/bench_engine.py",
         "config": {
             "repeat": args.repeat,
+            "mega_repeat": args.mega_repeat,
             "seed": SEED,
             "durations_s": {str(k): v for k, v in sorted(DURATIONS_S.items())},
+            "mega_durations_s": {
+                str(k): v for k, v in sorted(MEGA_DURATIONS_S.items())
+            },
             "unit": "events per second of wall time, whole run (build excluded)",
+            "note": (
+                "mega rows (mega: true) run static worlds at paper density "
+                "under both the default and turbo engines; event counts are "
+                "asserted identical across engines"
+            ),
         },
         "results": results,
     }

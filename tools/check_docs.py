@@ -36,8 +36,9 @@ DOCSTRING_ROOTS = (
     "src/repro/energy",
     "src/repro/obs",
     "src/repro/faults",
-    "src/repro/phy/reception",
+    "src/repro/phy",
     "src/repro/fleet",
+    "src/repro/sim",
 )
 
 #: ``[text](target)`` — good enough for the links these docs use; image
